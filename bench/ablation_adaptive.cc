@@ -1,0 +1,102 @@
+// Extension bench (paper §7 future work): mid-query re-optimization under
+// inaccurate statistics. The static scheme commits to a materialization
+// configuration computed from (bad) estimates; the adaptive scheme
+// revisits each decision once upstream operators have executed and their
+// true costs are known. Simulated under the true statistics against the
+// oracle (static planning with perfect statistics).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/simulator.h"
+#include "common/math_util.h"
+#include "ft/adaptive.h"
+#include "tpch/queries.h"
+
+using namespace xdbft;
+
+namespace {
+
+double SimulatedMean(const plan::Plan& truth,
+                     const ft::MaterializationConfig& config,
+                     const cost::ClusterStats& stats) {
+  cluster::ClusterSimulator sim(stats);
+  double total = 0.0;
+  const int kRuns = 20;
+  for (uint64_t seed = 100; seed < 100 + kRuns; ++seed) {
+    cluster::ClusterTrace trace = cluster::ClusterTrace::Generate(stats,
+                                                                  seed);
+    auto r = sim.Run(truth, config, ft::RecoveryMode::kFineGrained, trace);
+    total += r->runtime;
+  }
+  return total / kRuns;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension — mid-query re-optimization under bad statistics "
+      "(Q5, SF=100, MTBF=1h)",
+      "future work of Salama et al., SIGMOD'15, Section 7");
+
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  auto truth = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  if (!truth.ok()) return 1;
+  const auto stats = cost::MakeCluster(10, cost::kSecondsPerHour, 1.0);
+  ft::FtCostContext ctx;
+  ctx.cluster = stats;
+
+  // Oracle: static planning with perfect statistics.
+  ft::FtPlanEnumerator oracle_enum(ctx);
+  auto oracle = oracle_enum.FindBest(*truth);
+  if (!oracle.ok()) return 1;
+  const double oracle_runtime = SimulatedMean(*truth, oracle->config,
+                                              stats);
+
+  // Per-seed comparison uses the deterministic cost model evaluated on
+  // the true statistics; simulated means (20 traces each) follow below.
+  ft::FtCostModel model(ctx);
+  const double oracle_est =
+      model.Estimate(*truth, oracle->config)->dominant_cost;
+  bench::Table table(
+      {"perturb", "seed", "static est(s)", "adaptive est(s)",
+       "oracle est(s)", "changed"},
+      {8, 6, 14, 16, 14, 8});
+  table.PrintHeaderRow();
+  std::vector<double> static_runtimes, adaptive_runtimes;
+  for (double max_factor : {3.0, 10.0}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      const plan::Plan estimated =
+          ft::PerturbStatistics(*truth, max_factor, seed);
+      ft::FtPlanEnumerator static_enum(ctx);
+      auto static_choice = static_enum.FindBest(estimated);
+      auto adaptive = ft::AdaptiveMaterialization(estimated, *truth, ctx);
+      if (!static_choice.ok() || !adaptive.ok()) continue;
+      const double s_est =
+          model.Estimate(*truth, static_choice->config)->dominant_cost;
+      const double a_est =
+          model.Estimate(*truth, adaptive->config)->dominant_cost;
+      static_runtimes.push_back(
+          SimulatedMean(*truth, static_choice->config, stats));
+      adaptive_runtimes.push_back(
+          SimulatedMean(*truth, adaptive->config, stats));
+      table.PrintRow({StrFormat("x%.0f", max_factor),
+                      StrFormat("%llu",
+                                static_cast<unsigned long long>(seed)),
+                      StrFormat("%.1f", s_est), StrFormat("%.1f", a_est),
+                      StrFormat("%.1f", oracle_est),
+                      StrFormat("%d", adaptive->decisions_changed)});
+    }
+  }
+  std::printf(
+      "\nSimulated means (20 traces each): static %.1fs, adaptive %.1fs, "
+      "oracle %.1fs\n",
+      Mean(static_runtimes), Mean(adaptive_runtimes), oracle_runtime);
+  std::printf(
+      "Takeaway: revisiting materialization decisions once upstream\n"
+      "operators have executed recovers much of the gap between planning\n"
+      "with bad estimates and the perfect-statistics oracle — the paper's\n"
+      "proposed answer to skew and hard-to-estimate UDF statistics.\n");
+  return 0;
+}

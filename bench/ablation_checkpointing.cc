@@ -1,0 +1,89 @@
+// Extension bench (paper §7 future work): intra-operator checkpointing for
+// long-running operators. Sweeps the checkpoint interval for a long
+// operator under frequent failures and compares the percentile cost model
+// against simulation, including the exact optimum and the Young/Daly rule.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/simulator.h"
+#include "ft/checkpointing.h"
+
+using namespace xdbft;
+
+namespace {
+
+plan::Plan LongOperatorPlan(double t) {
+  plan::PlanBuilder b("long-op");
+  auto scan = b.Scan("base", 1e9, 64, t / 2.0);
+  b.Unary(plan::OpType::kMapUdf, "long-udf", scan, t / 2.0, 1.0);
+  return std::move(b).Build();
+}
+
+double SimulatedMean(const plan::Plan& plan,
+                     const cost::ClusterStats& stats,
+                     double interval, double ckpt_cost) {
+  cluster::SimulationOptions opts;
+  opts.checkpoint_interval = interval;
+  opts.checkpoint_cost = ckpt_cost;
+  cluster::ClusterSimulator sim(stats, opts);
+  const auto config = ft::MaterializationConfig::NoMat(plan);
+  double total = 0.0;
+  const int kRuns = 60;
+  for (uint64_t seed = 0; seed < kRuns; ++seed) {
+    cluster::ClusterTrace trace = cluster::ClusterTrace::Generate(stats,
+                                                                  seed);
+    auto r = sim.Run(plan, config, ft::RecoveryMode::kFineGrained, trace);
+    total += r->runtime;
+  }
+  return total / kRuns;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension — intra-operator checkpointing for long operators",
+      "future work of Salama et al., SIGMOD'15, Section 7");
+
+  const double t = 1801.0;        // a ~30-minute operator
+  const double ckpt_cost = 3.0;   // seconds per state checkpoint
+  const auto stats = cost::MakeCluster(10, 3600.0, 2.0);
+  const plan::Plan plan = LongOperatorPlan(t);
+
+  ft::FtCostContext ctx;
+  ctx.cluster = stats;
+  const ft::FailureParams params = ctx.MakeFailureParams();
+
+  std::printf("Operator: t = %.0fs, per-node MTBF = 1h, checkpoint cost = "
+              "%.0fs\n\n", t, ckpt_cost);
+  bench::Table table({"interval(s)", "segments", "model(s)",
+                      "simulated(s)"},
+                     {12, 10, 10, 13});
+  table.PrintHeaderRow();
+  for (double interval : {0.0, 900.0, 450.0, 225.0, 112.5, 56.0, 28.0,
+                          14.0}) {
+    ft::CheckpointParams ckpt;
+    ckpt.checkpoint_cost = ckpt_cost;
+    ckpt.interval = interval;
+    const double model =
+        ft::OperatorTotalRuntimeWithCheckpoints(t, ckpt, params);
+    const double sim = SimulatedMean(plan, stats, interval, ckpt_cost);
+    table.PrintRow({interval == 0.0 ? "off" : StrFormat("%.1f", interval),
+                    StrFormat("%d", ft::NumCheckpointSegments(t, interval)),
+                    StrFormat("%.1f", model), StrFormat("%.1f", sim)});
+  }
+
+  const double opt = ft::OptimalCheckpointInterval(t, ckpt_cost, params);
+  const double yd = ft::YoungDalyInterval(ckpt_cost, params.mtbf_cost);
+  std::printf(
+      "\nExact optimal interval (percentile model): %.1fs; Young/Daly "
+      "sqrt(2*C*MTBF): %.1fs\n",
+      opt, yd);
+  std::printf(
+      "Takeaway: for operators with t ~ MTBF, checkpointing cuts the\n"
+      "runtime under failures several-fold, with a broad optimum around\n"
+      "the Young/Daly interval — supporting the paper's §7 suggestion\n"
+      "that long operators 'which otherwise are likely to fail often'\n"
+      "deserve operator-state checkpoints.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: the paper's single-machine cost model (§3.5, footnote 6) vs
+// our S^(1/n) extension, validated against the simulator across cluster
+// sizes. The paper's model is insensitive to n; the simulated runtime is
+// the max over n per-node recovery processes and therefore grows with n.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/simulator.h"
+#include "ft/enumerator.h"
+#include "plan/plan.h"
+
+using namespace xdbft;
+
+namespace {
+
+plan::Plan ChainPlan(int stages, double stage_seconds, double mat_seconds) {
+  plan::PlanBuilder b("chain");
+  auto prev = b.Scan("base", 1e8, 64, stage_seconds);
+  b.plan().mutable_node(prev).materialize_cost = mat_seconds;
+  for (int i = 1; i < stages; ++i) {
+    prev = b.Unary(plan::OpType::kMapUdf, "s" + std::to_string(i), prev,
+                   stage_seconds, mat_seconds);
+  }
+  return std::move(b).Build();
+}
+
+double SimulatedMean(const plan::Plan& plan,
+                     const ft::MaterializationConfig& config,
+                     const cost::ClusterStats& stats) {
+  cluster::ClusterSimulator sim(stats);
+  double total = 0.0;
+  const int kRuns = 40;
+  for (uint64_t seed = 0; seed < kRuns; ++seed) {
+    cluster::ClusterTrace trace = cluster::ClusterTrace::Generate(stats,
+                                                                  seed);
+    auto r = sim.Run(plan, config, ft::RecoveryMode::kFineGrained, trace);
+    total += r->runtime;
+  }
+  return total / kRuns;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — cluster-size sensitivity: paper model vs S^(1/n) "
+      "extension vs simulation",
+      "extension of Salama et al., SIGMOD'15, Section 3.5");
+
+  const plan::Plan plan = ChainPlan(4, 100.0, 5.0);
+  const auto config = ft::MaterializationConfig::AllMat(plan);
+
+  bench::Table table({"n", "paper est(s)", "ext est(s)", "simulated(s)",
+                      "paper err(%)", "ext err(%)"},
+                     {6, 13, 12, 13, 13, 11});
+  table.PrintHeaderRow();
+  for (int n : {1, 5, 10, 25, 50, 100}) {
+    const auto stats = cost::MakeCluster(n, 3600.0, 1.0);
+    ft::FtCostContext ctx;
+    ctx.cluster = stats;
+    ctx.model.scale_success_target_with_cluster = false;
+    auto paper = ft::FtCostModel(ctx).Estimate(plan, config);
+    ctx.model.scale_success_target_with_cluster = true;
+    auto ext = ft::FtCostModel(ctx).Estimate(plan, config);
+    if (!paper.ok() || !ext.ok()) continue;
+    const double sim = SimulatedMean(plan, config, stats);
+    table.PrintRow(
+        {StrFormat("%d", n), StrFormat("%.1f", paper->dominant_cost),
+         StrFormat("%.1f", ext->dominant_cost), StrFormat("%.1f", sim),
+         StrFormat("%+.1f", (paper->dominant_cost / sim - 1.0) * 100.0),
+         StrFormat("%+.1f", (ext->dominant_cost / sim - 1.0) * 100.0)});
+  }
+  std::printf(
+      "\nTakeaway: the paper's per-node model is accurate for small n and\n"
+      "increasingly optimistic as the cluster grows (the effect behind its\n"
+      "Fig. 12a underestimation); the S^(1/n) extension tracks the\n"
+      "simulated max-over-n-nodes runtime across the sweep.\n");
+  return 0;
+}

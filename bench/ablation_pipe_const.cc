@@ -1,0 +1,50 @@
+// Ablation: CONST_pipe, the pipeline-parallelism discount of Eq. 1. The
+// paper calibrates it per PDE (1.0 for XDB); this ablation shows how the
+// chosen materialization configuration and the rule-1 pruning behavior
+// react when pipelining is more effective (smaller CONST_pipe).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ft/enumerator.h"
+#include "ft/pruning.h"
+#include "tpch/queries.h"
+
+using namespace xdbft;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — CONST_pipe (pipeline-parallelism discount, Eq. 1)",
+      "Salama et al., SIGMOD'15, Section 3.3 (calibration constant)");
+
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  auto plan = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  if (!plan.ok()) return 1;
+
+  bench::Table table({"CONST_pipe", "ft cost(s)", "m-ops", "rule1 marks"},
+                     {10, 12, 8, 12});
+  table.PrintHeaderRow();
+  for (double pipe : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+    ft::FtCostContext ctx;
+    ctx.cluster = cost::MakeCluster(10, cost::kSecondsPerHour, 1.0);
+    ctx.model.pipe_constant = pipe;
+    ft::FtPlanEnumerator enumerator(ctx);
+    auto best = enumerator.FindBest(*plan);
+    if (!best.ok()) {
+      std::fprintf(stderr, "pipe=%g: %s\n", pipe,
+                   best.status().ToString().c_str());
+      continue;
+    }
+    plan::Plan copy = *plan;
+    const int marks = ft::ApplyPruningRule1(&copy, pipe);
+    table.PrintRow({StrFormat("%.1f", pipe),
+                    StrFormat("%.1f", best->estimated_cost),
+                    StrFormat("%zu", best->config.NumMaterialized()),
+                    StrFormat("%d", marks)});
+  }
+  std::printf(
+      "\nTakeaway: stronger pipelining (lower CONST_pipe) makes collapsed\n"
+      "sub-plans cheaper to re-execute, so the scheme materializes less\n"
+      "and rule 1 marks more operators as not worth materializing.\n");
+  return 0;
+}

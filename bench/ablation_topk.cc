@@ -1,0 +1,111 @@
+// Ablation: width k of the phase-1 top-k plan enumeration (§3.2). The
+// paper motivates analyzing more than the single cheapest plan: a plan
+// slightly slower without failures can win once recovery costs are
+// considered (cheap materialization points in the right places). This
+// ablation sweeps k over the Q5 join-order space.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ft/enumerator.h"
+#include "tpch/q5_join_graph.h"
+
+using namespace xdbft;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — top-k width of phase-1 plan enumeration (Q5 join "
+      "orders)",
+      "Salama et al., SIGMOD'15, Section 3.2 (enumFTPlans phase 1)");
+
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  auto graph = tpch::MakeQ5JoinGraph(cfg);
+  if (!graph.ok()) return 1;
+  auto params = tpch::MakePhysicalCostParams(cfg);
+
+  bench::Table table({"MTBF", "k", "phase1 cost(s)", "ft cost(s)",
+                      "vs k=1(%)"},
+                     {10, 4, 15, 12, 10});
+  table.PrintHeaderRow();
+  for (double mtbf : {cost::kSecondsPerDay, cost::kSecondsPerHour}) {
+    double k1_cost = 0.0;
+    for (int k : {1, 2, 4, 8, 16, 32}) {
+      optimizer::JoinTreeArena arena;
+      auto roots = optimizer::EnumerateTopKJoinTrees(*graph, k, params,
+                                                     &arena);
+      if (!roots.ok()) continue;
+      std::vector<plan::Plan> plans;
+      for (int root : *roots) {
+        auto p = optimizer::EmitPlan(arena, root, *graph, params);
+        if (p.ok()) plans.push_back(std::move(*p));
+      }
+      const double phase1 =
+          optimizer::TreeCost(arena, (*roots)[0], *graph, params);
+      ft::FtCostContext ctx;
+      ctx.cluster = cost::MakeCluster(cfg.num_nodes, mtbf, 1.0);
+      ft::FtPlanEnumerator enumerator(ctx);
+      auto best = enumerator.FindBest(plans);
+      if (!best.ok()) continue;
+      if (k == 1) k1_cost = best->estimated_cost;
+      table.PrintRow(
+          {HumanDuration(mtbf), StrFormat("%d", k),
+           StrFormat("%.1f", phase1),
+           StrFormat("%.1f", best->estimated_cost),
+           StrFormat("%+.2f",
+                     (best->estimated_cost / k1_cost - 1.0) * 100.0)});
+    }
+  }
+  std::printf(
+      "\nFor Q5 the runtime-optimal join order also carries the cheapest\n"
+      "materialization points, so k = 1 is already FT-optimal.\n");
+
+  // (b) A workload where the metrics diverge: the runtime-cheapest order
+  // produces a *wide* intermediate (expensive to materialize), while a
+  // slightly slower order offers a narrow, checkpointable one — the
+  // paper's §3.2 motivation for analyzing the top-k plans.
+  std::printf(
+      "\n(b) Synthetic 3-relation join where runtime- and FT-optimal "
+      "orders diverge\n");
+  optimizer::JoinGraph g;
+  g.AddRelation({"WIDE", 5e7, 12.5, 800, 2000});
+  g.AddRelation({"MID", 5e7, 12.5, 8, 40});
+  g.AddRelation({"NARROW", 5e7, 12.5, 8, 40});
+  // WIDE-MID produces fewer rows (runtime-cheaper) but 200 B-wide ones;
+  // MID-NARROW produces more rows but 16-byte ones.
+  (void)g.AddEdge(0, 1, 1.0e-9, "w=m");
+  (void)g.AddEdge(1, 2, 4.0e-9, "m=n");
+
+  optimizer::PhysicalCostParams sparams;
+  bench::Table tb({"MTBF", "k", "chosen order", "ft cost(s)", "vs k=1(%)"},
+                  {10, 4, 22, 12, 10});
+  tb.PrintHeaderRow();
+  for (double mtbf : {cost::kSecondsPerDay, 300.0}) {
+    double k1_cost = 0.0;
+    for (int k : {1, 2, 4}) {
+      optimizer::JoinTreeArena arena;
+      auto roots = optimizer::EnumerateTopKJoinTrees(g, k, sparams, &arena);
+      if (!roots.ok()) continue;
+      std::vector<plan::Plan> plans;
+      for (int root : *roots) {
+        auto p = optimizer::EmitPlan(arena, root, g, sparams);
+        if (p.ok()) plans.push_back(std::move(*p));
+      }
+      ft::FtCostContext ctx;
+      ctx.cluster = cost::MakeCluster(10, mtbf, 1.0);
+      ft::FtPlanEnumerator enumerator(ctx);
+      auto best = enumerator.FindBest(plans);
+      if (!best.ok()) continue;
+      if (k == 1) k1_cost = best->estimated_cost;
+      tb.PrintRow({HumanDuration(mtbf), StrFormat("%d", k),
+                   arena.ToString((*roots)[best->plan_index], g),
+                   StrFormat("%.1f", best->estimated_cost),
+                   StrFormat("%+.2f", (best->estimated_cost / k1_cost -
+                                       1.0) * 100.0)});
+    }
+  }
+  std::printf(
+      "\nTakeaway: a modest k captures plans whose materialization points\n"
+      "pay off under failures; gains saturate quickly, supporting the\n"
+      "paper's top-k (rather than exhaustive) phase-1 design.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: the paper's t/2 approximation of the expected wasted runtime
+// w(c) (Eq. 4) versus the exact closed form (Eq. 3). The paper argues the
+// approximation is good already for MTBF > t(c); this ablation quantifies
+// the error across t/MTBF ratios and its impact on plan selection.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ft/enumerator.h"
+#include "tpch/queries.h"
+
+using namespace xdbft;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — exact w(c) (Eq. 3) vs the t/2 approximation (Eq. 4)",
+      "Salama et al., SIGMOD'15, Section 3.5 (design choice)");
+
+  std::printf("(a) Point-wise error of the approximation\n");
+  bench::Table ta({"t/MTBF", "exact w/t", "approx w/t", "error(%)"},
+                  {10, 12, 12, 10});
+  ta.PrintHeaderRow();
+  for (double ratio : {0.01, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const double t = ratio;  // with MTBF = 1
+    const double exact = ft::WastedTimeExact(t, 1.0);
+    const double approx = ft::WastedTimeApprox(t);
+    ta.PrintRow({StrFormat("%.2f", ratio), StrFormat("%.4f", exact / t),
+                 StrFormat("%.4f", approx / t),
+                 StrFormat("%.1f", (approx / exact - 1.0) * 100.0)});
+  }
+
+  std::printf(
+      "\n(b) Impact on plan selection (Q5, SF=100, 10 nodes): chosen\n"
+      "configuration and estimated cost with each formula\n");
+  bench::Table tb({"MTBF", "approx cost(s)", "exact cost(s)",
+                   "same config"},
+                  {10, 14, 14, 12});
+  tb.PrintHeaderRow();
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  auto plan = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  for (double mtbf : {600.0, 3600.0, 4.0 * 3600.0, 86400.0}) {
+    ft::FtCostContext ctx;
+    ctx.cluster = cost::MakeCluster(10, mtbf, 1.0);
+    ctx.model.exact_wasted_time = false;
+    ft::FtPlanEnumerator approx_enum(ctx);
+    auto a = approx_enum.FindBest(*plan);
+    ctx.model.exact_wasted_time = true;
+    ft::FtPlanEnumerator exact_enum(ctx);
+    auto e = exact_enum.FindBest(*plan);
+    if (!a.ok() || !e.ok()) continue;
+    tb.PrintRow({HumanDuration(mtbf),
+                 StrFormat("%.1f", a->estimated_cost),
+                 StrFormat("%.1f", e->estimated_cost),
+                 a->config == e->config ? "yes" : "NO"});
+  }
+  std::printf(
+      "\nTakeaway (paper): the approximation overshoots w(c) by <15%% for\n"
+      "t <= MTBF and rarely changes the chosen configuration, while\n"
+      "avoiding an exp() per operator evaluation.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared output helpers for the paper-reproduction harnesses: fixed-width
+// table printing and the standard experiment header.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace xdbft::bench {
+
+/// \brief Prints "=== <title> ===" with the paper reference underneath.
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// \brief Simple fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<int> widths)
+      : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+  void PrintHeaderRow() const {
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%s ", PadLeft(headers_[i],
+                                 static_cast<size_t>(widths_[i])).c_str());
+    }
+    std::printf("\n");
+    int total = 0;
+    for (int w : widths_) total += w + 1;
+    std::printf("%s\n", std::string(static_cast<size_t>(total), '-').c_str());
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::printf("%s ", PadLeft(cells[i],
+                                 static_cast<size_t>(widths_[i])).c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// \brief "123.4" style or "Aborted" for incomplete runs.
+inline std::string OverheadCell(bool completed, double overhead_percent) {
+  if (!completed) return "Aborted";
+  if (overhead_percent > -0.05 && overhead_percent < 0.0) {
+    overhead_percent = 0.0;  // avoid "-0.0"
+  }
+  return StrFormat("%.1f", overhead_percent);
+}
+
+}  // namespace xdbft::bench

@@ -1,0 +1,61 @@
+// Figure 10 (Exp. 2a): overhead of the four schemes for TPC-H Q5 with
+// varying runtime (scale factors SF = 1 .. 1000), MTBF = 1 day per node,
+// 10 nodes, 10 failure traces per point.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/experiment.h"
+#include "tpch/queries.h"
+
+using namespace xdbft;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 10 — Overhead vs Query Runtime (Q5, MTBF = 1 day/node)",
+      "Salama et al., SIGMOD'15, Fig. 10 (Section 5.3, Exp. 2a)");
+
+  bench::Table table({"SF", "baseline(min)", "all-mat", "no-mat(lin)",
+                      "no-mat(rst)", "cost-based", "cb-mat-ops"},
+                     {6, 14, 10, 12, 12, 12, 10});
+  table.PrintHeaderRow();
+
+  // SF beyond TPC-H's official range extends the runtime axis to the
+  // paper's ~1000-minute upper end (runtime scales linearly with SF).
+  for (double sf : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                    1000.0, 2000.0, 4000.0}) {
+    tpch::TpchPlanConfig cfg;
+    cfg.scale_factor = sf;
+    auto plan = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+    if (!plan.ok()) continue;
+    const auto stats =
+        cost::MakeCluster(cfg.num_nodes, cost::kSecondsPerDay, 1.0);
+    auto result = cluster::RunSchemeComparison(*plan, stats, {},
+                                               /*num_traces=*/30);
+    if (!result.ok()) {
+      std::fprintf(stderr, "SF=%g: %s\n", sf,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    const auto& am = result->outcome(ft::SchemeKind::kAllMat);
+    const auto& nl = result->outcome(ft::SchemeKind::kNoMatLineage);
+    const auto& nr = result->outcome(ft::SchemeKind::kNoMatRestart);
+    const auto& cb = result->outcome(ft::SchemeKind::kCostBased);
+    table.PrintRow({StrFormat("%.0f", sf),
+                    StrFormat("%.1f", result->baseline_runtime / 60.0),
+                    bench::OverheadCell(am.completed, am.overhead_percent),
+                    bench::OverheadCell(nl.completed, nl.overhead_percent),
+                    bench::OverheadCell(nr.completed, nr.overhead_percent),
+                    bench::OverheadCell(cb.completed, cb.overhead_percent),
+                    StrFormat("%zu", cb.num_materialized)});
+  }
+
+  std::printf(
+      "\nExpected shape (paper): cost-based has the lowest overhead across\n"
+      "the whole range, starting near 0%% for short queries; no-mat\n"
+      "(restart) stops finishing for long queries; no-mat (lineage)\n"
+      "degrades more gracefully but stays above cost-based; all-mat tracks\n"
+      "cost-based closely (Q5's materialization totals only ~34%% of its\n"
+      "runtime costs), with cost-based pulling ahead for long queries by\n"
+      "materializing only the small intermediates.\n");
+  return 0;
+}

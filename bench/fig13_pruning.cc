@@ -1,0 +1,127 @@
+// Figure 13 (Exp. 4): effectiveness of the pruning rules. All 1344
+// equivalent join orders of TPC-H Q5 (no cartesian products) are
+// enumerated; with 5 free operators each, the unpruned space is
+// 1344 * 32 = 43008 fault-tolerant plans. The percentage of that space
+// pruned by rule 1, rule 2, rule 3 and all rules together is reported for
+// per-node MTBFs of 1 week, 1 day and 1 hour. Rule 3 prunes lazily during
+// path enumeration; following the paper, an FT plan whose enumeration it
+// stops early is counted as half pruned.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ft/enumerator.h"
+#include "tpch/q5_join_graph.h"
+
+using namespace xdbft;
+
+namespace {
+
+struct RuleConfig {
+  const char* name;
+  bool rule1, rule2, rule3;
+};
+
+double PrunedPercent(const std::vector<plan::Plan>& plans,
+                     const ft::FtCostContext& ctx, const RuleConfig& rules) {
+  ft::EnumerationOptions opts;
+  opts.pruning.rule1 = rules.rule1;
+  opts.pruning.rule2 = rules.rule2;
+  opts.pruning.rule3 = rules.rule3;
+  opts.pruning.memoize_dominant_paths = rules.rule3;
+  ft::FtPlanEnumerator enumerator(ctx, opts);
+  auto best = enumerator.FindBest(plans);
+  if (!best.ok()) {
+    std::fprintf(stderr, "enumeration error: %s\n",
+                 best.status().ToString().c_str());
+    return 0.0;
+  }
+  const auto& s = enumerator.stats();
+  const double total = static_cast<double>(s.total_ft_plans_unpruned);
+  // Rules 1/2 eliminate configurations eagerly; rule 3 stops the path
+  // analysis of an FT plan early and is credited half per §5.5.
+  const double eager =
+      total - static_cast<double>(s.ft_plans_enumerated);
+  const double lazy = 0.5 * static_cast<double>(s.rule3_early_stops);
+  return 100.0 * (eager + lazy) / total;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 13 — Effectiveness of Pruning (all 1344 Q5 join orders, "
+      "SF=10)",
+      "Salama et al., SIGMOD'15, Fig. 13 (Section 5.5)");
+
+  // Operating point: the paper ran SF=10 on MySQL-backed executors whose
+  // operators are ~100x slower than our simulated rates; SF=2000 with a
+  // 128 MiB/s store and MySQL-like aggregation reproduces the paper's
+  // t(c)-to-MTBF and tm-to-tr ratios, which is what the rules key on.
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 2000.0;
+  cfg.storage_bandwidth_bps = 128.0 * 1024 * 1024;
+  auto graph = tpch::MakeQ5JoinGraph(cfg);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph error: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  optimizer::JoinTreeArena arena;
+  auto trees = optimizer::EnumerateAllJoinTrees(*graph, &arena);
+  if (!trees.ok()) {
+    std::fprintf(stderr, "tree enumeration error: %s\n",
+                 trees.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Equivalent join orders enumerated: %zu (paper: 1344)\n",
+              trees->size());
+
+  auto params = tpch::MakePhysicalCostParams(cfg);
+  params.agg_rows_per_sec = 20e3;  // MySQL GROUP BY with sort
+  std::vector<plan::Plan> plans;
+  plans.reserve(trees->size());
+  for (int root : *trees) {
+    auto p = optimizer::EmitPlan(arena, root, *graph, params);
+    if (p.ok()) plans.push_back(std::move(*p));
+  }
+  std::printf("Fault-tolerant plan space without pruning: %zu x 32 = %zu\n\n",
+              plans.size(), plans.size() * 32);
+
+  struct Cluster {
+    const char* name;
+    double mtbf;
+  };
+  const Cluster clusters[] = {
+      {"Cluster A (MTBF=1 week)", cost::kSecondsPerWeek},
+      {"Cluster B (MTBF=1 day)", cost::kSecondsPerDay},
+      {"Cluster C (MTBF=1 hour)", cost::kSecondsPerHour},
+  };
+  const RuleConfig rule_sets[] = {
+      {"Rule 1", true, false, false},
+      {"Rule 2", false, true, false},
+      {"Rule 3", false, false, true},
+      {"All Rules", true, true, true},
+  };
+
+  bench::Table table({"rules", "1 week(%)", "1 day(%)", "1 hour(%)"},
+                     {12, 10, 10, 10});
+  table.PrintHeaderRow();
+  for (const auto& rules : rule_sets) {
+    std::vector<std::string> row = {rules.name};
+    for (const auto& c : clusters) {
+      ft::FtCostContext ctx;
+      ctx.cluster = cost::MakeCluster(cfg.num_nodes, c.mtbf, 1.0);
+      row.push_back(StrFormat("%.1f", PrunedPercent(plans, ctx, rules)));
+    }
+    table.PrintRow(row);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): rule 1 prunes a constant ~25%%\n"
+      "independent of MTBF; rules 2 and 3 prune more as the MTBF grows;\n"
+      "the combined pruning is best at MTBF = 1 week. Note: the paper's\n"
+      "absolute rule-2 level (0.7-7%%) is lower because XDB accounts at\n"
+      "operator granularity, while we count the eliminated materialization\n"
+      "configurations (each rule-2 mark halves a plan's 2^5 space).\n");
+  return 0;
+}

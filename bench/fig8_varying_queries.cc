@@ -1,0 +1,76 @@
+// Figure 8: overhead of the four fault-tolerance schemes for TPC-H Q1, Q3,
+// Q5 and the complex variants Q1C/Q2C over SF = 100, under (a) a low MTBF
+// (1.1x the query's baseline runtime per node) and (b) a high MTBF (10x
+// the baseline runtime), averaging 10 failure traces per setting.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/experiment.h"
+#include "tpch/queries.h"
+
+using namespace xdbft;
+
+namespace {
+
+void RunRegime(const char* title, double mtbf_factor) {
+  std::printf("%s\n", title);
+  bench::Table table({"query", "baseline(s)", "all-mat", "no-mat(lin)",
+                      "no-mat(rst)", "cost-based", "cb-mat-ops"},
+                     {6, 12, 10, 12, 12, 12, 10});
+  table.PrintHeaderRow();
+  for (tpch::TpchQuery q : tpch::AllQueries()) {
+    tpch::TpchPlanConfig cfg;
+    cfg.scale_factor = 100.0;
+    auto plan = tpch::BuildQuery(q, cfg);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan error: %s\n",
+                   plan.status().ToString().c_str());
+      continue;
+    }
+    // Baseline runtime of this query determines the injected MTBF.
+    cluster::ClusterSimulator probe(cost::MakeCluster(cfg.num_nodes, 1.0));
+    const double baseline = *probe.BaselineRuntime(*plan);
+    const auto stats =
+        cost::MakeCluster(cfg.num_nodes, mtbf_factor * baseline,
+                          /*mttr=*/1.0);
+    auto result = cluster::RunSchemeComparison(*plan, stats, {},
+                                               /*num_traces=*/10);
+    if (!result.ok()) {
+      std::fprintf(stderr, "experiment error: %s\n",
+                   result.status().ToString().c_str());
+      continue;
+    }
+    const auto& am = result->outcome(ft::SchemeKind::kAllMat);
+    const auto& nl = result->outcome(ft::SchemeKind::kNoMatLineage);
+    const auto& nr = result->outcome(ft::SchemeKind::kNoMatRestart);
+    const auto& cb = result->outcome(ft::SchemeKind::kCostBased);
+    table.PrintRow({tpch::TpchQueryName(q),
+                    StrFormat("%.1f", result->baseline_runtime),
+                    bench::OverheadCell(am.completed, am.overhead_percent),
+                    bench::OverheadCell(nl.completed, nl.overhead_percent),
+                    bench::OverheadCell(nr.completed, nr.overhead_percent),
+                    bench::OverheadCell(cb.completed, cb.overhead_percent),
+                    StrFormat("%zu", cb.num_materialized)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 8 — Overhead for Varying Queries (overhead in % over the "
+      "no-failure baseline)",
+      "Salama et al., SIGMOD'15, Fig. 8a/8b (Section 5.2)");
+
+  RunRegime("(a) Low MTBF (MTBF per node = 1.1 x baseline runtime)", 1.1);
+  RunRegime("(b) High MTBF (MTBF per node = 10 x baseline runtime)", 10.0);
+
+  std::printf(
+      "Expected shape (paper): cost-based always has the least or\n"
+      "comparable overhead; no-mat (restart) aborts for every query under\n"
+      "the low MTBF; Q1 behaves identically for all fine-grained schemes\n"
+      "(no free operator); for Q1C/Q2C the cost-based scheme clearly beats\n"
+      "all-mat by checkpointing only the cheap mid-plan aggregation.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the optimizer-facing hot paths:
+// collapsed-plan construction, path enumeration, cost estimation, the
+// full findBestFTPlan with and without pruning, and join-order
+// enumeration.
+#include <benchmark/benchmark.h>
+
+#include "ft/enumerator.h"
+#include "tpch/q5_join_graph.h"
+#include "tpch/queries.h"
+
+using namespace xdbft;
+
+namespace {
+
+plan::Plan Q5Plan() {
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  return *tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+}
+
+ft::FtCostContext Context(double mtbf = 3600.0) {
+  ft::FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(10, mtbf, 1.0);
+  return ctx;
+}
+
+void BM_CollapsePlan(benchmark::State& state) {
+  const plan::Plan plan = Q5Plan();
+  const auto config = ft::MaterializationConfig::FromFreeMask(plan, 0b10101);
+  for (auto _ : state) {
+    auto cp = ft::CollapsedPlan::Create(plan, config);
+    benchmark::DoNotOptimize(cp);
+  }
+}
+BENCHMARK(BM_CollapsePlan);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const plan::Plan plan = Q5Plan();
+  const auto config = ft::MaterializationConfig::FromFreeMask(plan, 0b10101);
+  const auto cp = *ft::CollapsedPlan::Create(plan, config);
+  for (auto _ : state) {
+    size_t count = 0;
+    cp.ForEachPath([&](const ft::CollapsedPath&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PathEnumeration);
+
+void BM_EstimatePlan(benchmark::State& state) {
+  const plan::Plan plan = Q5Plan();
+  const auto config = ft::MaterializationConfig::FromFreeMask(plan, 0b10101);
+  const ft::FtCostModel model(Context());
+  const auto cp = *ft::CollapsedPlan::Create(plan, config);
+  for (auto _ : state) {
+    auto est = model.Estimate(cp);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_EstimatePlan);
+
+void BM_FindBestSinglePlan(benchmark::State& state) {
+  const plan::Plan plan = Q5Plan();
+  const bool pruning = state.range(0) != 0;
+  ft::EnumerationOptions opts;
+  opts.pruning.rule1 = opts.pruning.rule2 = opts.pruning.rule3 = pruning;
+  opts.pruning.memoize_dominant_paths = pruning;
+  for (auto _ : state) {
+    ft::FtPlanEnumerator enumerator(Context(), opts);
+    auto best = enumerator.FindBest(plan);
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_FindBestSinglePlan)->Arg(0)->Arg(1);
+
+void BM_EnumerateAllQ5JoinOrders(benchmark::State& state) {
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  const auto graph = *tpch::MakeQ5JoinGraph(cfg);
+  for (auto _ : state) {
+    optimizer::JoinTreeArena arena;
+    auto trees = optimizer::EnumerateAllJoinTrees(graph, &arena);
+    benchmark::DoNotOptimize(trees);
+  }
+}
+BENCHMARK(BM_EnumerateAllQ5JoinOrders);
+
+void BM_FindBestOverAllJoinOrders(benchmark::State& state) {
+  // The Fig. 13 workload: 1344 plans x 32 configurations.
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  const auto graph = *tpch::MakeQ5JoinGraph(cfg);
+  optimizer::JoinTreeArena arena;
+  const auto trees = *optimizer::EnumerateAllJoinTrees(graph, &arena);
+  const auto params = tpch::MakePhysicalCostParams(cfg);
+  std::vector<plan::Plan> plans;
+  for (int root : trees) {
+    plans.push_back(*optimizer::EmitPlan(arena, root, graph, params));
+  }
+  const bool pruning = state.range(0) != 0;
+  ft::EnumerationOptions opts;
+  opts.pruning.rule1 = opts.pruning.rule2 = opts.pruning.rule3 = pruning;
+  opts.pruning.memoize_dominant_paths = pruning;
+  for (auto _ : state) {
+    ft::FtPlanEnumerator enumerator(Context(), opts);
+    auto best = enumerator.FindBest(plans);
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_FindBestOverAllJoinOrders)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopKJoinEnumeration(benchmark::State& state) {
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  const auto graph = *tpch::MakeQ5JoinGraph(cfg);
+  const auto params = tpch::MakePhysicalCostParams(cfg);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    optimizer::JoinTreeArena arena;
+    auto roots = optimizer::EnumerateTopKJoinTrees(graph, k, params,
+                                                   &arena);
+    benchmark::DoNotOptimize(roots);
+  }
+}
+BENCHMARK(BM_TopKJoinEnumeration)->Arg(1)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the execution engine: operator
+// throughputs (scan, filter, hash join, merge join, aggregation, sort),
+// TPC-H data generation rate and partition-parallel Q5 end-to-end.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/tpch_gen.h"
+#include "engine/query_runner.h"
+#include "exec/operators.h"
+
+using namespace xdbft;
+using exec::AggFunc;
+using exec::Expr;
+using exec::Table;
+using exec::Value;
+using exec::ValueType;
+
+namespace {
+
+Table MakeInts(int64_t n, int64_t key_domain, uint64_t seed) {
+  Table t;
+  t.schema = {{"k", ValueType::kInt64}, {"v", ValueType::kDouble}};
+  Rng rng(seed);
+  t.rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    t.rows.push_back({Value(rng.NextInt(0, key_domain - 1)),
+                      Value(rng.NextDouble() * 100.0)});
+  }
+  return t;
+}
+
+void BM_Scan(benchmark::State& state) {
+  const Table t = MakeInts(state.range(0), 1000, 1);
+  for (auto _ : state) {
+    auto op = exec::MakeScan(&t);
+    auto r = exec::Drain(op.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Scan)->Arg(100000);
+
+void BM_Filter(benchmark::State& state) {
+  const Table t = MakeInts(state.range(0), 1000, 2);
+  for (auto _ : state) {
+    auto op = exec::MakeFilter(
+        exec::MakeScan(&t),
+        exec::Lt(Expr::Col(0), Expr::Lit(Value(int64_t{500}))));
+    auto r = exec::Drain(op.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  const Table build = MakeInts(state.range(0) / 10, 10000, 3);
+  const Table probe = MakeInts(state.range(0), 10000, 4);
+  for (auto _ : state) {
+    auto op = exec::MakeHashJoin(exec::MakeScan(&build),
+                                 exec::MakeScan(&probe), {0}, {0});
+    auto r = exec::Drain(op.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(100000);
+
+void BM_MergeJoin(benchmark::State& state) {
+  const Table build = MakeInts(state.range(0) / 10, 10000, 3);
+  const Table probe = MakeInts(state.range(0), 10000, 4);
+  for (auto _ : state) {
+    auto op = exec::MakeMergeJoin(exec::MakeScan(&build),
+                                  exec::MakeScan(&probe), 0, 0);
+    auto r = exec::Drain(op.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeJoin)->Arg(100000);
+
+void BM_HashAggregate(benchmark::State& state) {
+  const Table t = MakeInts(state.range(0), 1000, 5);
+  for (auto _ : state) {
+    auto op = exec::MakeHashAggregate(
+        exec::MakeScan(&t), {0},
+        {{AggFunc::kSum, Expr::Col(1), "s"},
+         {AggFunc::kCount, nullptr, "c"}});
+    auto r = exec::Drain(op.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregate)->Arg(100000);
+
+void BM_Sort(benchmark::State& state) {
+  const Table t = MakeInts(state.range(0), 1 << 30, 6);
+  for (auto _ : state) {
+    auto op = exec::MakeSort(exec::MakeScan(&t), {0}, {true});
+    auto r = exec::Drain(op.get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Arg(100000);
+
+void BM_TpchGenerate(benchmark::State& state) {
+  datagen::TpchGenOptions opts;
+  opts.scale_factor = 0.01;
+  for (auto _ : state) {
+    auto db = datagen::GenerateTpch(opts);
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_TpchGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_Q5EndToEnd(benchmark::State& state) {
+  datagen::TpchGenOptions opts;
+  opts.scale_factor = 0.01;
+  const auto db = *datagen::GenerateTpch(opts);
+  const auto pd = *engine::DistributeTpch(db, 4);
+  engine::QueryRunner runner(&pd);
+  for (auto _ : state) {
+    auto r = runner.RunQ5();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Q5EndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

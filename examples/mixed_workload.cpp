@@ -1,0 +1,94 @@
+// Mixed workload demo (the paper's motivating scenario, §1): a workload of
+// short interactive queries and long batch queries running on clusters
+// with very different failure characteristics. No fixed scheme fits all —
+// the cost-based advisor picks the sweet spot per (query, cluster) pair,
+// which this example demonstrates with simulated failure injection.
+//
+//   $ ./mixed_workload
+#include <cstdio>
+
+#include "api/xdbft.h"
+#include "common/string_util.h"
+
+using namespace xdbft;
+
+namespace {
+
+// A chain query with `stages` operators of `stage_seconds` runtime and
+// `mat_seconds` materialization cost each.
+plan::Plan ChainQuery(const std::string& name, int stages,
+                      double stage_seconds, double mat_seconds) {
+  plan::PlanBuilder b(name);
+  auto prev = b.Scan("base", 1e8, 64, stage_seconds);
+  b.Constrain(prev, plan::MatConstraint::kNeverMaterialize);
+  for (int i = 1; i < stages; ++i) {
+    prev = b.Unary(plan::OpType::kMapUdf, "stage" + std::to_string(i),
+                   prev, stage_seconds, mat_seconds);
+  }
+  b.Unary(plan::OpType::kHashAggregate, "final", prev, stage_seconds / 4,
+          0.1);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+int main() {
+  struct Query {
+    const char* label;
+    plan::Plan plan;
+  };
+  Query queries[] = {
+      {"interactive (30s)", ChainQuery("interactive", 3, 10.0, 2.0)},
+      {"report (10min)", ChainQuery("report", 5, 120.0, 25.0)},
+      {"batch (2h)", ChainQuery("batch", 6, 1200.0, 200.0)},
+  };
+  struct Cluster {
+    const char* label;
+    cost::ClusterStats stats;
+  };
+  Cluster clusters[] = {
+      {"spot instances (n=100, MTBF=1h)",
+       cost::MakeCluster(100, cost::kSecondsPerHour, 5.0)},
+      {"commodity (n=10, MTBF=1d)",
+       cost::MakeCluster(10, cost::kSecondsPerDay, 5.0)},
+      {"appliance (n=10, MTBF=1wk)",
+       cost::MakeCluster(10, cost::kSecondsPerWeek, 5.0)},
+  };
+
+  std::printf(
+      "Simulated overhead (%% over failure-free baseline, 20 traces)\n\n");
+  for (const auto& c : clusters) {
+    std::printf("=== %s ===\n", c.label);
+    std::printf("  %-20s %10s %12s %12s %12s %6s\n", "query", "all-mat",
+                "lineage", "restart", "cost-based", "m-ops");
+    for (const auto& q : queries) {
+      cost::CostModelParams model;
+      model.scale_success_target_with_cluster = true;  // n-aware extension
+      auto result = cluster::RunSchemeComparison(q.plan, c.stats, model,
+                                                 /*num_traces=*/20);
+      if (!result.ok()) {
+        std::fprintf(stderr, "  %s: %s\n", q.label,
+                     result.status().ToString().c_str());
+        continue;
+      }
+      auto cell = [&](ft::SchemeKind kind) {
+        const auto& o = result->outcome(kind);
+        if (!o.completed) return std::string("Aborted");
+        return StrFormat("%.1f", o.overhead_percent);
+      };
+      std::printf("  %-20s %10s %12s %12s %12s %6zu\n", q.label,
+                  cell(ft::SchemeKind::kAllMat).c_str(),
+                  cell(ft::SchemeKind::kNoMatLineage).c_str(),
+                  cell(ft::SchemeKind::kNoMatRestart).c_str(),
+                  cell(ft::SchemeKind::kCostBased).c_str(),
+                  result->outcome(ft::SchemeKind::kCostBased)
+                      .num_materialized);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Note how the cost-based scheme materializes aggressively on the\n"
+      "spot cluster, nothing on the appliance, and only the cheap\n"
+      "checkpoints in between - no fixed scheme achieves that.\n");
+  return 0;
+}

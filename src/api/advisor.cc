@@ -1,0 +1,96 @@
+#include "api/advisor.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "ft/explain.h"
+
+namespace xdbft::api {
+
+FaultToleranceAdvisor::FaultToleranceAdvisor(cost::ClusterStats cluster,
+                                             cost::CostModelParams model,
+                                             ft::EnumerationOptions options)
+    : options_(options) {
+  context_.cluster = cluster;
+  context_.model = model;
+}
+
+Result<ft::SchemePlan> FaultToleranceAdvisor::ChooseBestPlan(
+    const plan::Plan& plan) const {
+  return ft::ApplyCostBasedScheme({plan}, context_, options_);
+}
+
+Result<ft::SchemePlan> FaultToleranceAdvisor::ChooseBestPlan(
+    const std::vector<plan::Plan>& candidates) const {
+  return ft::ApplyCostBasedScheme(candidates, context_, options_);
+}
+
+Result<SchemeComparison> FaultToleranceAdvisor::CompareSchemes(
+    const plan::Plan& plan) const {
+  SchemeComparison out;
+  static constexpr ft::SchemeKind kAll[] = {
+      ft::SchemeKind::kAllMat, ft::SchemeKind::kNoMatLineage,
+      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased};
+  double best = std::numeric_limits<double>::infinity();
+  for (ft::SchemeKind kind : kAll) {
+    XDBFT_ASSIGN_OR_RETURN(ft::SchemePlan sp,
+                           ft::ApplyScheme(kind, plan, context_, options_));
+    SchemeEstimate est;
+    est.kind = kind;
+    est.estimated_runtime = sp.estimated_cost;
+    est.num_materialized = sp.config.NumMaterialized();
+    // Strictly-better wins; on ties the cost-based scheme is preferred
+    // (it is never worse than the fixed schemes under the model).
+    if (sp.estimated_cost < best ||
+        (kind == ft::SchemeKind::kCostBased &&
+         sp.estimated_cost <= best)) {
+      best = sp.estimated_cost;
+      out.recommended = kind;
+    }
+    out.estimates.push_back(est);
+  }
+  std::sort(out.estimates.begin(), out.estimates.end(),
+            [](const SchemeEstimate& a, const SchemeEstimate& b) {
+              return a.estimated_runtime < b.estimated_runtime;
+            });
+  return out;
+}
+
+std::string FaultToleranceAdvisor::Explain(
+    const ft::SchemePlan& chosen) const {
+  std::ostringstream os;
+  os << "Fault-tolerance advisor report\n";
+  os << "  cluster: " << context_.cluster.ToString() << "\n";
+  os << StrFormat("  model: CONST_pipe=%.2f, S=%.2f, %s wasted-time\n",
+                  context_.model.pipe_constant,
+                  context_.model.success_target,
+                  context_.model.exact_wasted_time ? "exact" : "t/2");
+  os << "  scheme: " << ft::SchemeKindName(chosen.kind) << "\n";
+  os << "  recovery: "
+     << (chosen.recovery == ft::RecoveryMode::kFineGrained
+             ? "fine-grained (restart failed sub-plans)"
+             : "full query restart")
+     << "\n";
+  os << "  materialized operators: " << chosen.config.ToString() << " ("
+     << chosen.config.NumMaterialized() << " of "
+     << chosen.plan.num_nodes() << ")\n";
+  os << StrFormat("  estimated runtime under failures: %s\n",
+                  HumanDuration(chosen.estimated_cost).c_str());
+  os << "  plan:\n";
+  for (const auto& n : chosen.plan.nodes()) {
+    os << StrFormat("    [%2d]%s %-28s tr=%-9.3f tm=%-9.3f\n", n.id,
+                    chosen.config.materialized(n.id) ? "*" : " ",
+                    n.label.c_str(), n.runtime_cost, n.materialize_cost);
+  }
+  os << "  (* = output materialized to fault-tolerant storage)\n";
+  auto marginals = ft::AnalyzeMarginals(chosen.plan, chosen.config,
+                                        context_);
+  if (marginals.ok()) {
+    os << marginals->ToString();
+  }
+  return os.str();
+}
+
+}  // namespace xdbft::api

@@ -1,0 +1,59 @@
+// FaultToleranceAdvisor: the high-level entry point for downstream users.
+// Given an execution plan (with tr/tm statistics) and cluster statistics,
+// it selects the fault-tolerant plan [P, M_P] with the minimal estimated
+// runtime under mid-query failures, and can compare the classic schemes
+// (all-mat / no-mat) against the cost-based choice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ft/scheme.h"
+
+namespace xdbft::api {
+
+/// \brief Estimated outcome of one scheme (cost model only; use
+/// cluster::ClusterSimulator to measure under injected failures).
+struct SchemeEstimate {
+  ft::SchemeKind kind = ft::SchemeKind::kCostBased;
+  double estimated_runtime = 0.0;
+  size_t num_materialized = 0;
+};
+
+/// \brief Side-by-side estimates with the recommended scheme first.
+struct SchemeComparison {
+  std::vector<SchemeEstimate> estimates;
+  ft::SchemeKind recommended = ft::SchemeKind::kCostBased;
+};
+
+/// \brief High-level facade over the cost-based fault-tolerance scheme.
+class FaultToleranceAdvisor {
+ public:
+  explicit FaultToleranceAdvisor(cost::ClusterStats cluster,
+                                 cost::CostModelParams model = {},
+                                 ft::EnumerationOptions options = {});
+
+  /// \brief findBestFTPlan over a single plan: picks the materialization
+  /// configuration minimizing the estimated runtime under failures.
+  Result<ft::SchemePlan> ChooseBestPlan(const plan::Plan& plan) const;
+
+  /// \brief findBestFTPlan over the optimizer's top-k candidate plans.
+  Result<ft::SchemePlan> ChooseBestPlan(
+      const std::vector<plan::Plan>& candidates) const;
+
+  /// \brief Estimate all four schemes of §5.2 for `plan`.
+  Result<SchemeComparison> CompareSchemes(const plan::Plan& plan) const;
+
+  /// \brief Human-readable report of a chosen plan: configuration,
+  /// estimated runtime, and the failure parameters it was chosen under.
+  std::string Explain(const ft::SchemePlan& chosen) const;
+
+  const ft::FtCostContext& context() const { return context_; }
+
+ private:
+  ft::FtCostContext context_;
+  ft::EnumerationOptions options_;
+};
+
+}  // namespace xdbft::api

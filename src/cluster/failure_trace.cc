@@ -1,0 +1,72 @@
+#include "cluster/failure_trace.h"
+
+#include <algorithm>
+
+namespace xdbft::cluster {
+
+void FailureTrace::ExtendPast(double t) {
+  if (mtbf_ == kNeverFails) return;
+  // Generate in chunks comfortably past t so repeated queries are cheap.
+  while (generated_until_ <= t) {
+    const double last = times_.empty() ? 0.0 : times_.back();
+    const double next = last + rng_.NextExponential(mtbf_);
+    times_.push_back(next);
+    generated_until_ = next;
+  }
+}
+
+double FailureTrace::NextFailureAfter(double t) {
+  if (mtbf_ == kNeverFails) return kNeverFails;
+  ExtendPast(t);
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  // ExtendPast guarantees times_.back() > t.
+  return *it;
+}
+
+size_t FailureTrace::CountFailuresUntil(double t) {
+  if (mtbf_ == kNeverFails || t <= 0.0) return 0;
+  ExtendPast(t);
+  return static_cast<size_t>(
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+}
+
+ClusterTrace ClusterTrace::Generate(const cost::ClusterStats& stats,
+                                    uint64_t seed) {
+  ClusterTrace ct;
+  ct.nodes_.reserve(static_cast<size_t>(stats.num_nodes));
+  for (int i = 0; i < stats.num_nodes; ++i) {
+    uint64_t s = seed;
+    // Derive a well-mixed per-node seed.
+    s ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1);
+    uint64_t state = s;
+    ct.nodes_.emplace_back(stats.mtbf_seconds, SplitMix64(state));
+  }
+  return ct;
+}
+
+double ClusterTrace::NextFailureAfter(double t, int* which_node) {
+  double best = kNeverFails;
+  int best_node = -1;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const double f = nodes_[i].NextFailureAfter(t);
+    if (f < best) {
+      best = f;
+      best_node = static_cast<int>(i);
+    }
+  }
+  if (which_node != nullptr) *which_node = best_node;
+  return best;
+}
+
+std::vector<ClusterTrace> GenerateTraceSet(const cost::ClusterStats& stats,
+                                           int count, uint64_t base_seed) {
+  std::vector<ClusterTrace> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(ClusterTrace::Generate(
+        stats, base_seed + 0x517cc1b727220a95ULL * static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace xdbft::cluster

@@ -1,0 +1,70 @@
+// Failure traces: per-node failure timestamps with exponential
+// inter-arrival times (paper §2.2 and §5.1: "we created 10 failure traces
+// for each unique MTBF using an exponential distribution where
+// lambda = 1/MTBF and used the same set of traces for injecting failures").
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_params.h"
+
+namespace xdbft::cluster {
+
+constexpr double kNeverFails = std::numeric_limits<double>::infinity();
+
+/// \brief Failure timestamps of a single node. Times are generated lazily
+/// and deterministically from the seed, so a trace can be queried
+/// arbitrarily far into simulated time.
+class FailureTrace {
+ public:
+  FailureTrace() : FailureTrace(kNeverFails, 0) {}
+
+  /// \brief A node failing on average every `mtbf_seconds` (exponential
+  /// inter-arrivals). Pass kNeverFails for a failure-free node.
+  FailureTrace(double mtbf_seconds, uint64_t seed)
+      : mtbf_(mtbf_seconds), rng_(seed) {}
+
+  /// \brief Earliest failure time strictly greater than `t`.
+  double NextFailureAfter(double t);
+
+  /// \brief Number of failures in (0, t]. Extends the trace as needed.
+  size_t CountFailuresUntil(double t);
+
+  double mtbf() const { return mtbf_; }
+
+ private:
+  void ExtendPast(double t);
+
+  double mtbf_;
+  Rng rng_;
+  std::vector<double> times_;
+  double generated_until_ = 0.0;
+};
+
+/// \brief One failure trace per cluster node.
+class ClusterTrace {
+ public:
+  /// \brief Independent per-node traces; node i is seeded with
+  /// hash(seed, i) so different seeds give statistically independent trace
+  /// sets (the "10 traces per MTBF" of §5.1 are seeds 0..9).
+  static ClusterTrace Generate(const cost::ClusterStats& stats,
+                               uint64_t seed);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  FailureTrace& node(int i) { return nodes_[static_cast<size_t>(i)]; }
+
+  /// \brief Earliest failure strictly after `t` on any node; also reports
+  /// which node fails (-1 if none ever).
+  double NextFailureAfter(double t, int* which_node = nullptr);
+
+ private:
+  std::vector<FailureTrace> nodes_;
+};
+
+/// \brief The standard experiment setup: `count` independent trace sets.
+std::vector<ClusterTrace> GenerateTraceSet(const cost::ClusterStats& stats,
+                                           int count, uint64_t base_seed);
+
+}  // namespace xdbft::cluster

@@ -1,0 +1,188 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "ft/checkpointing.h"
+
+namespace xdbft::cluster {
+
+using ft::CollapsedPlan;
+using ft::MaterializationConfig;
+using ft::RecoveryMode;
+
+std::string SimulationResult::ToString() const {
+  return StrFormat("SimulationResult(%s, runtime=%s, restarts=%d)",
+                   completed ? "completed" : "ABORTED",
+                   HumanDuration(runtime).c_str(), restarts);
+}
+
+namespace {
+
+// Deterministic per-node skew factor in [-1, 1].
+double NodeSkew(int node) {
+  uint64_t state = 0xabcdef1234567890ULL + static_cast<uint64_t>(node);
+  const uint64_t bits = SplitMix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+}  // namespace
+
+double ClusterSimulator::RunPartition(double ready, double duration,
+                                      FailureTrace& node,
+                                      int* restarts) const {
+  if (duration <= 0.0) return ready;
+  double start = ready;
+  while (true) {
+    const double fail = node.NextFailureAfter(start);
+    if (fail >= start + duration) return start + duration;
+    // The node fails mid-execution: all partition work on this sub-plan is
+    // lost. The coordinator notices at the next monitoring tick, then
+    // redeploys (MTTR) and starts over from the materialized inputs.
+    ++(*restarts);
+    double detected = fail;
+    if (options_.monitoring_interval > 0.0) {
+      const double ticks =
+          std::ceil(fail / options_.monitoring_interval);
+      detected = ticks * options_.monitoring_interval;
+    }
+    start = detected + stats_.mttr_seconds;
+  }
+}
+
+Result<SimulationResult> ClusterSimulator::RunFineGrained(
+    const CollapsedPlan& cp, ClusterTrace& trace,
+    double start_time) const {
+  SimulationResult result;
+  std::vector<double> finish(cp.num_ops(), start_time);
+  for (const auto& c : cp.ops()) {  // ascending id = topological
+    double ready = start_time;
+    for (ft::CollapsedId in : c.inputs) {
+      ready = std::max(ready, finish[static_cast<size_t>(in)]);
+    }
+    double done = ready;
+    for (int k = 0; k < trace.num_nodes(); ++k) {
+      const double duration =
+          c.total_cost() * (1.0 + options_.partition_skew * NodeSkew(k));
+      const int segments = ft::NumCheckpointSegments(
+          duration, options_.checkpoint_interval);
+      double completion = ready;
+      if (segments == 1) {
+        completion = RunPartition(ready, duration, trace.node(k),
+                                  &result.restarts);
+      } else {
+        // Intra-operator checkpointing: each segment is its own retry
+        // unit; all but the last also write a state checkpoint.
+        const double work = duration / static_cast<double>(segments);
+        for (int s = 0; s < segments; ++s) {
+          const double seg =
+              work + (s + 1 < segments ? options_.checkpoint_cost : 0.0);
+          completion = RunPartition(completion, seg, trace.node(k),
+                                    &result.restarts);
+        }
+      }
+      done = std::max(done, completion);
+    }
+    finish[static_cast<size_t>(c.id)] = done;
+  }
+  for (ft::CollapsedId sink : cp.sinks()) {
+    result.runtime =
+        std::max(result.runtime, finish[static_cast<size_t>(sink)]);
+  }
+  result.runtime -= start_time;
+  result.failures_hit = result.restarts;
+  result.completed = true;
+  return result;
+}
+
+Result<SimulationResult> ClusterSimulator::RunFullRestart(
+    const CollapsedPlan& cp, ClusterTrace& trace,
+    double start_time) const {
+  SimulationResult result;
+  const double makespan = cp.MakespanNoFailure();
+  double start = start_time;
+  while (true) {
+    const double fail = trace.NextFailureAfter(start);
+    if (fail >= start + makespan) {
+      result.runtime = start + makespan - start_time;
+      result.completed = true;
+      return result;
+    }
+    ++result.restarts;
+    ++result.failures_hit;
+    if (result.restarts >= options_.max_restarts) {
+      // Aborted, like the paper after 100 restarts; report the time spent.
+      result.runtime = fail + stats_.mttr_seconds - start_time;
+      result.completed = false;
+      return result;
+    }
+    start = fail + stats_.mttr_seconds;
+  }
+}
+
+Result<SimulationResult> ClusterSimulator::Run(
+    const plan::Plan& plan, const MaterializationConfig& config,
+    RecoveryMode recovery, ClusterTrace& trace, double start_time) const {
+  XDBFT_RETURN_NOT_OK(stats_.Validate());
+  if (trace.num_nodes() != stats_.num_nodes) {
+    return Status::InvalidArgument(
+        "trace node count does not match cluster");
+  }
+  XDBFT_ASSIGN_OR_RETURN(
+      CollapsedPlan cp,
+      CollapsedPlan::Create(plan, config, options_.pipe_constant));
+  Result<SimulationResult> result =
+      recovery == RecoveryMode::kFineGrained
+          ? RunFineGrained(cp, trace, start_time)
+          : RunFullRestart(cp, trace, start_time);
+  if (result.ok()) {
+    result->runtime_p50 = result->runtime;
+    result->runtime_p95 = result->runtime;
+  }
+  return result;
+}
+
+Result<SimulationResult> ClusterSimulator::Run(const ft::SchemePlan& scheme,
+                                               ClusterTrace& trace,
+                                               double start_time) const {
+  return Run(scheme.plan, scheme.config, scheme.recovery, trace,
+             start_time);
+}
+
+Result<SimulationResult> ClusterSimulator::RunMany(
+    const ft::SchemePlan& scheme, std::vector<ClusterTrace>& traces) const {
+  if (traces.empty()) {
+    return Status::InvalidArgument("no traces given");
+  }
+  SimulationResult agg;
+  agg.completed = true;
+  std::vector<double> runtimes;
+  runtimes.reserve(traces.size());
+  for (auto& trace : traces) {
+    XDBFT_ASSIGN_OR_RETURN(SimulationResult r, Run(scheme, trace));
+    agg.restarts += r.restarts;
+    agg.failures_hit += r.failures_hit;
+    if (r.completed) {
+      runtimes.push_back(r.runtime);
+    } else {
+      agg.completed = false;
+    }
+  }
+  agg.runtime = Mean(runtimes);
+  agg.runtime_p50 = Percentile(runtimes, 50.0);
+  agg.runtime_p95 = Percentile(runtimes, 95.0);
+  return agg;
+}
+
+Result<double> ClusterSimulator::BaselineRuntime(
+    const plan::Plan& plan) const {
+  XDBFT_ASSIGN_OR_RETURN(
+      CollapsedPlan cp,
+      CollapsedPlan::Create(plan, MaterializationConfig::NoMat(plan),
+                            options_.pipe_constant));
+  return cp.MakespanNoFailure();
+}
+
+}  // namespace xdbft::cluster

@@ -1,0 +1,136 @@
+// ClusterSimulator: discrete-event execution of a fault-tolerant plan
+// [P, M_P] on a simulated shared-nothing cluster with injected failures.
+//
+// This substitutes for the paper's physical 10-node XDB/MySQL testbed
+// (§5.1): collapsed operators execute partition-parallel on every node
+// (each node processes its partition in t(c) seconds), inter-operator
+// parallelism follows the collapsed DAG, intermediates are written to
+// fault-tolerant storage and never lost (§2.2), and a failure of node k
+// while it executes a sub-plan restarts that sub-plan on that node after
+// MTTR. Recovery granularity follows ft::RecoveryMode:
+//   kFineGrained  - only the failed sub-plan (collapsed op x partition)
+//                   restarts from its last materialized inputs; under a
+//                   no-mat configuration this degenerates to lineage-style
+//                   recomputation of the failed partition's full chain.
+//   kFullRestart  - any failure during execution restarts the entire query
+//                   (the parallel-database strategy); aborts after
+//                   max_restarts attempts, as the paper aborts after 100.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cluster/failure_trace.h"
+#include "cost/cost_params.h"
+#include "ft/collapsed_plan.h"
+#include "ft/scheme.h"
+
+namespace xdbft::cluster {
+
+/// \brief Simulator knobs.
+struct SimulationOptions {
+  /// CONST_pipe used when collapsing the plan for execution.
+  double pipe_constant = 1.0;
+  /// Abort a full-restart query after this many restarts (paper: 100).
+  int max_restarts = 100;
+  /// Per-partition execution-time skew: node k's duration for a collapsed
+  /// op is t(c) * (1 + skew * u_k) with u_k deterministic in [-1, 1].
+  /// 0 = perfectly balanced partitions (paper's co-partitioned TPC-H).
+  double partition_skew = 0.0;
+  /// The coordinator polls sub-plans every `monitoring_interval` seconds
+  /// (paper §5.1 used 2 s): a failure at time f is detected at the next
+  /// monitoring tick, and redeployment (MTTR) starts then. 0 = immediate
+  /// detection (the default; the paper folds the average detection delay
+  /// into its MTTR=1 s).
+  double monitoring_interval = 0.0;
+  /// Intra-operator checkpointing (the paper's §7 extension, see
+  /// ft/checkpointing.h): sub-plans longer than `checkpoint_interval`
+  /// write an operator-state checkpoint every interval seconds of
+  /// progress (costing `checkpoint_cost` each); a failure repeats only
+  /// the current segment. 0 disables (paper behavior).
+  double checkpoint_interval = 0.0;
+  double checkpoint_cost = 1.0;
+};
+
+/// \brief Outcome of one simulated execution (or, for RunMany, the
+/// aggregate over a trace set).
+struct SimulationResult {
+  /// True unless a full-restart query hit max_restarts.
+  bool completed = false;
+  /// Wall-clock runtime of the query under the injected failures (the
+  /// mean over completed traces for RunMany).
+  double runtime = 0.0;
+  /// Number of sub-plan restarts (fine-grained) or query restarts (full).
+  int restarts = 0;
+  /// Failures that actually interrupted running work.
+  int failures_hit = 0;
+  /// RunMany only: median and 95th-percentile runtimes over the
+  /// completed traces (equal to `runtime` for single runs).
+  double runtime_p50 = 0.0;
+  double runtime_p95 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Simulated shared-nothing cluster executing fault-tolerant plans.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(cost::ClusterStats stats, SimulationOptions options = {})
+      : stats_(stats), options_(options) {}
+
+  /// \brief Execute [plan, config] under `recovery`, injecting failures
+  /// from `trace`. The trace is advanced (lazily extended) as needed.
+  /// `start_time` places the query on the trace's timeline (used by the
+  /// workload simulator so consecutive queries share one failure
+  /// history); the returned runtime is finish - start_time.
+  Result<SimulationResult> Run(const plan::Plan& plan,
+                               const ft::MaterializationConfig& config,
+                               ft::RecoveryMode recovery,
+                               ClusterTrace& trace,
+                               double start_time = 0.0) const;
+
+  /// \brief Execute a scheme-instantiated plan.
+  Result<SimulationResult> Run(const ft::SchemePlan& scheme,
+                               ClusterTrace& trace,
+                               double start_time = 0.0) const;
+
+  /// \brief Mean runtime over `traces` (the paper averages 10 traces).
+  /// Incomplete runs (aborted full restarts) count as `abort_penalty`
+  /// times the baseline runtime if any; returns the mean runtime and the
+  /// number of aborted runs.
+  Result<SimulationResult> RunMany(const ft::SchemePlan& scheme,
+                                   std::vector<ClusterTrace>& traces) const;
+
+  /// \brief Pure query runtime without failures and without any extra
+  /// materialization (the paper's overhead baseline): the no-failure
+  /// makespan of the plan collapsed under the no-mat configuration.
+  Result<double> BaselineRuntime(const plan::Plan& plan) const;
+
+  const cost::ClusterStats& stats() const { return stats_; }
+  const SimulationOptions& options() const { return options_; }
+
+ private:
+  /// Completion time of one collapsed op on one node, starting at `ready`.
+  double RunPartition(double ready, double duration, FailureTrace& node,
+                      int* restarts) const;
+
+  Result<SimulationResult> RunFineGrained(const ft::CollapsedPlan& cp,
+                                          ClusterTrace& trace,
+                                          double start_time) const;
+  Result<SimulationResult> RunFullRestart(const ft::CollapsedPlan& cp,
+                                          ClusterTrace& trace,
+                                          double start_time) const;
+
+  cost::ClusterStats stats_;
+  SimulationOptions options_;
+};
+
+/// \brief Overhead in percent of `runtime` over `baseline` (paper §5.2:
+/// "if we report that a scheme has 50% overhead, the query took 50% more
+/// time than the baseline").
+inline double OverheadPercent(double runtime, double baseline) {
+  return (runtime / baseline - 1.0) * 100.0;
+}
+
+}  // namespace xdbft::cluster

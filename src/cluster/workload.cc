@@ -1,0 +1,85 @@
+#include "cluster/workload.h"
+
+#include <algorithm>
+
+namespace xdbft::cluster {
+
+Result<WorkloadOutcome> SimulateWorkload(
+    const std::vector<WorkloadQuery>& workload, ft::SchemeKind scheme,
+    const cost::ClusterStats& stats, const cost::CostModelParams& model,
+    uint64_t trace_seed, const SimulationOptions& options) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  XDBFT_RETURN_NOT_OK(stats.Validate());
+  XDBFT_RETURN_NOT_OK(model.Validate());
+
+  ft::FtCostContext context;
+  context.cluster = stats;
+  context.model = model;
+  SimulationOptions sim_options = options;
+  sim_options.pipe_constant = model.pipe_constant;
+  ClusterSimulator simulator(stats, sim_options);
+  ClusterTrace trace = ClusterTrace::Generate(stats, trace_seed);
+
+  WorkloadOutcome out;
+  out.scheme = scheme;
+  double clock = 0.0;
+  double overhead_sum = 0.0;
+  int completed = 0;
+
+  for (const auto& q : workload) {
+    XDBFT_RETURN_NOT_OK(q.plan.Validate());
+    // The scheme is instantiated per query: for the cost-based scheme
+    // this re-runs findBestFTPlan (different queries get different
+    // configurations); the fixed schemes always produce the same policy.
+    XDBFT_ASSIGN_OR_RETURN(ft::SchemePlan sp,
+                           ft::ApplyScheme(scheme, q.plan, context));
+    XDBFT_ASSIGN_OR_RETURN(const double baseline,
+                           simulator.BaselineRuntime(q.plan));
+    WorkloadQueryOutcome qo;
+    qo.label = q.label;
+    qo.baseline_seconds = baseline;
+    qo.start_seconds = std::max(clock, q.arrival_seconds);
+    XDBFT_ASSIGN_OR_RETURN(
+        SimulationResult r,
+        simulator.Run(sp, trace, /*start_time=*/qo.start_seconds));
+    qo.completed = r.completed;
+    qo.runtime_seconds = r.runtime;
+    qo.finish_seconds = qo.start_seconds + r.runtime;
+    if (r.completed) {
+      qo.overhead_percent = OverheadPercent(r.runtime, baseline);
+      overhead_sum += qo.overhead_percent;
+      ++completed;
+    } else {
+      ++out.aborted;
+    }
+    clock = qo.finish_seconds;
+    out.makespan_seconds = std::max(out.makespan_seconds,
+                                    qo.finish_seconds);
+    out.queries.push_back(std::move(qo));
+  }
+  out.mean_overhead_percent =
+      completed > 0 ? overhead_sum / completed : 0.0;
+  return out;
+}
+
+Result<std::vector<WorkloadOutcome>> CompareSchemesOnWorkload(
+    const std::vector<WorkloadQuery>& workload,
+    const cost::ClusterStats& stats, const cost::CostModelParams& model,
+    uint64_t trace_seed, const SimulationOptions& options) {
+  static constexpr ft::SchemeKind kAll[] = {
+      ft::SchemeKind::kAllMat, ft::SchemeKind::kNoMatLineage,
+      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased};
+  std::vector<WorkloadOutcome> out;
+  for (ft::SchemeKind scheme : kAll) {
+    XDBFT_ASSIGN_OR_RETURN(
+        WorkloadOutcome o,
+        SimulateWorkload(workload, scheme, stats, model, trace_seed,
+                         options));
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace xdbft::cluster

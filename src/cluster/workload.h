@@ -1,0 +1,68 @@
+// Mixed-workload simulation — the paper's motivating scenario (§1):
+// "analytical workloads which consist of a mix of queries with a strongly
+// varying runtime ranging from seconds to multiple hours as commonly found
+// in real deployments [16]". A workload is a set of queries with arrival
+// times executed back-to-back on a shared cluster; each fault-tolerance
+// scheme is applied workload-wide, and per-query latencies are compared.
+// The cost-based scheme is the only one that picks a different
+// materialization configuration per query.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "ft/scheme.h"
+
+namespace xdbft::cluster {
+
+/// \brief One query of a workload.
+struct WorkloadQuery {
+  std::string label;
+  plan::Plan plan;
+  /// Submission time (seconds since workload start). Queries run in
+  /// arrival order; a query starts at max(arrival, previous finish) — the
+  /// cluster executes one query at a time, like the paper's experiments.
+  double arrival_seconds = 0.0;
+};
+
+/// \brief Per-query outcome under one scheme.
+struct WorkloadQueryOutcome {
+  std::string label;
+  bool completed = false;
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  /// Runtime under failures (finish - start).
+  double runtime_seconds = 0.0;
+  /// Pure runtime without failures/extra materialization.
+  double baseline_seconds = 0.0;
+  double overhead_percent = 0.0;
+};
+
+/// \brief Workload-level outcome under one scheme.
+struct WorkloadOutcome {
+  ft::SchemeKind scheme = ft::SchemeKind::kCostBased;
+  std::vector<WorkloadQueryOutcome> queries;
+  /// Time until the last query finished.
+  double makespan_seconds = 0.0;
+  /// Mean overhead over completed queries, percent.
+  double mean_overhead_percent = 0.0;
+  /// Queries that did not finish (aborted full restarts).
+  int aborted = 0;
+};
+
+/// \brief Simulate `workload` under `scheme` on the given cluster, using
+/// one continuous failure-trace set (failures keep arriving across query
+/// boundaries, so a late query can inherit a bad patch of the trace).
+Result<WorkloadOutcome> SimulateWorkload(
+    const std::vector<WorkloadQuery>& workload, ft::SchemeKind scheme,
+    const cost::ClusterStats& stats, const cost::CostModelParams& model = {},
+    uint64_t trace_seed = 42, const SimulationOptions& options = {});
+
+/// \brief Run all four schemes over the same workload and traces.
+Result<std::vector<WorkloadOutcome>> CompareSchemesOnWorkload(
+    const std::vector<WorkloadQuery>& workload,
+    const cost::ClusterStats& stats, const cost::CostModelParams& model = {},
+    uint64_t trace_seed = 42, const SimulationOptions& options = {});
+
+}  // namespace xdbft::cluster

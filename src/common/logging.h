@@ -1,0 +1,74 @@
+// Minimal leveled logging with compile-out-able debug level and
+// assertion-style checks (Google glog-like surface).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace xdbft {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level actually emitted (default kInfo).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return ss_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream ss_;
+};
+
+// Swallows streamed operands when a log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Lets the ternary in XDBFT_CHECK produce void on both arms while still
+// allowing `XDBFT_CHECK(x) << "context"` (glog's voidify trick).
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace xdbft
+
+#define XDBFT_LOG(level)                                                   \
+  ::xdbft::internal::LogMessage(::xdbft::LogLevel::k##level, __FILE__,     \
+                                __LINE__)                                  \
+      .stream()
+
+/// Fatal check: prints the failed condition (plus any streamed context)
+/// and aborts.
+#define XDBFT_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                          \
+         : ::xdbft::internal::LogMessageVoidify() &                         \
+               ::xdbft::internal::LogMessage(::xdbft::LogLevel::kError,     \
+                                             __FILE__, __LINE__, true)      \
+                       .stream()                                            \
+                   << "Check failed: " #cond " "
+
+#define XDBFT_CHECK_OK(expr)                                       \
+  do {                                                             \
+    ::xdbft::Status _st = (expr);                                  \
+    XDBFT_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#define XDBFT_DCHECK(cond) XDBFT_CHECK(cond)

@@ -1,0 +1,79 @@
+#include "common/math_util.h"
+
+#include <numeric>
+
+namespace xdbft {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = Clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = Mean(xs), my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> Ranks(const std::vector<double>& xs) {
+  std::vector<size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  size_t i = 0;
+  while (i < idx.size()) {
+    size_t j = i;
+    while (j + 1 < idx.size() && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    // Ties get the average of their rank range.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  return PearsonCorrelation(Ranks(xs), Ranks(ys));
+}
+
+double HarmonicNumber(uint64_t n) {
+  double h = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace xdbft

@@ -1,0 +1,42 @@
+// Numeric helpers shared by the cost model and simulator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace xdbft {
+
+/// \brief True iff |a - b| <= atol + rtol * |b|.
+inline bool ApproxEqual(double a, double b, double rtol = 1e-9,
+                        double atol = 1e-12) {
+  return std::fabs(a - b) <= atol + rtol * std::fabs(b);
+}
+
+/// \brief Clamp x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+/// \brief Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Sample standard deviation (n-1 denominator); 0 for n < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> xs, double p);
+
+/// \brief Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// \brief Spearman rank correlation of two equal-length series.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// \brief n-th harmonic number H_n (used by Zipf-like generators).
+double HarmonicNumber(uint64_t n);
+
+}  // namespace xdbft

@@ -1,0 +1,19 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace xdbft {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF: -mean * ln(U), U in (0,1].
+  return -mean * std::log(NextDoubleOpenZero());
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; discards the second deviate for simplicity.
+  const double u1 = NextDoubleOpenZero();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace xdbft

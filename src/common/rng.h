@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (data generation, failure
+// traces, perturbation experiments) draws from Rng seeded explicitly, so all
+// experiments are exactly reproducible. The core generator is xoshiro256**
+// seeded via splitmix64 (public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace xdbft {
+
+/// \brief splitmix64 step; used for seeding and cheap hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** generator with convenience draws used across the
+/// library. Not thread-safe; use one instance per thread/component.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  /// \brief Re-seed the generator deterministically from a single value.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& si : s_) si = SplitMix64(sm);
+  }
+
+  /// \brief Next raw 64-bit draw.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Uniform double in (0, 1] — safe as input to log().
+  double NextDoubleOpenZero() { return 1.0 - NextDouble(); }
+
+  /// \brief Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextBounded(span));
+  }
+
+  /// \brief Uniform integer in [0, bound); bound must be > 0. Uses Lemire's
+  /// nearly-divisionless method with rejection to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    // Rejection sampling over the top bits keeps the draw unbiased.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// \brief Exponentially distributed draw with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// \brief Standard normal draw (Box-Muller).
+  double NextGaussian();
+
+  /// \brief Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    for (size_t i = c.size(); i > 1; --i) {
+      const size_t j = NextBounded(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace xdbft

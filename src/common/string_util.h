@@ -1,0 +1,33 @@
+// Small string helpers used by explain printers and the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xdbft {
+
+/// \brief Join the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// \brief Split `s` on a single-character delimiter (no empty trailing part).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// \brief printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Render seconds as "1h 02m 03.4s" style human duration.
+std::string HumanDuration(double seconds);
+
+/// \brief Render a byte count as "1.2 GiB" style.
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief Left-pad `s` with spaces to at least `width` characters.
+std::string PadLeft(const std::string& s, size_t width);
+
+/// \brief Right-pad `s` with spaces to at least `width` characters.
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace xdbft

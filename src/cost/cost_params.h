@@ -1,0 +1,73 @@
+// Parameters of the cost-based fault-tolerance model (paper §3, §5.1):
+// cluster statistics (n, MTBF, MTTR) and model constants (CONST_pipe,
+// CONST_cost, desired success probability S).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace xdbft::cost {
+
+/// \brief Statistics of the cluster executing the plan (paper: provided by
+/// getCostStats). MTBF/MTTR are per *node*, in seconds.
+struct ClusterStats {
+  /// Number of nodes participating in partition-parallel execution.
+  int num_nodes = 10;
+  /// Mean time between failures of a single node, seconds.
+  double mtbf_seconds = 86400.0;  // 1 day
+  /// Mean time to repair/redeploy after a detected failure, seconds.
+  double mttr_seconds = 1.0;
+
+  /// \brief Effective MTBF seen by a partition-parallel operator: any of the
+  /// n independent nodes failing interrupts it, so the cluster-level failure
+  /// process has rate n/MTBF (Fig. 1: P(success) = e^{-t n / MTBF}).
+  double effective_mtbf() const {
+    return mtbf_seconds / static_cast<double>(num_nodes);
+  }
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// \brief Constants of the cost model (paper Table 1 and §3.3/§3.5).
+struct CostModelParams {
+  /// CONST_pipe in (0, 1]: discounts the summed runtime of a pipelined
+  /// sub-plan to reflect pipeline parallelism (Eq. 1). Calibrated per PDE;
+  /// the paper derives 1.0 for XDB.
+  double pipe_constant = 1.0;
+  /// CONST_cost: converts wall-clock seconds into internal cost units
+  /// (MTBF_cost = MTBF * CONST_cost). The paper uses 1 since its estimates
+  /// are real times.
+  double cost_constant = 1.0;
+  /// Desired probability of success S used for the attempts percentile
+  /// (Eq. 6); the paper uses the 95th percentile.
+  double success_target = 0.95;
+  /// Use the exact wasted-time formula (Eq. 3) instead of the t/2
+  /// approximation (Eq. 4). The paper (and our default) uses the
+  /// approximation.
+  bool exact_wasted_time = false;
+  /// Extension (not in the paper): evaluate the attempts percentile with
+  /// S^(1/n) instead of S, so that all n partition-parallel executions
+  /// jointly meet the desired success probability. The paper's
+  /// single-machine model (default: off) is insensitive to the cluster
+  /// size, which makes it optimistic on large clusters; this switch
+  /// restores the Fig.-1 intuition that bigger clusters need more
+  /// materialization. See bench/ablation_cluster_scaling.
+  bool scale_success_target_with_cluster = false;
+
+  Status Validate() const;
+};
+
+/// \brief Convenience: well-known cluster setups from the paper's Figure 1.
+ClusterStats MakeCluster(int num_nodes, double mtbf_seconds,
+                         double mttr_seconds = 1.0);
+
+/// \brief Named durations used throughout the experiments.
+constexpr double kSecondsPerMinute = 60.0;
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+constexpr double kSecondsPerMonth = 30.0 * kSecondsPerDay;
+
+}  // namespace xdbft::cost

@@ -1,0 +1,83 @@
+#include "cost/operator_cost.h"
+
+#include <algorithm>
+
+namespace xdbft::cost {
+
+using plan::OpType;
+using plan::Plan;
+using plan::PlanNode;
+
+double OperatorCostEstimator::RuntimeCost(const Plan& plan,
+                                          plan::OpId id) const {
+  const PlanNode& node = plan.node(id);
+  const double nodes = static_cast<double>(num_nodes_);
+  double input_rows = 0.0;
+  for (plan::OpId in : node.inputs) {
+    input_rows += plan.node(in).output_rows;
+  }
+  const double in_per_node = input_rows / nodes;
+  const double out_per_node = node.output_rows / nodes;
+  switch (node.type) {
+    case OpType::kTableScan:
+      return out_per_node / rates_.scan_rows_per_sec;
+    case OpType::kFilter:
+    case OpType::kProject:
+    case OpType::kLimit:
+    case OpType::kMapUdf:
+      return in_per_node / rates_.cpu_rows_per_sec;
+    case OpType::kHashJoin: {
+      // Build the smaller input, probe with the larger.
+      double build_rows = 0.0, probe_rows = 0.0;
+      if (node.inputs.size() == 2) {
+        const double l = plan.node(node.inputs[0]).output_rows;
+        const double r = plan.node(node.inputs[1]).output_rows;
+        build_rows = std::min(l, r) / nodes;
+        probe_rows = std::max(l, r) / nodes;
+      } else {
+        probe_rows = in_per_node;
+      }
+      return build_rows / rates_.build_rows_per_sec +
+             probe_rows / rates_.join_rows_per_sec +
+             out_per_node / rates_.cpu_rows_per_sec;
+    }
+    case OpType::kHashAggregate:
+    case OpType::kReduceUdf:
+      return in_per_node / rates_.agg_rows_per_sec;
+    case OpType::kSort:
+      return in_per_node / rates_.sort_rows_per_sec;
+    case OpType::kRepartition:
+      return in_per_node / rates_.shuffle_rows_per_sec;
+    case OpType::kUnion:
+      return in_per_node / rates_.cpu_rows_per_sec;
+    case OpType::kSink:
+      return out_per_node / rates_.cpu_rows_per_sec;
+  }
+  return 0.0;
+}
+
+double OperatorCostEstimator::MaterializeCost(const PlanNode& node) const {
+  const double rows_per_node =
+      node.output_rows / static_cast<double>(num_nodes_);
+  // All nodes write concurrently and share the medium's aggregate
+  // bandwidth, so the parallel write time equals total bytes / bandwidth.
+  const double bytes_total = rows_per_node * node.row_width_bytes *
+                             static_cast<double>(num_nodes_);
+  return medium_.latency_seconds + bytes_total / medium_.write_bandwidth_bps;
+}
+
+Status OperatorCostEstimator::EstimateAll(Plan* plan) const {
+  if (plan == nullptr) return Status::InvalidArgument("plan is null");
+  for (const auto& n : plan->nodes()) {
+    PlanNode& node = plan->mutable_node(n.id);
+    if (node.runtime_cost == 0.0 && node.type != OpType::kTableScan) {
+      node.runtime_cost = RuntimeCost(*plan, node.id);
+    }
+    if (node.materialize_cost == 0.0) {
+      node.materialize_cost = MaterializeCost(node);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xdbft::cost

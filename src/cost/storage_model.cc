@@ -1,0 +1,35 @@
+#include "cost/storage_model.h"
+
+namespace xdbft::cost {
+
+StorageMedium ExternalIscsiStorage() {
+  StorageMedium m;
+  m.name = "iscsi-external";
+  m.write_bandwidth_bps = 110.0 * 1024 * 1024;
+  m.read_bandwidth_bps = 110.0 * 1024 * 1024;
+  m.latency_seconds = 0.05;
+  m.fault_tolerant = true;
+  return m;
+}
+
+StorageMedium LocalDiskStorage() {
+  StorageMedium m;
+  m.name = "local-disk";
+  m.write_bandwidth_bps = 160.0 * 1024 * 1024;  // 10k rpm SCSI
+  m.read_bandwidth_bps = 160.0 * 1024 * 1024;
+  m.latency_seconds = 0.01;
+  m.fault_tolerant = false;
+  return m;
+}
+
+StorageMedium InMemoryStorage() {
+  StorageMedium m;
+  m.name = "memory";
+  m.write_bandwidth_bps = 8.0 * 1024 * 1024 * 1024;
+  m.read_bandwidth_bps = 8.0 * 1024 * 1024 * 1024;
+  m.latency_seconds = 0.0;
+  m.fault_tolerant = false;
+  return m;
+}
+
+}  // namespace xdbft::cost

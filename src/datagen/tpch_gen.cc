@@ -1,0 +1,237 @@
+#include "datagen/tpch_gen.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xdbft::datagen {
+
+using catalog::TpchTable;
+using exec::Schema;
+using exec::Table;
+using exec::Value;
+using exec::ValueType;
+
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+const char* kReturnFlags[] = {"R", "A", "N"};
+const char* kPartTypes[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                            "ECONOMY", "PROMO"};
+const char* kMaterials[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+int64_t Rows(double base, double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(base * sf));
+}
+
+}  // namespace
+
+Schema RegionSchema() {
+  return {{"r_regionkey", ValueType::kInt64},
+          {"r_name", ValueType::kString}};
+}
+
+Schema NationSchema() {
+  return {{"n_nationkey", ValueType::kInt64},
+          {"n_name", ValueType::kString},
+          {"n_regionkey", ValueType::kInt64}};
+}
+
+Schema SupplierSchema() {
+  return {{"s_suppkey", ValueType::kInt64},
+          {"s_name", ValueType::kString},
+          {"s_nationkey", ValueType::kInt64},
+          {"s_acctbal", ValueType::kDouble}};
+}
+
+Schema CustomerSchema() {
+  return {{"c_custkey", ValueType::kInt64},
+          {"c_name", ValueType::kString},
+          {"c_nationkey", ValueType::kInt64},
+          {"c_mktsegment", ValueType::kString},
+          {"c_acctbal", ValueType::kDouble}};
+}
+
+Schema PartSchema() {
+  return {{"p_partkey", ValueType::kInt64},
+          {"p_name", ValueType::kString},
+          {"p_type", ValueType::kString},
+          {"p_retailprice", ValueType::kDouble}};
+}
+
+Schema PartSuppSchema() {
+  return {{"ps_partkey", ValueType::kInt64},
+          {"ps_suppkey", ValueType::kInt64},
+          {"ps_supplycost", ValueType::kDouble},
+          {"ps_availqty", ValueType::kInt64}};
+}
+
+Schema OrdersSchema() {
+  return {{"o_orderkey", ValueType::kInt64},
+          {"o_custkey", ValueType::kInt64},
+          {"o_orderdate", ValueType::kInt64},
+          {"o_totalprice", ValueType::kDouble},
+          {"o_orderstatus", ValueType::kString}};
+}
+
+Schema LineitemSchema() {
+  return {{"l_orderkey", ValueType::kInt64},
+          {"l_linenumber", ValueType::kInt64},
+          {"l_partkey", ValueType::kInt64},
+          {"l_suppkey", ValueType::kInt64},
+          {"l_quantity", ValueType::kDouble},
+          {"l_extendedprice", ValueType::kDouble},
+          {"l_discount", ValueType::kDouble},
+          {"l_tax", ValueType::kDouble},
+          {"l_returnflag", ValueType::kString},
+          {"l_linestatus", ValueType::kString},
+          {"l_shipdate", ValueType::kInt64}};
+}
+
+const Table& TpchDatabase::table(TpchTable t) const {
+  switch (t) {
+    case TpchTable::kRegion:
+      return region;
+    case TpchTable::kNation:
+      return nation;
+    case TpchTable::kSupplier:
+      return supplier;
+    case TpchTable::kCustomer:
+      return customer;
+    case TpchTable::kPart:
+      return part;
+    case TpchTable::kPartSupp:
+      return partsupp;
+    case TpchTable::kOrders:
+      return orders;
+    case TpchTable::kLineitem:
+      return lineitem;
+  }
+  return region;  // unreachable
+}
+
+Result<TpchDatabase> GenerateTpch(const TpchGenOptions& options) {
+  if (!(options.scale_factor > 0.0)) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  const double sf = options.scale_factor;
+  Rng rng(options.seed);
+  TpchDatabase db;
+
+  // REGION: 5 fixed rows.
+  db.region.schema = RegionSchema();
+  for (int64_t r = 0; r < 5; ++r) {
+    db.region.rows.push_back({Value(r), Value(kRegionNames[r])});
+  }
+
+  // NATION: 25 fixed rows, 5 per region.
+  db.nation.schema = NationSchema();
+  for (int64_t n = 0; n < 25; ++n) {
+    db.nation.rows.push_back(
+        {Value(n), Value(StrFormat("NATION#%02lld",
+                                   static_cast<long long>(n))),
+         Value(n % 5)});
+  }
+
+  // SUPPLIER: 10,000 * SF.
+  const int64_t num_suppliers = Rows(10000, sf);
+  db.supplier.schema = SupplierSchema();
+  db.supplier.rows.reserve(static_cast<size_t>(num_suppliers));
+  for (int64_t s = 1; s <= num_suppliers; ++s) {
+    db.supplier.rows.push_back(
+        {Value(s),
+         Value(StrFormat("Supplier#%09lld", static_cast<long long>(s))),
+         Value(rng.NextInt(0, 24)),
+         Value(rng.NextDouble() * 11000.0 - 1000.0)});
+  }
+
+  // CUSTOMER: 150,000 * SF.
+  const int64_t num_customers = Rows(150000, sf);
+  db.customer.schema = CustomerSchema();
+  db.customer.rows.reserve(static_cast<size_t>(num_customers));
+  for (int64_t c = 1; c <= num_customers; ++c) {
+    db.customer.rows.push_back(
+        {Value(c),
+         Value(StrFormat("Customer#%09lld", static_cast<long long>(c))),
+         Value(rng.NextInt(0, 24)), Value(kSegments[rng.NextBounded(5)]),
+         Value(rng.NextDouble() * 10999.99 - 999.99)});
+  }
+
+  // PART: 200,000 * SF.
+  const int64_t num_parts = Rows(200000, sf);
+  db.part.schema = PartSchema();
+  db.part.rows.reserve(static_cast<size_t>(num_parts));
+  for (int64_t p = 1; p <= num_parts; ++p) {
+    const std::string type = std::string(kPartTypes[rng.NextBounded(6)]) +
+                             " " + kMaterials[rng.NextBounded(5)];
+    db.part.rows.push_back(
+        {Value(p),
+         Value(StrFormat("Part#%09lld", static_cast<long long>(p))),
+         Value(type),
+         Value(900.0 + static_cast<double>(p % 1000) + 0.01 *
+                                                           static_cast<double>(
+                                                               p % 100))});
+  }
+
+  // PARTSUPP: 4 suppliers per part.
+  db.partsupp.schema = PartSuppSchema();
+  db.partsupp.rows.reserve(static_cast<size_t>(num_parts * 4));
+  for (int64_t p = 1; p <= num_parts; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      const int64_t s =
+          1 + (p + i * (num_suppliers / 4 + 1)) % num_suppliers;
+      db.partsupp.rows.push_back({Value(p), Value(s),
+                                  Value(rng.NextDouble() * 1000.0 + 1.0),
+                                  Value(rng.NextInt(1, 9999))});
+    }
+  }
+
+  // ORDERS: 1,500,000 * SF, uniform over customers and the 7-year window.
+  const int64_t num_orders = Rows(1500000, sf);
+  db.orders.schema = OrdersSchema();
+  db.orders.rows.reserve(static_cast<size_t>(num_orders));
+  std::vector<int64_t> order_dates(static_cast<size_t>(num_orders));
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    const int64_t date = rng.NextInt(0, kDateRangeDays - 1);
+    order_dates[static_cast<size_t>(o - 1)] = date;
+    db.orders.rows.push_back({Value(o),
+                              Value(rng.NextInt(1, num_customers)),
+                              Value(date),
+                              Value(rng.NextDouble() * 400000.0 + 900.0),
+                              Value(date < kDateRangeDays / 2 ? "F" : "O")});
+  }
+
+  // LINEITEM: 1-7 items per order (avg ~4, matching 6M/1.5M at SF=1).
+  db.lineitem.schema = LineitemSchema();
+  db.lineitem.rows.reserve(static_cast<size_t>(num_orders) * 4);
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    const int64_t items = rng.NextInt(1, 7);
+    const int64_t odate = order_dates[static_cast<size_t>(o - 1)];
+    for (int64_t ln = 1; ln <= items; ++ln) {
+      const int64_t part_key = rng.NextInt(1, num_parts);
+      // Pick one of the part's 4 suppliers so LINEITEM joins PARTSUPP.
+      const int64_t supp_index = rng.NextInt(0, 3);
+      const int64_t supp_key =
+          1 + (part_key + supp_index * (num_suppliers / 4 + 1)) %
+                  num_suppliers;
+      const double qty = static_cast<double>(rng.NextInt(1, 50));
+      const double price = qty * (900.0 + static_cast<double>(
+                                              part_key % 1000));
+      const int64_t ship = std::min<int64_t>(kDateRangeDays - 1,
+                                             odate + rng.NextInt(1, 121));
+      db.lineitem.rows.push_back(
+          {Value(o), Value(ln), Value(part_key), Value(supp_key),
+           Value(qty), Value(price),
+           Value(0.01 * static_cast<double>(rng.NextInt(0, 10))),
+           Value(0.01 * static_cast<double>(rng.NextInt(0, 8))),
+           Value(kReturnFlags[rng.NextBounded(3)]),
+           Value(ship < kDateRangeDays / 2 ? "F" : "O"), Value(ship)});
+    }
+  }
+  return db;
+}
+
+}  // namespace xdbft::datagen

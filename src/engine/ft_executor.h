@@ -1,0 +1,116 @@
+// FaultTolerantExecutor: executes a StagePlan under a materialization
+// configuration with *injected mid-query failures and real recovery* — the
+// in-process counterpart of the paper's XDB execution layer (§5.1: "a
+// query coordinator monitors the execution of individual sub-plans and
+// restarts them once a failure is detected").
+//
+// Semantics:
+//  - Each (stage, partition) task produces a table. Tasks of materialized
+//    stages write to fault-tolerant storage: their outputs survive any
+//    failure (the §2.2 assumption). Outputs of non-materialized stages
+//    live in the producing node's memory.
+//  - An injected failure of node p while it executes a task destroys the
+//    in-flight work AND every non-materialized output that node holds; the
+//    coordinator then recovers by recomputing p's lost chain from the last
+//    materialized ancestors — exactly the fine-grained scheme.
+//  - Global stages run on the coordinator and are treated as materialized.
+//
+// The injected failures are logical (no real machines die); what is real
+// is the recovery path: recomputation re-runs the actual operators over
+// the actual data, and tests assert the final result is identical to a
+// failure-free run under every configuration.
+#pragma once
+
+#include <optional>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/query_runner.h"
+#include "engine/stage_plan.h"
+#include "ft/mat_config.h"
+
+namespace xdbft::engine {
+
+/// \brief Decides which task attempts fail. Implementations must be
+/// thread-compatible (the executor calls it from one thread at a time).
+class StageFailureInjector {
+ public:
+  virtual ~StageFailureInjector() = default;
+  /// \brief Called before attempt `attempt` (0-based) of `stage` on
+  /// `partition` (-1 = coordinator). Returning true kills the attempt and
+  /// the node's non-materialized state.
+  virtual bool InjectFailure(int stage, int partition, int attempt) = 0;
+};
+
+/// \brief Fails a fixed set of (stage, partition) first attempts.
+class ScriptedInjector final : public StageFailureInjector {
+ public:
+  /// \brief Each listed task fails `times` times before succeeding.
+  explicit ScriptedInjector(std::vector<std::pair<int, int>> victims,
+                            int times = 1)
+      : victims_(std::move(victims)), times_(times) {}
+
+  bool InjectFailure(int stage, int partition, int attempt) override {
+    if (attempt >= times_) return false;
+    for (const auto& [s, p] : victims_) {
+      if (s == stage && p == partition) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<int, int>> victims_;
+  int times_;
+};
+
+/// \brief Fails each attempt independently with probability `p` (seeded).
+class RandomInjector final : public StageFailureInjector {
+ public:
+  RandomInjector(double probability, uint64_t seed)
+      : probability_(probability), rng_(seed) {}
+
+  bool InjectFailure(int, int, int) override {
+    return rng_.NextDouble() < probability_;
+  }
+
+ private:
+  double probability_;
+  Rng rng_;
+};
+
+/// \brief Outcome of a fault-tolerant execution.
+struct FtExecutionResult {
+  /// Output of the plan's last stage.
+  exec::Table result;
+  /// Failures injected (task attempts killed).
+  int failures_injected = 0;
+  /// Task attempts beyond the failure-free minimum: killed attempts plus
+  /// recomputations of lost outputs (the recovery work).
+  int recovery_executions = 0;
+  /// Total task attempts (killed attempts included — their in-flight work
+  /// was consumed).
+  int task_executions = 0;
+  /// Wall-clock seconds of the whole execution.
+  double wall_seconds = 0.0;
+};
+
+/// \brief Executes stage plans with failures and recovery.
+class FaultTolerantExecutor {
+ public:
+  FaultTolerantExecutor(const StagePlan* plan,
+                        const PartitionedDatabase* db)
+      : plan_(plan), db_(db) {}
+
+  /// \brief Execute under `config` (indexed by stage, as produced from
+  /// StagePlan::ToPlanSkeleton()). `injector` may be null (no failures).
+  /// A task is aborted after `max_attempts` injected failures.
+  Result<FtExecutionResult> Execute(const ft::MaterializationConfig& config,
+                                    StageFailureInjector* injector = nullptr,
+                                    int max_attempts = 100) const;
+
+ private:
+  const StagePlan* plan_;
+  const PartitionedDatabase* db_;
+};
+
+}  // namespace xdbft::engine

@@ -1,0 +1,80 @@
+// Partition-parallel execution of the benchmark queries over a
+// PartitionedDatabase, organized in *stages* (sub-plans): each stage runs
+// on every partition in parallel and materializes its output, exactly the
+// granularity at which the paper's XDB middleware splits plans for
+// fault-tolerant execution. Per-stage wall-clock timings feed the cost
+// calibrator (the paper's "perfect cost estimates", §5.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/partitioned_table.h"
+
+namespace xdbft::engine {
+
+/// \brief Fixed query parameters (exported so tests and examples can
+/// compute reference results against the same predicates).
+namespace params {
+inline constexpr int64_t kQ1ShipdateCutoff =
+    datagen::kDateRangeDays - 52;  // ~98% of the window
+inline constexpr int64_t kQ3Date = datagen::kDateRangeDays / 2;
+inline constexpr const char* kQ3Segment = "BUILDING";
+inline constexpr int64_t kQ5Region = 3;  // EUROPE
+inline constexpr int64_t kQ5YearStart = 3 * 365;
+inline constexpr int64_t kQ5YearEnd = 4 * 365;
+}  // namespace params
+
+/// \brief Measured statistics of one executed stage.
+struct StageTiming {
+  std::string label;
+  /// Wall-clock seconds for the slowest partition of this stage.
+  double seconds = 0.0;
+  /// Rows produced across all partitions.
+  size_t output_rows = 0;
+  /// Estimated bytes per output row (for materialization costing).
+  double row_width_bytes = 0.0;
+};
+
+/// \brief Result of running one query.
+struct QueryExecution {
+  exec::Table result;
+  std::vector<StageTiming> stages;
+  double total_seconds = 0.0;
+};
+
+/// \brief Runs TPC-H Q1/Q3/Q5 partition-parallel over the distributed
+/// database. Threads execute partitions concurrently within each stage.
+class QueryRunner {
+ public:
+  explicit QueryRunner(const PartitionedDatabase* db) : db_(db) {}
+
+  /// \brief Q1: scan+filter LINEITEM, aggregate by (returnflag,
+  /// linestatus).
+  Result<QueryExecution> RunQ1() const;
+
+  /// \brief Q3: customer-segment orders joined with lineitems; top-10
+  /// revenue per order.
+  Result<QueryExecution> RunQ3() const;
+
+  /// \brief Q5: revenue per nation for one region and one order year
+  /// (Fig. 9's plan shape).
+  Result<QueryExecution> RunQ5() const;
+
+  /// \brief Q1C (paper §5.2): nested Q1 — the inner aggregation computes
+  /// per-group average prices, the outer query re-joins LINEITEM and
+  /// counts the items priced above their group's average. The plan has an
+  /// aggregation in the middle (the natural cheap checkpoint).
+  Result<QueryExecution> RunQ1C() const;
+
+  /// \brief Q2C (paper §5.2): DAG-structured variant of Q2 — the inner
+  /// min-supplycost-per-part aggregation is a CTE consumed by two outer
+  /// queries with different part filters.
+  Result<QueryExecution> RunQ2C() const;
+
+ private:
+  const PartitionedDatabase* db_;
+};
+
+}  // namespace xdbft::engine

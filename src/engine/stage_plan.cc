@@ -1,0 +1,394 @@
+#include "engine/stage_plan.h"
+
+#include "common/string_util.h"
+#include "datagen/tpch_gen.h"
+#include "engine/query_runner.h"
+
+namespace xdbft::engine {
+
+using catalog::TpchTable;
+using exec::AggFunc;
+using exec::Expr;
+using exec::MakeFilter;
+using exec::MakeHashAggregate;
+using exec::MakeHashJoin;
+using exec::MakeProject;
+using exec::MakeScan;
+using exec::MakeSort;
+using exec::Table;
+using exec::Value;
+
+int StagePlan::AddStage(Stage stage) {
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+Status StagePlan::Validate() const {
+  if (stages_.empty()) return Status::InvalidArgument("no stages");
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& s = stages_[i];
+    if (!s.run) {
+      return Status::InvalidArgument(
+          StrFormat("stage %zu has no runnable", i));
+    }
+    for (const StageInput& in : s.inputs) {
+      if (in.stage < 0 || in.stage >= static_cast<int>(i)) {
+        return Status::InvalidArgument(
+            StrFormat("stage %zu has invalid input %d", i, in.stage));
+      }
+      if (in.mode == EdgeMode::kShuffle && in.shuffle_key < 0) {
+        return Status::InvalidArgument(
+            StrFormat("stage %zu: shuffle edge needs a key column", i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+plan::Plan StagePlan::ToPlanSkeleton() const {
+  plan::Plan p(name_);
+  for (const auto& s : stages_) {
+    plan::PlanNode node;
+    node.type = s.type;
+    node.label = s.label;
+    for (const StageInput& in : s.inputs) node.inputs.push_back(in.stage);
+    node.runtime_cost = 0.0;
+    node.materialize_cost = 0.0;
+    if (s.global) {
+      node.constraint = plan::MatConstraint::kAlwaysMaterialize;
+    }
+    p.AddNode(std::move(node));
+  }
+  return p;
+}
+
+namespace {
+
+// Hash-slice of a replica so each partition handles a disjoint share.
+Table SliceReplica(const Table& replica, int key_column, int partition,
+                   int n) {
+  Table out;
+  out.schema = replica.schema;
+  for (const auto& row : replica.rows) {
+    if (row[static_cast<size_t>(key_column)].Hash() %
+            static_cast<size_t>(n) ==
+        static_cast<size_t>(partition)) {
+      out.rows.push_back(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StagePlan MakeQ1StagePlan(const PartitionedDatabase& db) {
+  StagePlan plan("Q1-stages");
+  const auto* lineitem = &db.table(TpchTable::kLineitem);
+
+  Stage partial;
+  partial.label = "PartialAgg(L)";
+  partial.type = plan::OpType::kHashAggregate;
+  partial.run = [lineitem](int partition,
+                           const std::vector<const Table*>&)
+      -> Result<Table> {
+    const Table& part =
+        lineitem->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(auto shipdate,
+                           Expr::Col(part.schema, "l_shipdate"));
+    XDBFT_ASSIGN_OR_RETURN(auto qty, Expr::Col(part.schema, "l_quantity"));
+    XDBFT_ASSIGN_OR_RETURN(auto price,
+                           Expr::Col(part.schema, "l_extendedprice"));
+    XDBFT_ASSIGN_OR_RETURN(const int rf, part.schema.Find("l_returnflag"));
+    XDBFT_ASSIGN_OR_RETURN(const int ls, part.schema.Find("l_linestatus"));
+    auto op = MakeFilter(
+        MakeScan(&part),
+        exec::Le(shipdate, Expr::Lit(Value(params::kQ1ShipdateCutoff))));
+    op = MakeHashAggregate(std::move(op), {rf, ls},
+                           {{AggFunc::kSum, qty, "sum_qty"},
+                            {AggFunc::kSum, price, "sum_price"},
+                            {AggFunc::kCount, nullptr, "count_order"}});
+    return exec::Drain(op.get());
+  };
+  const int s0 = plan.AddStage(std::move(partial));
+
+  Stage merge;
+  merge.label = "FinalAgg";
+  merge.type = plan::OpType::kHashAggregate;
+  merge.global = true;
+  merge.inputs = {s0};
+  merge.run = [](int, const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& merged = *inputs[0];
+    XDBFT_ASSIGN_OR_RETURN(auto sum_qty,
+                           Expr::Col(merged.schema, "sum_qty"));
+    XDBFT_ASSIGN_OR_RETURN(auto sum_price,
+                           Expr::Col(merged.schema, "sum_price"));
+    XDBFT_ASSIGN_OR_RETURN(auto cnt,
+                           Expr::Col(merged.schema, "count_order"));
+    auto op = MakeHashAggregate(MakeScan(&merged), {0, 1},
+                                {{AggFunc::kSum, sum_qty, "sum_qty"},
+                                 {AggFunc::kSum, sum_price, "sum_price"},
+                                 {AggFunc::kSum, cnt, "count_order"}});
+    auto sorted = MakeSort(std::move(op), {0, 1}, {true, true});
+    return exec::Drain(sorted.get());
+  };
+  plan.AddStage(std::move(merge));
+  return plan;
+}
+
+StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db) {
+  StagePlan plan("customer-revenue");
+  const auto* orders = &db.table(TpchTable::kOrders);
+  const auto* lineitem = &db.table(TpchTable::kLineitem);
+
+  // Stage 0: LINEITEM join ORDERS on orderkey (co-partitioned, local),
+  // projecting (o_custkey, revenue).
+  Stage join;
+  join.label = "Join(L,O)";
+  join.type = plan::OpType::kHashJoin;
+  join.run = [orders, lineitem](int partition,
+                                const std::vector<const Table*>&)
+      -> Result<Table> {
+    const Table& opart = orders->partitions[static_cast<size_t>(partition)];
+    const Table& lpart =
+        lineitem->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(const int okey, opart.schema.Find("o_orderkey"));
+    XDBFT_ASSIGN_OR_RETURN(const int lokey,
+                           lpart.schema.Find("l_orderkey"));
+    auto j = MakeHashJoin(MakeScan(&opart), MakeScan(&lpart), {okey},
+                          {lokey});
+    const auto& js = j->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto ckey, Expr::Col(js, "o_custkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto price, Expr::Col(js, "l_extendedprice"));
+    XDBFT_ASSIGN_OR_RETURN(auto disc, Expr::Col(js, "l_discount"));
+    auto revenue = price * (Expr::Lit(Value(1.0)) - disc);
+    auto proj = MakeProject(std::move(j), {ckey, revenue},
+                            {"o_custkey", "revenue"});
+    return exec::Drain(proj.get());
+  };
+  const int s_join = plan.AddStage(std::move(join));
+
+  // Stage 1: shuffle on custkey (column 0 of stage 0's output), then
+  // aggregate — each partition owns a disjoint custkey range, so the
+  // groups are complete.
+  Stage agg;
+  agg.label = "ShuffleAgg(custkey)";
+  agg.type = plan::OpType::kHashAggregate;
+  agg.inputs = {StageInput(s_join, EdgeMode::kShuffle, /*key=*/0)};
+  agg.run = [](int, const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& in = *inputs[0];
+    XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(in.schema, "revenue"));
+    auto op = MakeHashAggregate(MakeScan(&in), {0},
+                                {{AggFunc::kSum, rev, "revenue"}});
+    return exec::Drain(op.get());
+  };
+  const int s_agg = plan.AddStage(std::move(agg));
+
+  // Stage 2 (global): top-10 customers by revenue.
+  Stage top;
+  top.label = "TopK(revenue)";
+  top.type = plan::OpType::kSort;
+  top.global = true;
+  top.inputs = {s_agg};
+  top.run = [](int, const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& merged = *inputs[0];
+    XDBFT_ASSIGN_OR_RETURN(const int rev, merged.schema.Find("revenue"));
+    auto op = MakeSort(MakeScan(&merged), {rev}, {false}, 10);
+    return exec::Drain(op.get());
+  };
+  plan.AddStage(std::move(top));
+  return plan;
+}
+
+StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
+  StagePlan plan("Q5-stages");
+  const int n = db.num_nodes;
+  const auto* region = &db.table(TpchTable::kRegion);
+  const auto* nation = &db.table(TpchTable::kNation);
+  const auto* customer = &db.table(TpchTable::kCustomer);
+  const auto* orders = &db.table(TpchTable::kOrders);
+  const auto* lineitem = &db.table(TpchTable::kLineitem);
+  const auto* supplier = &db.table(TpchTable::kSupplier);
+
+  // Stage 0 (global): sigma(R) join N.
+  Stage rn;
+  rn.label = "Join1(R,N)";
+  rn.type = plan::OpType::kHashJoin;
+  rn.global = true;
+  rn.run = [region, nation](int, const std::vector<const Table*>&)
+      -> Result<Table> {
+    const Table& rrep = region->partitions[0];
+    const Table& nrep = nation->partitions[0];
+    XDBFT_ASSIGN_OR_RETURN(auto rkey, Expr::Col(rrep.schema,
+                                                "r_regionkey"));
+    auto build = MakeFilter(
+        MakeScan(&rrep),
+        exec::Eq(rkey, Expr::Lit(Value(params::kQ5Region))));
+    XDBFT_ASSIGN_OR_RETURN(const int rk, rrep.schema.Find("r_regionkey"));
+    XDBFT_ASSIGN_OR_RETURN(const int nrk, nrep.schema.Find("n_regionkey"));
+    auto join = MakeHashJoin(std::move(build), MakeScan(&nrep), {rk},
+                             {nrk});
+    const auto& js = join->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto nkey, Expr::Col(js, "n_nationkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
+    auto proj = MakeProject(std::move(join), {nkey, nname},
+                            {"n_nationkey", "n_name"});
+    return exec::Drain(proj.get());
+  };
+  const int s_rn = plan.AddStage(std::move(rn));
+
+  // Stage 1: join CUSTOMER slice on nationkey.
+  Stage rnc;
+  rnc.label = "Join2(RN,C)";
+  rnc.type = plan::OpType::kHashJoin;
+  rnc.inputs = {s_rn};
+  rnc.run = [customer, n](int partition,
+                          const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& rn_table = *inputs[0];
+    const Table& crep = customer->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(const int ckey_col,
+                           crep.schema.Find("c_custkey"));
+    const Table cslice = SliceReplica(crep, ckey_col, partition, n);
+    XDBFT_ASSIGN_OR_RETURN(const int nk,
+                           rn_table.schema.Find("n_nationkey"));
+    XDBFT_ASSIGN_OR_RETURN(const int cnk, cslice.schema.Find("c_nationkey"));
+    auto join = MakeHashJoin(MakeScan(&rn_table), MakeScan(&cslice), {nk},
+                             {cnk});
+    const auto& js = join->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto ckey, Expr::Col(js, "c_custkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
+    auto proj = MakeProject(std::move(join), {ckey, cnat, nname},
+                            {"c_custkey", "c_nationkey", "n_name"});
+    return exec::Drain(proj.get());
+  };
+  const int s_rnc = plan.AddStage(std::move(rnc));
+
+  // Stage 2 (global): broadcast/exchange of the customer side.
+  Stage bcast;
+  bcast.label = "Broadcast(RNC)";
+  bcast.type = plan::OpType::kRepartition;
+  bcast.global = true;
+  bcast.inputs = {s_rnc};
+  bcast.run = [](int, const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    return *inputs[0];  // concatenation already done by the executor
+  };
+  const int s_bcast = plan.AddStage(std::move(bcast));
+
+  // Stage 3: join sigma(ORDERS) on custkey.
+  Stage rnco;
+  rnco.label = "Join3(RNC,O)";
+  rnco.type = plan::OpType::kHashJoin;
+  rnco.inputs = {s_bcast};
+  rnco.run = [orders](int partition,
+                      const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& rnc_all = *inputs[0];
+    const Table& opart = orders->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(auto odate,
+                           Expr::Col(opart.schema, "o_orderdate"));
+    auto probe = MakeFilter(
+        MakeScan(&opart),
+        exec::And(
+            exec::Ge(odate, Expr::Lit(Value(params::kQ5YearStart))),
+            exec::Lt(odate, Expr::Lit(Value(params::kQ5YearEnd)))));
+    XDBFT_ASSIGN_OR_RETURN(const int bkey,
+                           rnc_all.schema.Find("c_custkey"));
+    XDBFT_ASSIGN_OR_RETURN(const int pkey, opart.schema.Find("o_custkey"));
+    auto join = MakeHashJoin(MakeScan(&rnc_all), std::move(probe), {bkey},
+                             {pkey});
+    const auto& js = join->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto okey, Expr::Col(js, "o_orderkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
+    auto proj = MakeProject(std::move(join), {okey, cnat, nname},
+                            {"o_orderkey", "c_nationkey", "n_name"});
+    return exec::Drain(proj.get());
+  };
+  const int s_rnco = plan.AddStage(std::move(rnco));
+
+  // Stage 4: join LINEITEM on orderkey (co-partitioned).
+  Stage rncol;
+  rncol.label = "Join4(RNCO,L)";
+  rncol.type = plan::OpType::kHashJoin;
+  rncol.inputs = {s_rnco};
+  rncol.run = [lineitem](int partition,
+                         const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& build_t = *inputs[0];
+    const Table& lpart =
+        lineitem->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(const int bokey,
+                           build_t.schema.Find("o_orderkey"));
+    XDBFT_ASSIGN_OR_RETURN(const int lokey,
+                           lpart.schema.Find("l_orderkey"));
+    auto join = MakeHashJoin(MakeScan(&build_t), MakeScan(&lpart), {bokey},
+                             {lokey});
+    const auto& js = join->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto skey, Expr::Col(js, "l_suppkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto price, Expr::Col(js, "l_extendedprice"));
+    XDBFT_ASSIGN_OR_RETURN(auto disc, Expr::Col(js, "l_discount"));
+    XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
+    auto revenue = price * (Expr::Lit(Value(1.0)) - disc);
+    auto proj = MakeProject(std::move(join), {skey, cnat, nname, revenue},
+                            {"l_suppkey", "c_nationkey", "n_name",
+                             "revenue"});
+    return exec::Drain(proj.get());
+  };
+  const int s_rncol = plan.AddStage(std::move(rncol));
+
+  // Stage 5: join SUPPLIER + nation filter.
+  Stage rncols;
+  rncols.label = "Join5(RNCOL,S)";
+  rncols.type = plan::OpType::kHashJoin;
+  rncols.inputs = {s_rncol};
+  rncols.run = [supplier](int partition,
+                          const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& probe_t = *inputs[0];
+    const Table& srep =
+        supplier->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(const int skey, srep.schema.Find("s_suppkey"));
+    XDBFT_ASSIGN_OR_RETURN(const int pkey,
+                           probe_t.schema.Find("l_suppkey"));
+    auto join = MakeHashJoin(MakeScan(&srep), MakeScan(&probe_t), {skey},
+                             {pkey});
+    const auto& js = join->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto snat, Expr::Col(js, "s_nationkey"));
+    XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
+    auto filt = MakeFilter(std::move(join), exec::Eq(snat, cnat));
+    const auto& fs = filt->schema();
+    XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(fs, "n_name"));
+    XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(fs, "revenue"));
+    auto proj = MakeProject(std::move(filt), {nname, rev},
+                            {"n_name", "revenue"});
+    return exec::Drain(proj.get());
+  };
+  const int s_rncols = plan.AddStage(std::move(rncols));
+
+  // Stage 6 (global): final aggregation by nation.
+  Stage agg;
+  agg.label = "Agg(nation)";
+  agg.type = plan::OpType::kHashAggregate;
+  agg.global = true;
+  agg.inputs = {s_rncols};
+  agg.run = [](int, const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& merged = *inputs[0];
+    XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(merged.schema, "revenue"));
+    auto op = MakeHashAggregate(MakeScan(&merged), {0},
+                                {{AggFunc::kSum, rev, "revenue"}});
+    XDBFT_ASSIGN_OR_RETURN(const int revc, op->schema().Find("revenue"));
+    auto sorted = MakeSort(std::move(op), {revc}, {false});
+    return exec::Drain(sorted.get());
+  };
+  plan.AddStage(std::move(agg));
+  return plan;
+}
+
+}  // namespace xdbft::engine

@@ -1,0 +1,104 @@
+// StagePlan: an executable DAG of *stages* (sub-plans), the unit at which
+// the paper's XDB middleware splits queries for fault-tolerant execution.
+// Each stage runs either partition-parallel (one task per partition, over
+// co-partitioned inputs) or globally (one task consuming the concatenated
+// outputs of its producers — a merge/exchange point).
+//
+// The FaultTolerantExecutor (ft_executor.h) executes a StagePlan under a
+// MaterializationConfig with injected failures and real recovery: outputs
+// of materialized stages survive node failures, everything else is
+// recomputed from the last materialized ancestors.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/partitioned_table.h"
+#include "plan/plan.h"
+
+namespace xdbft::engine {
+
+/// \brief How a consumer task reads a producer stage's output.
+enum class EdgeMode : int {
+  /// Consumer partition p reads producer partition p (co-partitioned
+  /// data flow; the only mode meaningful for global producers).
+  kSamePartition,
+  /// Consumer task reads the concatenation of every producer partition
+  /// (broadcast for partitioned consumers; merge for global consumers).
+  kBroadcast,
+  /// Hash repartitioning: consumer partition p reads, from every producer
+  /// partition, the rows whose shuffle-key column hashes to p. The
+  /// operation whose output many PDEs always materialize (paper §2.1).
+  kShuffle,
+};
+
+/// \brief One input edge of a stage.
+struct StageInput {
+  int stage = -1;
+  EdgeMode mode = EdgeMode::kSamePartition;
+  /// Column of the producer's output to hash on (kShuffle only).
+  int shuffle_key = -1;
+
+  StageInput() = default;
+  StageInput(int s) : stage(s) {}  // NOLINT(runtime/explicit)
+  StageInput(int s, EdgeMode m, int key = -1)
+      : stage(s), mode(m), shuffle_key(key) {}
+};
+
+/// \brief One stage of an executable stage DAG.
+struct Stage {
+  std::string label;
+  plan::OpType type = plan::OpType::kMapUdf;
+  /// True: runs once on the coordinator. Inputs from partitioned
+  /// producers are concatenated regardless of their edge mode.
+  bool global = false;
+  /// Producer edges.
+  std::vector<StageInput> inputs;
+  /// Executes one task: `partition` is -1 for global stages; `inputs[i]`
+  /// is the table this task reads from producer edge i (resolved per the
+  /// edge mode). Must be thread-safe across partitions.
+  std::function<Result<exec::Table>(
+      int partition, const std::vector<const exec::Table*>& inputs)>
+      run;
+};
+
+/// \brief An executable stage DAG over a partitioned database.
+class StagePlan {
+ public:
+  explicit StagePlan(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  int AddStage(Stage stage);
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const Stage& stage(int i) const { return stages_[static_cast<size_t>(i)]; }
+
+  /// \brief Structural checks (inputs reference earlier stages, runnables
+  /// set, at least one stage).
+  Status Validate() const;
+
+  /// \brief A cost-less plan::Plan mirror of the stage structure, used to
+  /// build MaterializationConfigs for execution (stage index == operator
+  /// id). Global stages are bound kAlwaysMaterialize: they run on the
+  /// coordinator and their (typically tiny) outputs are always kept.
+  plan::Plan ToPlanSkeleton() const;
+
+ private:
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+/// \brief Stage-plan builders for the benchmark queries (same semantics as
+/// QueryRunner::RunQ1/RunQ5; the independent implementations cross-check
+/// each other in tests). The database must outlive the returned plan.
+StagePlan MakeQ1StagePlan(const PartitionedDatabase& db);
+StagePlan MakeQ5StagePlan(const PartitionedDatabase& db);
+
+/// \brief Revenue per customer (top 10): joins LINEITEM with ORDERS
+/// (co-partitioned), then hash-repartitions on custkey (an EdgeMode::
+/// kShuffle edge) before aggregating — the shuffle demo plan.
+StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db);
+
+}  // namespace xdbft::engine

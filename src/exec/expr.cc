@@ -1,0 +1,211 @@
+#include "exec/expr.h"
+
+#include "common/logging.h"
+
+namespace xdbft::exec {
+
+Expr::Ptr Expr::Col(int index) {
+  XDBFT_CHECK(index >= 0);
+  return Ptr(new Expr(ExprOp::kColumn, index, Value(), {}));
+}
+
+Result<Expr::Ptr> Expr::Col(const Schema& schema, const std::string& name) {
+  XDBFT_ASSIGN_OR_RETURN(const int idx, schema.Find(name));
+  return Col(idx);
+}
+
+Expr::Ptr Expr::Lit(Value v) {
+  return Ptr(new Expr(ExprOp::kLiteral, -1, std::move(v), {}));
+}
+
+Expr::Ptr Expr::Make(ExprOp op, std::vector<Ptr> children) {
+  return Ptr(new Expr(op, -1, Value(), std::move(children)));
+}
+
+namespace {
+
+Value Arith(ExprOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value();
+  // Integer arithmetic stays integral (except division).
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64 &&
+      op != ExprOp::kDiv) {
+    const int64_t x = a.AsInt64(), y = b.AsInt64();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value(x + y);
+      case ExprOp::kSub:
+        return Value(x - y);
+      case ExprOp::kMul:
+        return Value(x * y);
+      default:
+        break;
+    }
+  }
+  const double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case ExprOp::kAdd:
+      return Value(x + y);
+    case ExprOp::kSub:
+      return Value(x - y);
+    case ExprOp::kMul:
+      return Value(x * y);
+    case ExprOp::kDiv:
+      return Value(x / y);
+    default:
+      break;
+  }
+  XDBFT_CHECK(false) << "not an arithmetic op";
+  return Value();
+}
+
+}  // namespace
+
+Value Expr::Eval(const Row& row) const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      return row[static_cast<size_t>(column_)];
+    case ExprOp::kLiteral:
+      return literal_;
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv:
+      return Arith(op_, children_[0]->Eval(row), children_[1]->Eval(row));
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      const Value a = children_[0]->Eval(row);
+      const Value b = children_[1]->Eval(row);
+      if (a.is_null() || b.is_null()) return Value();
+      const int c = a.Compare(b);
+      bool r = false;
+      switch (op_) {
+        case ExprOp::kEq:
+          r = c == 0;
+          break;
+        case ExprOp::kNe:
+          r = c != 0;
+          break;
+        case ExprOp::kLt:
+          r = c < 0;
+          break;
+        case ExprOp::kLe:
+          r = c <= 0;
+          break;
+        case ExprOp::kGt:
+          r = c > 0;
+          break;
+        case ExprOp::kGe:
+          r = c >= 0;
+          break;
+        default:
+          break;
+      }
+      return Value(int64_t{r});
+    }
+    case ExprOp::kAnd: {
+      // Short-circuit.
+      if (!children_[0]->EvalBool(row)) return Value(int64_t{0});
+      return Value(int64_t{children_[1]->EvalBool(row)});
+    }
+    case ExprOp::kOr: {
+      if (children_[0]->EvalBool(row)) return Value(int64_t{1});
+      return Value(int64_t{children_[1]->EvalBool(row)});
+    }
+    case ExprOp::kNot:
+      return Value(int64_t{!children_[0]->EvalBool(row)});
+  }
+  return Value();
+}
+
+bool Expr::EvalBool(const Row& row) const {
+  const Value v = Eval(row);
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt64) return v.AsInt64() != 0;
+  if (v.type() == ValueType::kDouble) return v.AsDouble() != 0.0;
+  return true;
+}
+
+namespace {
+const char* OpSymbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd:
+      return "+";
+    case ExprOp::kSub:
+      return "-";
+    case ExprOp::kMul:
+      return "*";
+    case ExprOp::kDiv:
+      return "/";
+    case ExprOp::kEq:
+      return "=";
+    case ExprOp::kNe:
+      return "<>";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    case ExprOp::kGt:
+      return ">";
+    case ExprOp::kGe:
+      return ">=";
+    case ExprOp::kAnd:
+      return "AND";
+    case ExprOp::kOr:
+      return "OR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+std::string Expr::ToString(const Schema* schema) const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      if (schema != nullptr &&
+          column_ < static_cast<int>(schema->num_columns())) {
+        return schema->column(column_).name;
+      }
+      return "$" + std::to_string(column_);
+    case ExprOp::kLiteral:
+      return literal_.ToString();
+    case ExprOp::kNot:
+      return "NOT (" + children_[0]->ToString(schema) + ")";
+    default:
+      return "(" + children_[0]->ToString(schema) + " " + OpSymbol(op_) +
+             " " + children_[1]->ToString(schema) + ")";
+  }
+}
+
+Expr::Ptr Eq(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kEq, {std::move(a), std::move(b)});
+}
+Expr::Ptr Ne(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kNe, {std::move(a), std::move(b)});
+}
+Expr::Ptr Lt(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kLt, {std::move(a), std::move(b)});
+}
+Expr::Ptr Le(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kLe, {std::move(a), std::move(b)});
+}
+Expr::Ptr Gt(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kGt, {std::move(a), std::move(b)});
+}
+Expr::Ptr Ge(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kGe, {std::move(a), std::move(b)});
+}
+Expr::Ptr And(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kAnd, {std::move(a), std::move(b)});
+}
+Expr::Ptr Or(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kOr, {std::move(a), std::move(b)});
+}
+Expr::Ptr Not(Expr::Ptr a) {
+  return Expr::Make(ExprOp::kNot, {std::move(a)});
+}
+
+}  // namespace xdbft::exec

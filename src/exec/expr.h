@@ -1,0 +1,96 @@
+// Minimal expression tree evaluated against rows: column references,
+// literals, arithmetic, comparisons and boolean connectives. Used by the
+// filter/project operators of the execution engine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/schema.h"
+#include "exec/value.h"
+
+namespace xdbft::exec {
+
+enum class ExprOp : int {
+  kColumn,   // column reference by index
+  kLiteral,  // constant
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// \brief Immutable expression node; build with the factory functions
+/// below. Booleans are int64 0/1.
+class Expr {
+ public:
+  using Ptr = std::shared_ptr<const Expr>;
+
+  ExprOp op() const { return op_; }
+  int column_index() const { return column_; }
+  const Value& literal() const { return literal_; }
+  const std::vector<Ptr>& children() const { return children_; }
+
+  /// \brief Evaluate against a row.
+  Value Eval(const Row& row) const;
+
+  /// \brief Evaluate as a predicate (null/0 -> false).
+  bool EvalBool(const Row& row) const;
+
+  std::string ToString(const Schema* schema = nullptr) const;
+
+  // Factory functions.
+  static Ptr Col(int index);
+  /// \brief Resolve a named column against `schema`.
+  static Result<Ptr> Col(const Schema& schema, const std::string& name);
+  static Ptr Lit(Value v);
+  static Ptr Make(ExprOp op, std::vector<Ptr> children);
+
+ private:
+  Expr(ExprOp op, int column, Value literal, std::vector<Ptr> children)
+      : op_(op),
+        column_(column),
+        literal_(std::move(literal)),
+        children_(std::move(children)) {}
+
+  ExprOp op_;
+  int column_ = -1;
+  Value literal_;
+  std::vector<Ptr> children_;
+};
+
+// Convenience builders.
+inline Expr::Ptr operator+(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kAdd, {std::move(a), std::move(b)});
+}
+inline Expr::Ptr operator-(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kSub, {std::move(a), std::move(b)});
+}
+inline Expr::Ptr operator*(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kMul, {std::move(a), std::move(b)});
+}
+inline Expr::Ptr operator/(Expr::Ptr a, Expr::Ptr b) {
+  return Expr::Make(ExprOp::kDiv, {std::move(a), std::move(b)});
+}
+Expr::Ptr Eq(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Ne(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Lt(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Le(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Gt(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Ge(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr And(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Or(Expr::Ptr a, Expr::Ptr b);
+Expr::Ptr Not(Expr::Ptr a);
+
+}  // namespace xdbft::exec

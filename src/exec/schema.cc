@@ -1,0 +1,42 @@
+#include "exec/schema.h"
+
+#include "common/string_util.h"
+
+namespace xdbft::exec {
+
+Result<int> Schema::Find(const std::string& name) const {
+  const int i = FindOrNegative(name);
+  if (i < 0) {
+    return Status::NotFound("no column named '" + name + "' in schema " +
+                            ToString());
+  }
+  return i;
+}
+
+int Schema::FindOrNegative(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.cols_;
+  for (const auto& c : right.cols_) {
+    Column copy = c;
+    if (left.FindOrNegative(c.name) >= 0) copy.name = "right." + c.name;
+    cols.push_back(std::move(copy));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(cols_.size());
+  for (const auto& c : cols_) {
+    parts.push_back(c.name + ":" + ValueTypeName(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace xdbft::exec

@@ -1,0 +1,44 @@
+// Schema: named, typed columns of a table or operator output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/value.h"
+
+namespace xdbft::exec {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// \brief Ordered set of columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> cols) : cols_(cols) {}
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(int i) const { return cols_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// \brief Index of the column named `name`, or error.
+  Result<int> Find(const std::string& name) const;
+
+  /// \brief Index or -1 (no error allocation) for hot paths.
+  int FindOrNegative(const std::string& name) const;
+
+  /// \brief Concatenation (join output schema); duplicate names get a
+  /// "right." prefix on the right side.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace xdbft::exec

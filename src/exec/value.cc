@@ -1,0 +1,108 @@
+#include "exec/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace xdbft::exec {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(v_)) return ValueType::kNull;
+  if (std::holds_alternative<int64_t>(v_)) return ValueType::kInt64;
+  if (std::holds_alternative<double>(v_)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  return std::get<double>(v_);
+}
+
+int Value::Compare(const Value& other) const {
+  const bool n1 = is_null(), n2 = other.is_null();
+  if (n1 || n2) return static_cast<int>(n2) - static_cast<int>(n1);
+  const bool s1 = type() == ValueType::kString;
+  const bool s2 = other.type() == ValueType::kString;
+  XDBFT_CHECK(s1 == s2) << "comparing string with numeric value";
+  if (s1) {
+    const int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  const double a = AsDouble(), b = other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Numerically equal int64/double must hash identically; integral
+      // doubles hash as their integer value.
+      const double d = AsDouble();
+      const double r = std::nearbyint(d);
+      if (r == d && std::fabs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(r));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t HashKey(const Row& row, const std::vector<int>& key_columns) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (int c : key_columns) {
+    h ^= row[static_cast<size_t>(c)].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Row ExtractKey(const Row& row, const std::vector<int>& key_columns) {
+  Row key;
+  key.reserve(key_columns.size());
+  for (int c : key_columns) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+}  // namespace xdbft::exec

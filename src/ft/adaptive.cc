@@ -1,0 +1,94 @@
+#include "ft/adaptive.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace xdbft::ft {
+
+using plan::MatConstraint;
+using plan::OpId;
+using plan::Plan;
+
+namespace {
+
+Status CheckStructurallyIdentical(const Plan& a, const Plan& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return Status::InvalidArgument("plans differ in operator count");
+  }
+  for (const auto& n : a.nodes()) {
+    const auto& m = b.node(n.id);
+    if (n.inputs != m.inputs || n.constraint != m.constraint) {
+      return Status::InvalidArgument(
+          StrFormat("plans differ structurally at operator %d", n.id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AdaptiveResult> AdaptiveMaterialization(
+    const Plan& estimated, const Plan& truth, const FtCostContext& context,
+    const EnumerationOptions& options) {
+  XDBFT_RETURN_NOT_OK(estimated.Validate());
+  XDBFT_RETURN_NOT_OK(truth.Validate());
+  XDBFT_RETURN_NOT_OK(CheckStructurallyIdentical(estimated, truth));
+
+  // The static baseline the adaptive pass is compared against.
+  FtPlanEnumerator static_enum(context, options);
+  XDBFT_ASSIGN_OR_RETURN(FtPlanChoice static_choice,
+                         static_enum.FindBest(estimated));
+
+  // hybrid: true statistics for operators that have already executed,
+  // estimates for the rest. Decisions made so far are pinned via
+  // constraints so later re-optimizations cannot retract them.
+  Plan hybrid = estimated;
+  AdaptiveResult result;
+  result.config = MaterializationConfig::NoMat(estimated);
+
+  for (OpId id : EnumerableOperators(estimated)) {
+    // Everything topologically before `id` has executed by the time its
+    // materialization decision is due, and `id`'s own input cardinalities
+    // are then exactly known — so its own cost re-estimate is accurate
+    // too. Reveal true statistics up to and including `id`.
+    for (OpId done = 0; done <= id; ++done) {
+      hybrid.mutable_node(done).runtime_cost =
+          truth.node(done).runtime_cost;
+      hybrid.mutable_node(done).materialize_cost =
+          truth.node(done).materialize_cost;
+      hybrid.mutable_node(done).output_rows = truth.node(done).output_rows;
+    }
+    FtPlanEnumerator enumerator(context, options);
+    XDBFT_ASSIGN_OR_RETURN(FtPlanChoice choice,
+                           enumerator.FindBest(hybrid));
+    const bool materialize = choice.config.materialized(id);
+    result.config.set_materialized(id, materialize);
+    if (materialize != static_choice.config.materialized(id)) {
+      ++result.decisions_changed;
+    }
+    // Pin the decision.
+    hybrid.mutable_node(id).constraint =
+        materialize ? MatConstraint::kAlwaysMaterialize
+                    : MatConstraint::kNeverMaterialize;
+  }
+  XDBFT_RETURN_NOT_OK(result.config.Validate(truth));
+  return result;
+}
+
+Plan PerturbStatistics(const Plan& plan, double max_factor, uint64_t seed) {
+  Plan out = plan;
+  Rng rng(seed);
+  const double span = std::log(std::max(max_factor, 1.0));
+  for (const auto& n : out.nodes()) {
+    auto& node = out.mutable_node(n.id);
+    const double f = std::exp((rng.NextDouble() * 2.0 - 1.0) * span);
+    const double g = std::exp((rng.NextDouble() * 2.0 - 1.0) * span);
+    node.runtime_cost *= f;
+    node.materialize_cost *= g;
+  }
+  return out;
+}
+
+}  // namespace xdbft::ft

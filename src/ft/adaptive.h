@@ -1,0 +1,46 @@
+// Mid-query adaptive re-optimization — the paper's second "future avenue
+// of work" (§7): "we also want to look into more dynamic decisions for
+// cases where data is skewed or statistics are hard to estimate (e.g., for
+// user-defined functions)."
+//
+// The static scheme fixes the materialization configuration up front from
+// estimated statistics. Adaptively, the engine can revisit the decision
+// for each operator right before it runs: by then every upstream operator
+// has executed, so its *true* costs and cardinalities are known. This
+// module walks the plan in execution (topological) order, re-running
+// findBestFTPlan at each free operator on a hybrid plan — true statistics
+// for completed operators, estimates for the rest, previously made
+// decisions pinned — and adopts the optimizer's choice for the current
+// operator only.
+#pragma once
+
+#include "common/result.h"
+#include "ft/enumerator.h"
+
+namespace xdbft::ft {
+
+/// \brief Outcome of the adaptive pass.
+struct AdaptiveResult {
+  /// The final (hybrid) materialization configuration.
+  MaterializationConfig config;
+  /// Free operators whose adaptive decision differs from the static plan
+  /// computed on the estimated statistics.
+  int decisions_changed = 0;
+};
+
+/// \brief Run the adaptive pass. `estimated` and `truth` must be
+/// structurally identical plans (same operators/edges/constraints) whose
+/// per-operator costs may differ (estimation errors); the returned
+/// configuration is valid for both.
+Result<AdaptiveResult> AdaptiveMaterialization(
+    const plan::Plan& estimated, const plan::Plan& truth,
+    const FtCostContext& context, const EnumerationOptions& options = {});
+
+/// \brief Utility for experiments: a copy of `plan` with every operator's
+/// tr/tm multiplied by an independent deterministic factor drawn
+/// log-uniformly from [1/max_factor, max_factor] (simulating statistics
+/// that are hard to estimate).
+plan::Plan PerturbStatistics(const plan::Plan& plan, double max_factor,
+                             uint64_t seed);
+
+}  // namespace xdbft::ft

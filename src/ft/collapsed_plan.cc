@@ -1,0 +1,216 @@
+#include "ft/collapsed_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xdbft::ft {
+
+using plan::OpId;
+using plan::Plan;
+
+Result<CollapsedPlan> CollapsedPlan::Create(
+    const Plan& plan, const MaterializationConfig& config,
+    double pipe_constant) {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(config.Validate(plan));
+  if (!(pipe_constant > 0.0) || pipe_constant > 1.0) {
+    return Status::InvalidArgument("pipe_constant must be in (0, 1]");
+  }
+
+  CollapsedPlan cp;
+  std::map<OpId, CollapsedId> anchor_to_id;
+
+  // Anchors in ascending (= topological) order so that input collapsed ops
+  // exist before their consumers.
+  for (const auto& node : plan.nodes()) {
+    if (!config.materialized(node.id)) continue;
+    CollapsedOp c;
+    c.id = static_cast<CollapsedId>(cp.ops_.size());
+    c.anchor = node.id;
+
+    // Collect coll(c): the anchor plus all non-materialized ancestors
+    // reachable without crossing a materialized operator.
+    std::set<OpId> members;
+    std::set<CollapsedId> input_ids;
+    std::vector<OpId> stack = {node.id};
+    while (!stack.empty()) {
+      const OpId o = stack.back();
+      stack.pop_back();
+      if (!members.insert(o).second) continue;
+      for (OpId in : plan.node(o).inputs) {
+        if (config.materialized(in)) {
+          input_ids.insert(anchor_to_id.at(in));
+        } else {
+          stack.push_back(in);
+        }
+      }
+    }
+    c.members.assign(members.begin(), members.end());
+    c.inputs.assign(input_ids.begin(), input_ids.end());
+
+    // Dominant internal path dom(c): the max-tr path over coll(c)'s
+    // internal edges ending at the anchor (Eq. 1).
+    std::map<OpId, double> longest;
+    std::map<OpId, OpId> pred;
+    for (OpId o : c.members) {  // ascending ids = topological
+      double best_in = 0.0;
+      OpId best_pred = plan::kInvalidOpId;
+      for (OpId in : plan.node(o).inputs) {
+        if (!members.count(in)) continue;
+        if (longest.at(in) > best_in) {
+          best_in = longest.at(in);
+          best_pred = in;
+        }
+      }
+      longest[o] = plan.node(o).runtime_cost + best_in;
+      pred[o] = best_pred;
+    }
+    for (OpId o = node.id; o != plan::kInvalidOpId; o = pred.at(o)) {
+      c.dominant_members.push_back(o);
+    }
+    std::reverse(c.dominant_members.begin(), c.dominant_members.end());
+
+    const double factor =
+        c.dominant_members.size() > 1 ? pipe_constant : 1.0;
+    c.runtime_cost = longest.at(node.id) * factor;
+    c.materialize_cost = plan.node(node.id).materialize_cost;
+
+    anchor_to_id[node.id] = c.id;
+    cp.ops_.push_back(std::move(c));
+  }
+
+  std::vector<bool> has_consumer(cp.ops_.size(), false);
+  for (const auto& c : cp.ops_) {
+    if (c.inputs.empty()) cp.sources_.push_back(c.id);
+    for (CollapsedId in : c.inputs) {
+      has_consumer[static_cast<size_t>(in)] = true;
+    }
+  }
+  for (const auto& c : cp.ops_) {
+    if (!has_consumer[static_cast<size_t>(c.id)]) cp.sinks_.push_back(c.id);
+  }
+  return cp;
+}
+
+std::vector<CollapsedId> CollapsedPlan::Consumers(CollapsedId id) const {
+  std::vector<CollapsedId> out;
+  for (const auto& c : ops_) {
+    if (std::find(c.inputs.begin(), c.inputs.end(), id) != c.inputs.end()) {
+      out.push_back(c.id);
+    }
+  }
+  return out;
+}
+
+size_t CollapsedPlan::ForEachPath(
+    const std::function<bool(const CollapsedPath&)>& visit) const {
+  // Precompute consumer adjacency once.
+  std::vector<std::vector<CollapsedId>> consumers(ops_.size());
+  for (const auto& c : ops_) {
+    for (CollapsedId in : c.inputs) {
+      consumers[static_cast<size_t>(in)].push_back(c.id);
+    }
+  }
+  size_t visited = 0;
+  bool stop = false;
+  CollapsedPath path;
+  // Iterative DFS with explicit path stack.
+  std::function<void(CollapsedId)> dfs = [&](CollapsedId id) {
+    if (stop) return;
+    path.push_back(id);
+    const auto& next = consumers[static_cast<size_t>(id)];
+    if (next.empty()) {
+      ++visited;
+      if (!visit(path)) stop = true;
+    } else {
+      for (CollapsedId n : next) {
+        dfs(n);
+        if (stop) break;
+      }
+    }
+    path.pop_back();
+  };
+  for (CollapsedId s : sources_) {
+    dfs(s);
+    if (stop) break;
+  }
+  return visited;
+}
+
+std::vector<CollapsedPath> CollapsedPlan::AllPaths() const {
+  std::vector<CollapsedPath> out;
+  ForEachPath([&](const CollapsedPath& p) {
+    out.push_back(p);
+    return true;
+  });
+  return out;
+}
+
+size_t CollapsedPlan::CountPaths() const {
+  std::vector<size_t> count(ops_.size(), 0);
+  for (const auto& c : ops_) {  // ascending id = topological
+    if (c.inputs.empty()) {
+      count[static_cast<size_t>(c.id)] = 1;
+      continue;
+    }
+    size_t total = 0;
+    for (CollapsedId in : c.inputs) {
+      total += count[static_cast<size_t>(in)];
+    }
+    count[static_cast<size_t>(c.id)] = total;
+  }
+  size_t total = 0;
+  for (CollapsedId sink : sinks_) {
+    total += count[static_cast<size_t>(sink)];
+  }
+  return total;
+}
+
+double CollapsedPlan::PathRuntimeNoFailure(const CollapsedPath& path) const {
+  double total = 0.0;
+  for (CollapsedId id : path) total += op(id).total_cost();
+  return total;
+}
+
+double CollapsedPlan::MakespanNoFailure() const {
+  std::vector<double> finish(ops_.size(), 0.0);
+  double makespan = 0.0;
+  for (const auto& c : ops_) {  // ascending id = topological
+    double ready = 0.0;
+    for (CollapsedId in : c.inputs) {
+      ready = std::max(ready, finish[static_cast<size_t>(in)]);
+    }
+    finish[static_cast<size_t>(c.id)] = ready + c.total_cost();
+    makespan = std::max(makespan, finish[static_cast<size_t>(c.id)]);
+  }
+  return makespan;
+}
+
+std::string CollapsedPlan::Explain() const {
+  std::ostringstream os;
+  os << "CollapsedPlan (" << ops_.size() << " collapsed operators)\n";
+  for (const auto& c : ops_) {
+    std::vector<std::string> mems;
+    mems.reserve(c.members.size());
+    for (OpId m : c.members) mems.push_back(std::to_string(m));
+    os << StrFormat("  c%-3d {%s} anchor=%d tr=%.3f tm=%.3f t=%.3f", c.id,
+                    Join(mems, ",").c_str(), c.anchor, c.runtime_cost,
+                    c.materialize_cost, c.total_cost());
+    if (!c.inputs.empty()) {
+      os << "  <- {";
+      for (size_t i = 0; i < c.inputs.size(); ++i) {
+        if (i) os << ",";
+        os << "c" << c.inputs[i];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xdbft::ft

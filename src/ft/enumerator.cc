@@ -1,0 +1,190 @@
+#include "ft/enumerator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace xdbft::ft {
+
+using plan::Plan;
+
+std::string EnumerationStats::ToString() const {
+  return StrFormat(
+      "EnumerationStats(plans=%llu, ft_plans=%llu/%llu, rule1_marked=%llu, "
+      "rule2_marked=%llu, rule3_stops=%llu [RPt=%llu TPt=%llu memo=%llu], "
+      "paths=%llu)",
+      static_cast<unsigned long long>(candidate_plans),
+      static_cast<unsigned long long>(ft_plans_enumerated),
+      static_cast<unsigned long long>(total_ft_plans_unpruned),
+      static_cast<unsigned long long>(rule1_ops_marked),
+      static_cast<unsigned long long>(rule2_ops_marked),
+      static_cast<unsigned long long>(rule3_early_stops),
+      static_cast<unsigned long long>(rule3_rpt_hits),
+      static_cast<unsigned long long>(rule3_tpt_hits),
+      static_cast<unsigned long long>(rule3_memo_hits),
+      static_cast<unsigned long long>(paths_evaluated));
+}
+
+Result<FtPlanChoice> FtPlanEnumerator::FindBest(
+    const std::vector<Plan>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate plans");
+  }
+  XDBFT_RETURN_NOT_OK(model_.context().Validate());
+  stats_ = EnumerationStats{};
+  stats_.candidate_plans = candidates.size();
+
+  const double pipe = model_.context().model.pipe_constant;
+  const FailureParams fparams = model_.context().MakeFailureParams();
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  FtPlanChoice best;
+  bool found = false;
+  DominantPathMemo memo;
+
+  for (size_t pi = 0; pi < candidates.size(); ++pi) {
+    Plan plan = candidates[pi];  // copy: rules 1-2 mutate constraints
+    XDBFT_RETURN_NOT_OK(plan.Validate());
+
+    const size_t free_before = EnumerableOperators(plan).size();
+    if (free_before > 62) {
+      return Status::InvalidArgument("plan has too many free operators");
+    }
+    stats_.total_ft_plans_unpruned += uint64_t{1} << free_before;
+
+    if (options_.pruning.rule1) {
+      stats_.rule1_ops_marked +=
+          static_cast<uint64_t>(ApplyPruningRule1(&plan, pipe));
+    }
+    if (options_.pruning.rule2) {
+      stats_.rule2_ops_marked += static_cast<uint64_t>(
+          ApplyPruningRule2(&plan, model_.context()));
+    }
+
+    const std::vector<plan::OpId> free_ops = EnumerableOperators(plan);
+    if (static_cast<int>(free_ops.size()) > options_.max_free_operators) {
+      return Status::InvalidArgument(StrFormat(
+          "plan %zu has %zu free operators after pruning (max %d); raise "
+          "EnumerationOptions::max_free_operators or add constraints",
+          pi, free_ops.size(), options_.max_free_operators));
+    }
+    const uint64_t num_configs = uint64_t{1} << free_ops.size();
+    stats_.ft_plans_enumerated += num_configs;
+
+    for (uint64_t mask = 0; mask < num_configs; ++mask) {
+      const MaterializationConfig config =
+          MaterializationConfig::FromFreeMask(plan, mask);
+      XDBFT_ASSIGN_OR_RETURN(CollapsedPlan cp,
+                             CollapsedPlan::Create(plan, config, pipe));
+
+      // Path enumeration with rule-3 early stopping (Listing 1 lines 9-13
+      // plus §4.3). If any path's cost reaches bestT, this FT plan's
+      // dominant path cannot beat bestT and the remaining paths are
+      // skipped.
+      double dom_cost = 0.0;
+      CollapsedPath dom_path;
+      bool pruned = false;
+      const size_t total_paths =
+          options_.pruning.rule3 ? cp.CountPaths() : 0;
+      const size_t visited = cp.ForEachPath([&](const CollapsedPath& path) {
+        if (options_.pruning.rule3) {
+          // Test 1: RPt >= bestT — no cost-model call needed.
+          const double rpt = cp.PathRuntimeNoFailure(path);
+          if (rpt >= best_cost) {
+            ++stats_.rule3_rpt_hits;
+            pruned = true;
+            return false;
+          }
+          // Extension: Eq. 9 dominance over a memoized dominant path.
+          if (options_.pruning.memoize_dominant_paths && !memo.empty()) {
+            std::vector<double> costs;
+            costs.reserve(path.size());
+            for (CollapsedId id : path) costs.push_back(cp.op(id).total_cost());
+            if (memo.Dominates(std::move(costs))) {
+              ++stats_.rule3_memo_hits;
+              pruned = true;
+              return false;
+            }
+          }
+        }
+        ++stats_.paths_evaluated;
+        double tpt = 0.0;
+        for (CollapsedId id : path) {
+          tpt += OperatorTotalRuntime(cp.op(id).total_cost(), fparams);
+        }
+        if (options_.pruning.rule3 && tpt >= best_cost) {
+          // Test 2: TPt >= bestT.
+          ++stats_.rule3_tpt_hits;
+          pruned = true;
+          return false;
+        }
+        if (tpt > dom_cost) {
+          dom_cost = tpt;
+          dom_path = path;
+        }
+        return true;
+      });
+      if (pruned) {
+        ++stats_.rule3_rejections;
+        // Only count as an early stop if remaining paths were actually
+        // skipped; firing on the last path saves nothing (§5.5).
+        if (visited < total_paths) ++stats_.rule3_early_stops;
+        continue;
+      }
+      if (dom_path.empty()) {
+        return Status::Internal("collapsed plan produced no paths");
+      }
+      if (dom_cost < best_cost) {
+        best_cost = dom_cost;
+        best.plan_index = pi;
+        best.plan = plan;
+        best.config = config;
+        best.estimated_cost = dom_cost;
+        best.dominant_path = dom_path;
+        found = true;
+        if (options_.pruning.rule3 &&
+            options_.pruning.memoize_dominant_paths) {
+          std::vector<double> costs;
+          costs.reserve(dom_path.size());
+          for (CollapsedId id : dom_path) {
+            costs.push_back(cp.op(id).total_cost());
+          }
+          memo.Record(std::move(costs), dom_cost);
+        }
+      }
+    }
+  }
+  if (!found) {
+    return Status::Internal("enumeration found no fault-tolerant plan");
+  }
+  return best;
+}
+
+Result<FtPlanChoice> FtPlanEnumerator::FindBest(const Plan& plan) {
+  return FindBest(std::vector<Plan>{plan});
+}
+
+Result<std::vector<std::pair<MaterializationConfig, double>>>
+FtPlanEnumerator::EnumerateAll(const Plan& plan) const {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(model_.context().Validate());
+  const std::vector<plan::OpId> free_ops = EnumerableOperators(plan);
+  if (free_ops.size() > 20) {
+    return Status::InvalidArgument(
+        "EnumerateAll supports at most 20 free operators");
+  }
+  std::vector<std::pair<MaterializationConfig, double>> out;
+  const uint64_t num_configs = uint64_t{1} << free_ops.size();
+  out.reserve(num_configs);
+  for (uint64_t mask = 0; mask < num_configs; ++mask) {
+    const MaterializationConfig config =
+        MaterializationConfig::FromFreeMask(plan, mask);
+    XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate est,
+                           model_.Estimate(plan, config));
+    out.emplace_back(config, est.dominant_cost);
+  }
+  return out;
+}
+
+}  // namespace xdbft::ft

@@ -1,0 +1,49 @@
+#include "ft/explain.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xdbft::ft {
+
+std::string MarginalAnalysis::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("Materialization marginals (configured cost %.2fs):\n",
+                  configured_cost);
+  for (const auto& m : operators) {
+    os << StrFormat(
+        "  [%2d] %-28s m=%d  toggled cost %.2fs  (%s %.2fs)\n", m.op,
+        m.label.c_str(), m.materialized ? 1 : 0, m.cost_toggled,
+        m.benefit() >= 0 ? "saves" : "LOSES", std::fabs(m.benefit()));
+  }
+  return os.str();
+}
+
+Result<MarginalAnalysis> AnalyzeMarginals(const plan::Plan& plan,
+                                          const MaterializationConfig& config,
+                                          const FtCostContext& context) {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(config.Validate(plan));
+  FtCostModel model(context);
+  XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate base, model.Estimate(plan, config));
+
+  MarginalAnalysis out;
+  out.configured_cost = base.dominant_cost;
+  for (plan::OpId id : EnumerableOperators(plan)) {
+    MaterializationConfig toggled = config;
+    toggled.set_materialized(id, !config.materialized(id));
+    XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate est,
+                           model.Estimate(plan, toggled));
+    OperatorMarginal m;
+    m.op = id;
+    m.label = plan.node(id).label;
+    m.materialized = config.materialized(id);
+    m.cost_as_configured = base.dominant_cost;
+    m.cost_toggled = est.dominant_cost;
+    out.operators.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace xdbft::ft

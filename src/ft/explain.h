@@ -1,0 +1,46 @@
+// Explainability for materialization decisions: for a chosen
+// configuration, the marginal effect of toggling each free operator's
+// m(o) — "what would it cost to (not) checkpoint this operator?" — which
+// is how a DBA audits the cost-based scheme's choice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ft/ft_cost.h"
+
+namespace xdbft::ft {
+
+/// \brief Marginal effect of one free operator's materialization flag.
+struct OperatorMarginal {
+  plan::OpId op = plan::kInvalidOpId;
+  std::string label;
+  /// m(o) in the analyzed configuration.
+  bool materialized = false;
+  /// Estimated plan cost with the flag as configured.
+  double cost_as_configured = 0.0;
+  /// Estimated plan cost with only this flag toggled.
+  double cost_toggled = 0.0;
+
+  /// \brief How much the configured setting saves over toggling it
+  /// (positive = the configured choice is better).
+  double benefit() const { return cost_toggled - cost_as_configured; }
+};
+
+/// \brief Full marginal report for [plan, config].
+struct MarginalAnalysis {
+  double configured_cost = 0.0;
+  std::vector<OperatorMarginal> operators;
+
+  /// \brief Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief Compute the marginal analysis of `config` for `plan` under
+/// `context`. Only free (enumerable) operators are analyzed.
+Result<MarginalAnalysis> AnalyzeMarginals(const plan::Plan& plan,
+                                          const MaterializationConfig& config,
+                                          const FtCostContext& context);
+
+}  // namespace xdbft::ft

@@ -1,0 +1,78 @@
+#include "ft/failure_math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xdbft::ft {
+
+Status FailureParams::Validate() const {
+  if (!(mtbf_cost > 0.0) || !std::isfinite(mtbf_cost)) {
+    return Status::InvalidArgument("mtbf_cost must be positive and finite");
+  }
+  if (mttr_cost < 0.0 || !std::isfinite(mttr_cost)) {
+    return Status::InvalidArgument("mttr_cost must be non-negative");
+  }
+  if (!(success_target > 0.0) || !(success_target < 1.0)) {
+    return Status::InvalidArgument("success_target must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+double SuccessProbability(double t, double mtbf_cost) {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-t / mtbf_cost);
+}
+
+double FailureProbability(double t, double mtbf_cost) {
+  if (t <= 0.0) return 0.0;
+  // 1 - e^{-x} computed stably.
+  return -std::expm1(-t / mtbf_cost);
+}
+
+double WastedTimeExact(double t, double mtbf_cost) {
+  if (t <= 0.0) return 0.0;
+  const double x = t / mtbf_cost;
+  if (x < 1e-9) {
+    // Series expansion of MTBF - t/(e^x - 1) = t/2 - t*x/12 + O(x^3).
+    return t * (0.5 - x / 12.0);
+  }
+  return mtbf_cost - t / std::expm1(x);
+}
+
+double WastedTimeApprox(double t) { return std::max(t, 0.0) / 2.0; }
+
+double WastedTime(double t, const FailureParams& params) {
+  return params.exact_wasted_time ? WastedTimeExact(t, params.mtbf_cost)
+                                  : WastedTimeApprox(t);
+}
+
+double ExpectedAttempts(double t, double mtbf_cost, double success_target) {
+  const double eta = FailureProbability(t, mtbf_cost);
+  if (eta <= 0.0) return 0.0;
+  if (eta >= 1.0) return std::numeric_limits<double>::infinity();
+  const double a = std::log(1.0 - success_target) / std::log(eta) - 1.0;
+  return std::max(a, 0.0);
+}
+
+double OperatorTotalRuntime(double t, const FailureParams& params) {
+  if (t <= 0.0) return 0.0;
+  const double a = ExpectedAttempts(t, params.mtbf_cost,
+                                    params.success_target);
+  const double w = WastedTime(t, params);
+  return t + a * w + a * params.mttr_cost;
+}
+
+double QuerySuccessProbability(double t, double mtbf_per_node,
+                               int num_nodes) {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-t * static_cast<double>(num_nodes) / mtbf_per_node);
+}
+
+double SuccessWithinAttempts(double t, double mtbf_cost, double attempts) {
+  const double eta = FailureProbability(t, mtbf_cost);
+  if (eta <= 0.0) return 1.0;
+  return 1.0 - std::pow(eta, attempts + 1.0);
+}
+
+}  // namespace xdbft::ft

@@ -1,0 +1,67 @@
+// Closed-form failure mathematics of the cost model (paper §3.5 and §1
+// footnote 1): success probabilities under Poisson failure arrivals, the
+// expected wasted runtime per failure w(c) (Eq. 2-4), the attempts percentile
+// a(c) (Eq. 5-6) and the per-operator total runtime T(c) (Eq. 8).
+#pragma once
+
+#include "common/status.h"
+
+namespace xdbft::ft {
+
+/// \brief Parameters of the failure process as seen by a partition-parallel
+/// operator, in internal cost units (seconds x CONST_cost).
+///
+/// `mtbf_cost` must already be the *effective* MTBF of the executing node
+/// group: with n independent nodes of per-node MTBF M, the first failure
+/// arrives with rate n/M, i.e. mtbf_cost = M * CONST_cost / n.
+struct FailureParams {
+  double mtbf_cost = 86400.0;
+  double mttr_cost = 1.0;
+  /// Desired success probability S for the attempts percentile (Eq. 6).
+  double success_target = 0.95;
+  /// Use exact Eq. 3 instead of the t/2 approximation (Eq. 4) for w(c).
+  bool exact_wasted_time = false;
+
+  Status Validate() const;
+};
+
+/// \brief gamma(c) = e^{-t/MTBF}: probability an operator of duration t
+/// completes without a failure (paper §3.5).
+double SuccessProbability(double t, double mtbf_cost);
+
+/// \brief eta(c) = 1 - gamma(c): probability of at least one failure while
+/// the operator runs.
+double FailureProbability(double t, double mtbf_cost);
+
+/// \brief Exact average wasted runtime per failure, Eq. 3:
+///   w = MTBF - t / (e^{t/MTBF} - 1).
+/// Numerically stable for t << MTBF (uses expm1).
+double WastedTimeExact(double t, double mtbf_cost);
+
+/// \brief The t/2 approximation of w(c) (Eq. 4), used by the paper's cost
+/// model: already for MTBF > t the exact value is close to t/2.
+double WastedTimeApprox(double t);
+
+/// \brief w(c) under the given parameters (exact or approximate).
+double WastedTime(double t, const FailureParams& params);
+
+/// \brief a(c), Eq. 6: number of *additional* attempts (beyond the first)
+/// needed so the operator succeeds with probability >= S:
+///   a = max(ln(1 - S) / ln(eta) - 1, 0).
+/// Returns 0 when eta == 0 (no failures possible).
+double ExpectedAttempts(double t, double mtbf_cost, double success_target);
+
+/// \brief T(c), Eq. 8: t + a*w + a*MTTR — the operator's total runtime under
+/// mid-query failures at the S-percentile.
+double OperatorTotalRuntime(double t, const FailureParams& params);
+
+/// \brief Probability that a query of duration t finishes without any
+/// failure on a cluster of n nodes with per-node MTBF (Fig. 1):
+///   P = e^{-t n / MTBF}.
+double QuerySuccessProbability(double t, double mtbf_per_node, int num_nodes);
+
+/// \brief Cumulative probability that an operator succeeds within N
+/// additional attempts (Eq. 5 closed form): 1 - eta^{N+1}.
+double SuccessWithinAttempts(double t, double mtbf_cost, double attempts);
+
+}  // namespace xdbft::ft

@@ -1,0 +1,44 @@
+#include "ft/ft_cost.h"
+
+namespace xdbft::ft {
+
+double FtCostModel::OperatorCost(const CollapsedOp& c) const {
+  return OperatorTotalRuntime(c.total_cost(), context_.MakeFailureParams());
+}
+
+double FtCostModel::PathCost(const CollapsedPlan& cp,
+                             const CollapsedPath& path) const {
+  const FailureParams params = context_.MakeFailureParams();
+  double total = 0.0;
+  for (CollapsedId id : path) {
+    total += OperatorTotalRuntime(cp.op(id).total_cost(), params);
+  }
+  return total;
+}
+
+Result<FtPlanEstimate> FtCostModel::Estimate(const CollapsedPlan& cp) const {
+  XDBFT_RETURN_NOT_OK(context_.Validate());
+  FtPlanEstimate est;
+  est.paths_evaluated = cp.ForEachPath([&](const CollapsedPath& path) {
+    const double cost = PathCost(cp, path);
+    if (cost > est.dominant_cost) {
+      est.dominant_cost = cost;
+      est.dominant_path = path;
+    }
+    return true;
+  });
+  if (est.paths_evaluated == 0) {
+    return Status::InvalidArgument("collapsed plan has no execution paths");
+  }
+  return est;
+}
+
+Result<FtPlanEstimate> FtCostModel::Estimate(
+    const plan::Plan& plan, const MaterializationConfig& config) const {
+  XDBFT_ASSIGN_OR_RETURN(
+      CollapsedPlan cp,
+      CollapsedPlan::Create(plan, config, context_.model.pipe_constant));
+  return Estimate(cp);
+}
+
+}  // namespace xdbft::ft

@@ -1,0 +1,39 @@
+#include "ft/greedy.h"
+
+namespace xdbft::ft {
+
+Result<GreedyResult> GreedyMaterialization(const plan::Plan& plan,
+                                           const FtCostContext& context) {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(context.Validate());
+  FtCostModel model(context);
+
+  GreedyResult out;
+  out.config = MaterializationConfig::NoMat(plan);
+  XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate base,
+                         model.Estimate(plan, out.config));
+  out.estimated_cost = base.dominant_cost;
+
+  const std::vector<plan::OpId> free_ops = EnumerableOperators(plan);
+  while (true) {
+    double best_cost = out.estimated_cost;
+    plan::OpId best_op = plan::kInvalidOpId;
+    for (plan::OpId id : free_ops) {
+      MaterializationConfig flipped = out.config;
+      flipped.set_materialized(id, !out.config.materialized(id));
+      XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate est,
+                             model.Estimate(plan, flipped));
+      if (est.dominant_cost < best_cost) {
+        best_cost = est.dominant_cost;
+        best_op = id;
+      }
+    }
+    if (best_op == plan::kInvalidOpId) break;
+    out.config.set_materialized(best_op, !out.config.materialized(best_op));
+    out.estimated_cost = best_cost;
+    ++out.steps;
+  }
+  return out;
+}
+
+}  // namespace xdbft::ft

@@ -1,0 +1,32 @@
+// Greedy materialization for wide plans: exhaustive enumeration is 2^f in
+// the number of free operators, which the paper tames with pruning and
+// top-k plans — but a plan with many dozens of free operators (deep ETL
+// DAGs) still cannot be enumerated. This hill climber starts from the
+// no-mat configuration and repeatedly flips the single flag with the best
+// marginal improvement until no flip helps: O(f^2) cost-model calls, and
+// on the paper's query shapes it matches the exhaustive optimum (see
+// greedy_test.cc).
+#pragma once
+
+#include "common/result.h"
+#include "ft/ft_cost.h"
+
+namespace xdbft::ft {
+
+/// \brief Result of the greedy search.
+struct GreedyResult {
+  MaterializationConfig config;
+  /// Estimated runtime under failures of the final configuration.
+  double estimated_cost = 0.0;
+  /// Flags flipped (= hill-climbing steps taken).
+  int steps = 0;
+};
+
+/// \brief Greedy hill climbing over materialization flags (both
+/// directions: a flip may set or clear a flag, so the climber can also
+/// improve an all-mat-like start). Deterministic; ties broken by the
+/// lowest operator id.
+Result<GreedyResult> GreedyMaterialization(const plan::Plan& plan,
+                                           const FtCostContext& context);
+
+}  // namespace xdbft::ft

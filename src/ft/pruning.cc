@@ -1,0 +1,137 @@
+#include "ft/pruning.h"
+
+#include <algorithm>
+
+namespace xdbft::ft {
+
+using plan::MatConstraint;
+using plan::OpId;
+using plan::Plan;
+
+namespace {
+
+// t({o}) for a singleton collapsed operator: no pipeline discount.
+double SingletonCost(const plan::PlanNode& o) {
+  return o.runtime_cost + o.materialize_cost;
+}
+
+// t({children..., p}) for the collapse of p with all its children: the
+// dominant internal path is max_i tr(o_i) + tr(p), discounted by
+// CONST_pipe, plus tm(p) (Fig. 5).
+double CollapsedWithParentCost(const Plan& plan, const plan::PlanNode& p,
+                               double pipe_constant) {
+  double max_child_tr = 0.0;
+  for (OpId in : p.inputs) {
+    max_child_tr = std::max(max_child_tr, plan.node(in).runtime_cost);
+  }
+  return (max_child_tr + p.runtime_cost) * pipe_constant +
+         p.materialize_cost;
+}
+
+// True iff `p` is the only consumer of `o`.
+bool SoleConsumerIs(const Plan& plan, OpId o, OpId p) {
+  const auto consumers = plan.Consumers(o);
+  return consumers.size() == 1 && consumers[0] == p;
+}
+
+}  // namespace
+
+int ApplyPruningRule1(Plan* plan, double pipe_constant) {
+  int marked = 0;
+  // Consider each parent p and the set of its children; the unary case is
+  // the n-ary case with one child (§4.1 treats them separately only for
+  // presentation).
+  for (const auto& p : plan->nodes()) {
+    if (p.inputs.empty()) continue;
+    // Every child must have p as its sole consumer, otherwise collapsing a
+    // child into p does not remove its other consumers' dependency on a
+    // materialized copy.
+    bool eligible = true;
+    for (OpId in : p.inputs) {
+      if (!SoleConsumerIs(*plan, in, p.id)) {
+        eligible = false;
+        break;
+      }
+    }
+    if (!eligible) continue;
+
+    const double collapsed = CollapsedWithParentCost(*plan, p, pipe_constant);
+    // The rule requires t({o_1,...,o_k,p}) <= t({o_i}) for every free
+    // child; only then is not materializing them guaranteed no worse.
+    bool all_dominated = true;
+    bool any_free = false;
+    for (OpId in : p.inputs) {
+      const auto& child = plan->node(in);
+      if (!child.is_free()) continue;
+      any_free = true;
+      if (!(collapsed <= SingletonCost(child))) {
+        all_dominated = false;
+        break;
+      }
+    }
+    if (!any_free || !all_dominated) continue;
+    for (OpId in : p.inputs) {
+      auto& child = plan->mutable_node(in);
+      if (child.is_free()) {
+        child.constraint = MatConstraint::kNeverMaterialize;
+        ++marked;
+      }
+    }
+  }
+  return marked;
+}
+
+int ApplyPruningRule2(Plan* plan, const FtCostContext& context) {
+  const FailureParams params = context.MakeFailureParams();
+  const double pipe = context.model.pipe_constant;
+  int marked = 0;
+  for (const auto& p : plan->nodes()) {
+    // Rule 2 applies only to children of *unary* parents (§4.2).
+    if (p.inputs.size() != 1) continue;
+    const OpId o_id = p.inputs[0];
+    auto& o = plan->mutable_node(o_id);
+    if (!o.is_free()) continue;
+    if (!SoleConsumerIs(*plan, o_id, p.id)) continue;
+    const double t_op =
+        (o.runtime_cost + p.runtime_cost) * pipe + p.materialize_cost;
+    const double gamma = SuccessProbability(t_op, params.mtbf_cost);
+    if (gamma >= params.success_target) {
+      o.constraint = MatConstraint::kNeverMaterialize;
+      ++marked;
+    }
+  }
+  return marked;
+}
+
+void DominantPathMemo::Record(std::vector<double> costs, double total) {
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  const size_t count = costs.size();
+  auto it = by_count_.find(count);
+  if (it == by_count_.end() || total < it->second.total) {
+    by_count_[count] = Entry{std::move(costs), total};
+  }
+}
+
+bool DominantPathMemo::Dominates(std::vector<double> path_costs) const {
+  if (by_count_.empty()) return false;
+  std::sort(path_costs.begin(), path_costs.end(), std::greater<double>());
+  // Compare against every memoized path with at most as many collapsed
+  // operators; shorter memos are implicitly padded with zero-cost
+  // operators (paper §4.3).
+  for (const auto& [count, entry] : by_count_) {
+    if (count > path_costs.size()) break;  // map is ordered by count
+    bool dominates = true;
+    for (size_t i = 0; i < path_costs.size(); ++i) {
+      const double memo_cost =
+          i < entry.sorted_costs.size() ? entry.sorted_costs[i] : 0.0;
+      if (path_costs[i] < memo_cost) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) return true;
+  }
+  return false;
+}
+
+}  // namespace xdbft::ft

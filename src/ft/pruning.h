@@ -1,0 +1,82 @@
+// Search-space pruning for materialization-configuration enumeration
+// (paper §4). Rules 1 and 2 are pre-passes over a plan that mark operators
+// non-materializable (turning f(o)=1 into a bound m(o)=0) and thereby halve
+// the configuration space per marked operator. Rule 3 (long execution paths
+// with memoized dominant paths, Eq. 9) runs inside the enumerator; its
+// helper, DominantPathMemo, lives here.
+//
+// Exactness: rule 3 only skips paths whose TPt provably cannot beat the
+// memoized best, so it preserves the optimum exactly. Rules 1 and 2 rest on
+// the paper's *pairwise* collapse arguments ({o,p} vs {o},{p}); in the full
+// configuration space, where a banned operator may end up merged into a much
+// larger collapsed operator, they are near-optimal heuristics rather than
+// strict guarantees (see FullPruningNearOptimal in enumerator_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ft/ft_cost.h"
+#include "plan/plan.h"
+
+namespace xdbft::ft {
+
+/// \brief Which pruning rules the enumerator applies.
+struct PruningOptions {
+  /// Rule 1 (§4.1): mark o non-materializable when collapsing it into its
+  /// parent is guaranteed cheaper than materializing it.
+  bool rule1 = true;
+  /// Rule 2 (§4.2): mark o non-materializable when the collapsed {o, p}
+  /// already meets the desired success probability S.
+  bool rule2 = true;
+  /// Rule 3 (§4.3): stop path enumeration of an FT plan early once a path
+  /// at least as expensive as the best memoized dominant path is found.
+  bool rule3 = true;
+  /// Extension of rule 3: memoize the best dominant path per
+  /// collapsed-operator count and prune via the pairwise sorted comparison
+  /// of Eq. 9.
+  bool memoize_dominant_paths = true;
+};
+
+/// \brief Rule 1 — high materialization costs (§4.1). Marks free operators
+/// whose collapse into their (sole-consumer) parent is guaranteed not to
+/// increase any path's runtime under failures, i.e. when
+/// t({children..., p}) <= t({o_i}) for every free child o_i. Handles both
+/// the unary- and the n-ary-parent case. Returns the number of operators
+/// marked (constraint set to kNeverMaterialize).
+int ApplyPruningRule1(plan::Plan* plan, double pipe_constant);
+
+/// \brief Rule 2 — high probability of success (§4.2). For a free operator
+/// o whose sole consumer p is unary, marks o non-materializable when
+/// gamma({o, p}) >= S under the context's effective MTBF. Returns the
+/// number of operators marked.
+int ApplyPruningRule2(plan::Plan* plan, const FtCostContext& context);
+
+/// \brief Memo store for rule 3's dominant-path comparison (Eq. 9): for
+/// each collapsed-operator count, the t(c) multiset (sorted descending) of
+/// the cheapest dominant path seen so far.
+class DominantPathMemo {
+ public:
+  /// \brief Record the dominant path of a newly accepted best plan.
+  /// `costs` are the t(c) values along the path; `total` its TPt.
+  void Record(std::vector<double> costs, double total);
+
+  /// \brief True iff `path_costs` (t(c) values of the path under test)
+  /// pairwise dominates some memoized dominant path with at most as many
+  /// collapsed operators (shorter memos are padded with zero-cost
+  /// operators, as the paper allows).
+  bool Dominates(std::vector<double> path_costs) const;
+
+  bool empty() const { return by_count_.empty(); }
+  void Clear() { by_count_.clear(); }
+
+ private:
+  struct Entry {
+    std::vector<double> sorted_costs;  // descending
+    double total = 0.0;
+  };
+  std::map<size_t, Entry> by_count_;
+};
+
+}  // namespace xdbft::ft

@@ -1,0 +1,72 @@
+#include "ft/scheme.h"
+
+namespace xdbft::ft {
+
+const char* SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kAllMat:
+      return "all-mat";
+    case SchemeKind::kNoMatLineage:
+      return "no-mat (lineage)";
+    case SchemeKind::kNoMatRestart:
+      return "no-mat (restart)";
+    case SchemeKind::kCostBased:
+      return "cost-based";
+  }
+  return "?";
+}
+
+Result<SchemePlan> ApplyScheme(SchemeKind kind, const plan::Plan& plan,
+                               const FtCostContext& context,
+                               const EnumerationOptions& options) {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(context.Validate());
+  SchemePlan out;
+  out.kind = kind;
+  out.plan = plan;
+  FtCostModel model(context);
+  switch (kind) {
+    case SchemeKind::kAllMat: {
+      out.recovery = RecoveryMode::kFineGrained;
+      out.config = MaterializationConfig::AllMat(plan);
+      break;
+    }
+    case SchemeKind::kNoMatLineage: {
+      out.recovery = RecoveryMode::kFineGrained;
+      out.config = MaterializationConfig::NoMat(plan);
+      break;
+    }
+    case SchemeKind::kNoMatRestart: {
+      out.recovery = RecoveryMode::kFullRestart;
+      out.config = MaterializationConfig::NoMat(plan);
+      break;
+    }
+    case SchemeKind::kCostBased: {
+      return ApplyCostBasedScheme({plan}, context, options);
+    }
+  }
+  XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate est,
+                         model.Estimate(out.plan, out.config));
+  out.estimated_cost = est.dominant_cost;
+  return out;
+}
+
+Result<SchemePlan> ApplyCostBasedScheme(
+    const std::vector<plan::Plan>& candidates, const FtCostContext& context,
+    const EnumerationOptions& options) {
+  FtPlanEnumerator enumerator(context, options);
+  XDBFT_ASSIGN_OR_RETURN(FtPlanChoice choice,
+                         enumerator.FindBest(candidates));
+  SchemePlan out;
+  out.kind = SchemeKind::kCostBased;
+  out.recovery = RecoveryMode::kFineGrained;
+  // Return the caller's plan, not the enumerator's working copy: the
+  // pruning rules' kNeverMaterialize marks are an internal search detail
+  // and would confuse downstream re-analysis (e.g. marginal reports).
+  out.plan = candidates[choice.plan_index];
+  out.config = std::move(choice.config);
+  out.estimated_cost = choice.estimated_cost;
+  return out;
+}
+
+}  // namespace xdbft::ft

@@ -1,0 +1,60 @@
+// The four fault-tolerance schemes compared in the paper's evaluation
+// (§5.2): all-mat (Hadoop), no-mat lineage (Shark/Spark), no-mat restart
+// (parallel database) and the paper's cost-based scheme. A scheme is a
+// materialization policy plus a recovery mode.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "ft/enumerator.h"
+
+namespace xdbft::ft {
+
+enum class SchemeKind : int {
+  /// Materialize every intermediate; restart only failed sub-plans.
+  kAllMat,
+  /// Materialize nothing; recompute failed sub-plans from lineage.
+  kNoMatLineage,
+  /// Materialize nothing; restart the whole query on any failure.
+  kNoMatRestart,
+  /// This paper: cost-based subset materialization; fine-grained restart.
+  kCostBased,
+};
+
+const char* SchemeKindName(SchemeKind kind);
+
+/// \brief How the engine recovers when a mid-query failure is detected.
+enum class RecoveryMode : int {
+  /// Restart only the failed sub-plan (collapsed operator x partition)
+  /// from its last materialized inputs.
+  kFineGrained,
+  /// Restart the entire query from the beginning.
+  kFullRestart,
+};
+
+/// \brief A scheme instantiated for one query: the plan with its
+/// materialization configuration and recovery mode, ready for execution.
+struct SchemePlan {
+  SchemeKind kind = SchemeKind::kCostBased;
+  RecoveryMode recovery = RecoveryMode::kFineGrained;
+  plan::Plan plan;
+  MaterializationConfig config;
+  /// Cost-model estimate of runtime under failures (dominant-path TPt).
+  double estimated_cost = 0.0;
+};
+
+/// \brief Instantiate `kind` for `plan` under the given cluster/model
+/// statistics. For kCostBased this runs findBestFTPlan over the single
+/// plan; `options` controls its pruning.
+Result<SchemePlan> ApplyScheme(SchemeKind kind, const plan::Plan& plan,
+                               const FtCostContext& context,
+                               const EnumerationOptions& options = {});
+
+/// \brief Cost-based over multiple candidate plans (the optimizer's
+/// top-k), per §3.2.
+Result<SchemePlan> ApplyCostBasedScheme(
+    const std::vector<plan::Plan>& candidates, const FtCostContext& context,
+    const EnumerationOptions& options = {});
+
+}  // namespace xdbft::ft

@@ -1,0 +1,109 @@
+#include "optimizer/join_graph.h"
+
+
+#include "common/string_util.h"
+
+namespace xdbft::optimizer {
+
+int JoinGraph::AddRelation(Relation r) {
+  rels_.push_back(std::move(r));
+  return static_cast<int>(rels_.size()) - 1;
+}
+
+Status JoinGraph::AddEdge(int left, int right, double selectivity,
+                          std::string predicate) {
+  if (left < 0 || left >= num_relations() || right < 0 ||
+      right >= num_relations() || left == right) {
+    return Status::InvalidArgument("invalid edge endpoints");
+  }
+  if (!(selectivity > 0.0) || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  edges_.push_back(JoinEdge{left, right, selectivity, std::move(predicate)});
+  return Status::OK();
+}
+
+Status JoinGraph::Validate() const {
+  if (rels_.empty()) return Status::InvalidArgument("no relations");
+  if (rels_.size() > 20) {
+    return Status::InvalidArgument("at most 20 relations supported");
+  }
+  for (const auto& r : rels_) {
+    if (!(r.rows > 0.0)) {
+      return Status::InvalidArgument("relation " + r.name +
+                                     " has non-positive cardinality");
+    }
+  }
+  if (!Connected(AllRels())) {
+    return Status::InvalidArgument(
+        "join graph is not connected (query would need cross products)");
+  }
+  return Status::OK();
+}
+
+bool JoinGraph::Connected(RelSet set) const {
+  if (set == 0) return false;
+  const RelSet first = set & (~set + 1);  // lowest bit
+  RelSet reached = first;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& e : edges_) {
+      const RelSet l = RelSet{1} << e.left;
+      const RelSet r = RelSet{1} << e.right;
+      if ((l | r) & ~set) continue;  // edge leaves the subset
+      if ((reached & l) && !(reached & r)) {
+        reached |= r;
+        grew = true;
+      } else if ((reached & r) && !(reached & l)) {
+        reached |= l;
+        grew = true;
+      }
+    }
+  }
+  return reached == set;
+}
+
+bool JoinGraph::HasCrossEdge(RelSet a, RelSet b) const {
+  for (const auto& e : edges_) {
+    const RelSet l = RelSet{1} << e.left;
+    const RelSet r = RelSet{1} << e.right;
+    if (((l & a) && (r & b)) || ((l & b) && (r & a))) return true;
+  }
+  return false;
+}
+
+double JoinGraph::Cardinality(RelSet set) const {
+  double card = 1.0;
+  for (int i = 0; i < num_relations(); ++i) {
+    if (set & (RelSet{1} << i)) card *= rels_[static_cast<size_t>(i)].rows;
+  }
+  for (const auto& e : edges_) {
+    const RelSet l = RelSet{1} << e.left;
+    const RelSet r = RelSet{1} << e.right;
+    if ((l & set) && (r & set)) card *= e.selectivity;
+  }
+  return card;
+}
+
+double JoinGraph::CrossSelectivity(RelSet a, RelSet b) const {
+  double sel = 1.0;
+  for (const auto& e : edges_) {
+    const RelSet l = RelSet{1} << e.left;
+    const RelSet r = RelSet{1} << e.right;
+    if (((l & a) && (r & b)) || ((l & b) && (r & a))) sel *= e.selectivity;
+  }
+  return sel;
+}
+
+double JoinGraph::Width(RelSet set) const {
+  double w = 0.0;
+  for (int i = 0; i < num_relations(); ++i) {
+    if (set & (RelSet{1} << i)) {
+      w += rels_[static_cast<size_t>(i)].width_contribution;
+    }
+  }
+  return w;
+}
+
+}  // namespace xdbft::optimizer

@@ -1,0 +1,83 @@
+// Join graphs and cardinality estimation for join-order enumeration
+// (paper §3.2: phase 1 enumerates the top-k plans by failure-free cost;
+// §5.5 enumerates all 1344 join orders of TPC-H Q5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xdbft::optimizer {
+
+/// \brief Bitmask over relations of a join graph (max 20 relations).
+using RelSet = uint32_t;
+
+/// \brief One base relation (with local predicates already applied).
+struct Relation {
+  std::string name;
+  /// Output cardinality of the (filtered) scan.
+  double rows = 0.0;
+  /// Runtime cost tr of the scan (partition-parallel, seconds).
+  double scan_cost = 0.0;
+  /// Bytes this relation's columns contribute to a joined row.
+  double width_contribution = 40.0;
+  /// Row width of the base relation itself.
+  double scan_width = 100.0;
+};
+
+/// \brief An equi-join edge with its selectivity: |L join R| =
+/// |L| * |R| * selectivity.
+struct JoinEdge {
+  int left = 0;
+  int right = 0;
+  double selectivity = 1.0;
+  std::string predicate;
+};
+
+/// \brief Undirected join graph with independence-assumption cardinality
+/// estimation over arbitrary connected sub-sets.
+class JoinGraph {
+ public:
+  int AddRelation(Relation r);
+  Status AddEdge(int left, int right, double selectivity,
+                 std::string predicate = "");
+
+  int num_relations() const { return static_cast<int>(rels_.size()); }
+  const Relation& relation(int i) const {
+    return rels_[static_cast<size_t>(i)];
+  }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  Status Validate() const;
+
+  /// \brief True iff the relations in `set` form a connected subgraph.
+  bool Connected(RelSet set) const;
+
+  /// \brief True iff at least one edge crosses between `a` and `b`.
+  bool HasCrossEdge(RelSet a, RelSet b) const;
+
+  /// \brief Estimated cardinality of joining all relations in `set`:
+  /// product of relation rows times the selectivity of every edge whose
+  /// endpoints both lie in `set` (classic independence assumption [14]).
+  double Cardinality(RelSet set) const;
+
+  /// \brief Product of selectivities of edges crossing between `a` and
+  /// `b` (1.0 if none).
+  double CrossSelectivity(RelSet a, RelSet b) const;
+
+  /// \brief Sum of width contributions of the relations in `set`.
+  double Width(RelSet set) const;
+
+  /// \brief Mask containing every relation.
+  RelSet AllRels() const {
+    return static_cast<RelSet>((uint64_t{1} << rels_.size()) - 1);
+  }
+
+ private:
+  std::vector<Relation> rels_;
+  std::vector<JoinEdge> edges_;
+};
+
+}  // namespace xdbft::optimizer

@@ -1,0 +1,159 @@
+#include "optimizer/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace xdbft::optimizer {
+
+using exec::Table;
+using exec::Value;
+using exec::ValueType;
+
+Result<const ColumnStats*> TableStats::Find(const std::string& column) const {
+  for (const auto& c : columns) {
+    if (c.name == column) return &c;
+  }
+  return Status::NotFound("no statistics for column '" + column + "'");
+}
+
+Result<TableStats> AnalyzeTable(const Table& table,
+                                int histogram_buckets) {
+  if (histogram_buckets <= 0) {
+    return Status::InvalidArgument("histogram_buckets must be positive");
+  }
+  TableStats out;
+  out.row_count = table.num_rows();
+  const size_t ncols = table.schema.num_columns();
+  out.columns.resize(ncols);
+
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnStats& cs = out.columns[c];
+    cs.name = table.schema.column(static_cast<int>(c)).name;
+    cs.row_count = table.num_rows();
+
+    std::unordered_set<size_t> distinct_hashes;
+    bool any_numeric = false;
+    double min = 0.0, max = 0.0;
+    for (const auto& row : table.rows) {
+      const Value& v = row[c];
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      if (cs.type == ValueType::kNull) cs.type = v.type();
+      distinct_hashes.insert(v.Hash());
+      if (v.type() == ValueType::kInt64 ||
+          v.type() == ValueType::kDouble) {
+        const double d = v.AsDouble();
+        if (!any_numeric) {
+          min = max = d;
+          any_numeric = true;
+        } else {
+          min = std::min(min, d);
+          max = std::max(max, d);
+        }
+      }
+    }
+    cs.distinct_count = distinct_hashes.size();
+    if (!cs.is_numeric() || !any_numeric) continue;
+    cs.min = min;
+    cs.max = max;
+    cs.histogram.assign(static_cast<size_t>(histogram_buckets), 0);
+    const double width = (max - min) / histogram_buckets;
+    for (const auto& row : table.rows) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;
+      size_t bucket =
+          width <= 0.0
+              ? 0
+              : static_cast<size_t>((v.AsDouble() - min) / width);
+      bucket = std::min(bucket,
+                        static_cast<size_t>(histogram_buckets - 1));
+      ++cs.histogram[bucket];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr double kDefaultInequalitySelectivity = 1.0 / 3.0;
+
+double NonNullCount(const ColumnStats& stats) {
+  return static_cast<double>(stats.row_count - stats.null_count);
+}
+
+}  // namespace
+
+double EstimateLessThan(const ColumnStats& stats, double value) {
+  if (stats.row_count == 0) return 0.0;
+  if (!stats.is_numeric() || stats.histogram.empty()) {
+    return kDefaultInequalitySelectivity;
+  }
+  if (value <= stats.min) return 0.0;
+  if (value > stats.max) return 1.0;
+  const double non_null = NonNullCount(stats);
+  if (non_null == 0.0) return 0.0;
+  const double width =
+      (stats.max - stats.min) / static_cast<double>(stats.histogram.size());
+  if (width <= 0.0) {
+    // Single-point domain.
+    return value > stats.min ? 1.0 : 0.0;
+  }
+  const double pos = (value - stats.min) / width;
+  const size_t full = std::min(static_cast<size_t>(pos),
+                               stats.histogram.size());
+  double rows = 0.0;
+  for (size_t b = 0; b < full; ++b) {
+    rows += static_cast<double>(stats.histogram[b]);
+  }
+  if (full < stats.histogram.size()) {
+    // Linear interpolation inside the partial bucket.
+    rows += (pos - static_cast<double>(full)) *
+            static_cast<double>(stats.histogram[full]);
+  }
+  return Clamp(rows / non_null, 0.0, 1.0);
+}
+
+double EstimateEquals(const ColumnStats& stats, double value) {
+  if (stats.row_count == 0 || stats.distinct_count == 0) return 0.0;
+  if (!stats.is_numeric() || stats.histogram.empty()) {
+    return 1.0 / static_cast<double>(stats.distinct_count);
+  }
+  if (value < stats.min || value > stats.max) return 0.0;
+  // Bucket density spread over the column's distinct values per bucket.
+  const double non_null = NonNullCount(stats);
+  const double width =
+      (stats.max - stats.min) / static_cast<double>(stats.histogram.size());
+  size_t bucket = width <= 0.0 ? 0
+                               : static_cast<size_t>((value - stats.min) /
+                                                     width);
+  bucket = std::min(bucket, stats.histogram.size() - 1);
+  const double distinct_per_bucket =
+      std::max(1.0, static_cast<double>(stats.distinct_count) /
+                        static_cast<double>(stats.histogram.size()));
+  return Clamp(static_cast<double>(stats.histogram[bucket]) /
+                   distinct_per_bucket / std::max(non_null, 1.0),
+               0.0, 1.0);
+}
+
+double EstimateRange(const ColumnStats& stats, double lo, double hi) {
+  if (hi <= lo) return 0.0;
+  return Clamp(EstimateLessThan(stats, hi) - EstimateLessThan(stats, lo),
+               0.0, 1.0);
+}
+
+double EstimateJoinCardinality(size_t left_rows, const ColumnStats& left_key,
+                               size_t right_rows,
+                               const ColumnStats& right_key) {
+  const double ndv = static_cast<double>(
+      std::max<size_t>(1, std::max(left_key.distinct_count,
+                                   right_key.distinct_count)));
+  return static_cast<double>(left_rows) * static_cast<double>(right_rows) /
+         ndv;
+}
+
+}  // namespace xdbft::optimizer

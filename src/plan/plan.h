@@ -1,0 +1,111 @@
+// Plan: a DAG-structured execution plan (paper §2.1) plus structural
+// queries used throughout the library: topological order, sources/sinks,
+// consumer lookup, validation and explain output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "plan/plan_node.h"
+
+namespace xdbft::plan {
+
+/// \brief DAG-structured execution plan. Nodes are stored densely and
+/// addressed by OpId; edges point from input (producer) to consumer via each
+/// node's `inputs` list.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// \brief Append a node; assigns and returns its id. Inputs in `node`
+  /// must reference already-added nodes.
+  OpId AddNode(PlanNode node);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  const PlanNode& node(OpId id) const { return nodes_[static_cast<size_t>(id)]; }
+  PlanNode& mutable_node(OpId id) { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+
+  /// \brief Ids of operators with no inputs.
+  std::vector<OpId> Sources() const;
+  /// \brief Ids of operators whose output no other operator consumes.
+  std::vector<OpId> Sinks() const;
+  /// \brief Ids of operators that consume `id`'s output.
+  std::vector<OpId> Consumers(OpId id) const;
+
+  /// \brief Node ids in a topological order (inputs before consumers).
+  /// AddNode enforces producers-before-consumers, so ids ascending is one.
+  std::vector<OpId> TopologicalOrder() const;
+
+  /// \brief Ids of free operators (f(o) = 1), ascending.
+  std::vector<OpId> FreeOperators() const;
+
+  /// \brief Structural checks: nonempty, input ids valid and acyclic
+  /// (producer id < consumer id by construction), labels set, costs finite
+  /// and non-negative.
+  Status Validate() const;
+
+  /// \brief Sum of tr(o) over all operators.
+  double TotalRuntimeCost() const;
+  /// \brief Sum of tm(o) over all operators.
+  double TotalMaterializeCost() const;
+
+  /// \brief Multi-line plan rendering for logs and examples.
+  std::string Explain() const;
+
+ private:
+  std::string name_;
+  std::vector<PlanNode> nodes_;
+};
+
+/// \brief Fluent helper to assemble plans in tests/examples.
+///
+/// Example:
+///   PlanBuilder b("q");
+///   auto scan = b.Scan("R", /*rows=*/1e6, /*width=*/100, /*tr=*/2.0);
+///   auto filt = b.Unary(OpType::kFilter, "sigma", scan, 1.0, 0.5);
+///   auto plan = std::move(b).Build();
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string name) : plan_(std::move(name)) {}
+
+  /// \brief Add a source (scan) node.
+  OpId Scan(const std::string& table, double rows, double width_bytes,
+            double runtime_cost);
+
+  /// \brief Add a unary operator consuming `input`.
+  OpId Unary(OpType type, const std::string& label, OpId input,
+             double runtime_cost, double materialize_cost,
+             double output_rows = 0.0, double width_bytes = 0.0);
+
+  /// \brief Add a binary operator (e.g. hash join).
+  OpId Binary(OpType type, const std::string& label, OpId left, OpId right,
+              double runtime_cost, double materialize_cost,
+              double output_rows = 0.0, double width_bytes = 0.0);
+
+  /// \brief Add an n-ary operator.
+  OpId Nary(OpType type, const std::string& label, std::vector<OpId> inputs,
+            double runtime_cost, double materialize_cost,
+            double output_rows = 0.0, double width_bytes = 0.0);
+
+  /// \brief Set the materialization constraint of an operator.
+  PlanBuilder& Constrain(OpId id, MatConstraint c);
+
+  /// \brief Finish; the builder is left empty.
+  Plan Build() &&;
+
+  Plan& plan() { return plan_; }
+
+ private:
+  Plan plan_;
+};
+
+}  // namespace xdbft::plan

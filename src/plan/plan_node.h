@@ -1,0 +1,81 @@
+// PlanNode: one operator of a DAG-structured parallel execution plan (paper
+// §2.1). Each node carries the per-operator statistics the cost model needs
+// (tr(o), tm(o)) plus the materialization flag m(o) and the free/bound flag
+// f(o).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xdbft::plan {
+
+/// \brief Operator id within a Plan; dense, assigned by Plan::AddNode.
+using OpId = int32_t;
+constexpr OpId kInvalidOpId = -1;
+
+/// \brief Physical operator kinds supported by the library.
+///
+/// The fault-tolerance scheme itself is operator-agnostic (§2.1: arbitrary
+/// operators including UDFs are supported as long as tr/tm estimates exist);
+/// the kind is used by the execution engine, the planner (to mark bound
+/// operators such as repartitioning) and explain output.
+enum class OpType : int {
+  kTableScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kHashAggregate,
+  kSort,
+  kLimit,
+  kRepartition,
+  kMapUdf,
+  kReduceUdf,
+  kUnion,
+  kSink,
+};
+
+const char* OpTypeName(OpType type);
+
+/// \brief Materialization constraint of an operator (paper §2.1).
+///
+/// Bound operators (f(o) = 0) have their m(o) fixed before enumeration:
+/// kNeverMaterialize forces m(o)=0, kAlwaysMaterialize forces m(o)=1 (e.g.
+/// PDEs that always materialize repartition output). kFree operators
+/// (f(o) = 1) are optimized by the cost-based scheme.
+enum class MatConstraint : int {
+  kFree,
+  kNeverMaterialize,
+  kAlwaysMaterialize,
+};
+
+/// \brief One operator in a DAG-structured execution plan.
+struct PlanNode {
+  OpId id = kInvalidOpId;
+  OpType type = OpType::kTableScan;
+  /// Display name, e.g. "Scan(LINEITEM)" or "HashJoin(orderkey)".
+  std::string label;
+
+  /// Inputs: ids of the operators whose output this operator consumes.
+  std::vector<OpId> inputs;
+
+  /// Estimated accumulated execution cost tr(o) for partition-parallel
+  /// execution, in cost units (seconds when CONST_cost = 1).
+  double runtime_cost = 0.0;
+  /// Estimated accumulated cost tm(o) of materializing this operator's
+  /// output to the fault-tolerant storage medium.
+  double materialize_cost = 0.0;
+
+  /// Estimated output cardinality (rows) and width (bytes/row); used by the
+  /// cost estimator to derive materialize_cost and by the optimizer.
+  double output_rows = 0.0;
+  double row_width_bytes = 0.0;
+
+  /// f(o)/forced-m(o) per §2.1.
+  MatConstraint constraint = MatConstraint::kFree;
+
+  /// \brief True iff the enumerator may choose m(o) (f(o) = 1).
+  bool is_free() const { return constraint == MatConstraint::kFree; }
+};
+
+}  // namespace xdbft::plan

@@ -1,0 +1,195 @@
+#include "plan/plan_text.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xdbft::plan {
+
+namespace {
+
+const char* ConstraintName(MatConstraint c) {
+  switch (c) {
+    case MatConstraint::kFree:
+      return "free";
+    case MatConstraint::kNeverMaterialize:
+      return "never";
+    case MatConstraint::kAlwaysMaterialize:
+      return "always";
+  }
+  return "?";
+}
+
+Result<MatConstraint> ConstraintFromString(const std::string& s) {
+  if (s == "free") return MatConstraint::kFree;
+  if (s == "never") return MatConstraint::kNeverMaterialize;
+  if (s == "always") return MatConstraint::kAlwaysMaterialize;
+  return Status::InvalidArgument("unknown constraint '" + s + "'");
+}
+
+// Serialize a double losslessly (shortest round-trip via %.17g).
+std::string DoubleToText(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter representation when it round-trips.
+  char short_buf[40];
+  for (int prec = 1; prec < 17; ++prec) {
+    std::snprintf(short_buf, sizeof(short_buf), "%.*g", prec, v);
+    if (std::strtod(short_buf, nullptr) == v) return short_buf;
+  }
+  return buf;
+}
+
+// key=value extraction from a token like "tr=1.5".
+Result<std::string> TokenValue(const std::string& token,
+                               const std::string& key) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument("expected '" + prefix +
+                                   "...', got '" + token + "'");
+  }
+  return token.substr(prefix.size());
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<OpType> OpTypeFromString(const std::string& name) {
+  static const std::pair<const char*, OpType> kTypes[] = {
+      {"TableScan", OpType::kTableScan},
+      {"Filter", OpType::kFilter},
+      {"Project", OpType::kProject},
+      {"HashJoin", OpType::kHashJoin},
+      {"HashAggregate", OpType::kHashAggregate},
+      {"Sort", OpType::kSort},
+      {"Limit", OpType::kLimit},
+      {"Repartition", OpType::kRepartition},
+      {"MapUDF", OpType::kMapUdf},
+      {"ReduceUDF", OpType::kReduceUdf},
+      {"Union", OpType::kUnion},
+      {"Sink", OpType::kSink},
+  };
+  for (const auto& [n, t] : kTypes) {
+    if (name == n) return t;
+  }
+  return Status::InvalidArgument("unknown operator type '" + name + "'");
+}
+
+std::string PlanToText(const Plan& plan) {
+  std::ostringstream os;
+  os << "plan " << plan.name() << "\n";
+  for (const auto& n : plan.nodes()) {
+    std::vector<std::string> ins;
+    ins.reserve(n.inputs.size());
+    for (OpId in : n.inputs) ins.push_back(std::to_string(in));
+    os << "node " << n.id << " " << OpTypeName(n.type) << " \"" << n.label
+       << "\" inputs=" << Join(ins, ",") << " tr=" << DoubleToText(n.runtime_cost)
+       << " tm=" << DoubleToText(n.materialize_cost)
+       << " rows=" << DoubleToText(n.output_rows)
+       << " width=" << DoubleToText(n.row_width_bytes)
+       << " constraint=" << ConstraintName(n.constraint) << "\n";
+  }
+  return os.str();
+}
+
+Result<Plan> PlanFromText(const std::string& text) {
+  Plan plan;
+  bool saw_header = false;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "plan") {
+      std::string name;
+      std::getline(ls, name);
+      const size_t start = name.find_first_not_of(' ');
+      plan.set_name(start == std::string::npos ? "" : name.substr(start));
+      saw_header = true;
+      continue;
+    }
+    if (keyword != "node") {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected 'plan' or 'node'", line_no));
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("missing 'plan <name>' header");
+    }
+
+    int id = -1;
+    std::string type_name;
+    ls >> id >> type_name;
+    if (id != static_cast<int>(plan.num_nodes())) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: node ids must be dense and ascending",
+                    line_no));
+    }
+    PlanNode node;
+    XDBFT_ASSIGN_OR_RETURN(node.type, OpTypeFromString(type_name));
+
+    // Quoted label.
+    std::string rest;
+    std::getline(ls, rest);
+    const size_t q1 = rest.find('"');
+    const size_t q2 = q1 == std::string::npos ? std::string::npos
+                                              : rest.find('"', q1 + 1);
+    if (q2 == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: missing quoted label", line_no));
+    }
+    node.label = rest.substr(q1 + 1, q2 - q1 - 1);
+
+    std::istringstream ts(rest.substr(q2 + 1));
+    std::string tok;
+    ts >> tok;
+    XDBFT_ASSIGN_OR_RETURN(const std::string ins, TokenValue(tok, "inputs"));
+    if (!ins.empty()) {
+      for (const std::string& part : Split(ins, ',')) {
+        XDBFT_ASSIGN_OR_RETURN(const double v, ParseDouble(part));
+        node.inputs.push_back(static_cast<OpId>(v));
+      }
+    }
+    ts >> tok;
+    XDBFT_ASSIGN_OR_RETURN(const std::string tr, TokenValue(tok, "tr"));
+    XDBFT_ASSIGN_OR_RETURN(node.runtime_cost, ParseDouble(tr));
+    ts >> tok;
+    XDBFT_ASSIGN_OR_RETURN(const std::string tm, TokenValue(tok, "tm"));
+    XDBFT_ASSIGN_OR_RETURN(node.materialize_cost, ParseDouble(tm));
+    ts >> tok;
+    XDBFT_ASSIGN_OR_RETURN(const std::string rows, TokenValue(tok, "rows"));
+    XDBFT_ASSIGN_OR_RETURN(node.output_rows, ParseDouble(rows));
+    ts >> tok;
+    XDBFT_ASSIGN_OR_RETURN(const std::string width,
+                           TokenValue(tok, "width"));
+    XDBFT_ASSIGN_OR_RETURN(node.row_width_bytes, ParseDouble(width));
+    ts >> tok;
+    XDBFT_ASSIGN_OR_RETURN(const std::string cons,
+                           TokenValue(tok, "constraint"));
+    XDBFT_ASSIGN_OR_RETURN(node.constraint, ConstraintFromString(cons));
+    plan.AddNode(std::move(node));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("missing 'plan <name>' header");
+  }
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  return plan;
+}
+
+}  // namespace xdbft::plan

@@ -1,0 +1,31 @@
+// Text serialization of execution plans: a line-oriented, diff-friendly
+// format for persisting calibrated plans (e.g. the output of
+// engine::BuildCalibratedPlan) and exchanging them with tooling.
+//
+// Format (one node per line, '#' starts a comment):
+//   plan <name>
+//   node <id> <type> "<label>" inputs=<i,j,...> tr=<v> tm=<v>
+//        rows=<v> width=<v> constraint=<free|never|always>
+// (the node line is a single physical line; it is wrapped here only for
+// readability)
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace xdbft::plan {
+
+/// \brief Serialize `plan` to the text format (round-trips through
+/// PlanFromText bit-exactly for finite costs).
+std::string PlanToText(const Plan& plan);
+
+/// \brief Parse a plan from the text format. Node ids must be dense and
+/// ascending; inputs must reference earlier nodes.
+Result<Plan> PlanFromText(const std::string& text);
+
+/// \brief Parse the OpType keyword used by the format ("HashJoin", ...).
+Result<OpType> OpTypeFromString(const std::string& name);
+
+}  // namespace xdbft::plan

@@ -1,0 +1,36 @@
+// Join graph of TPC-H Q5 for join-order enumeration (paper §5.5: "we
+// enumerate all 1344 equivalent join orders of TPC-H query 5, i.e. we do
+// not enumerate plans with cartesian products").
+//
+// The graph is the 5-cycle NATION-CUSTOMER-ORDERS-LINEITEM-SUPPLIER-NATION
+// (the supplier-in-customer-nation predicate closes the cycle) with REGION
+// pendant on NATION. Edge selectivities are chosen so that subset
+// cardinalities under the independence assumption reproduce the chain
+// cardinalities of BuildQuery(kQ5, ...).
+#pragma once
+
+#include "optimizer/join_enumerator.h"
+#include "optimizer/join_graph.h"
+#include "datagen/tpch_gen.h"
+#include "tpch/queries.h"
+
+namespace xdbft::tpch {
+
+/// \brief Build Q5's join graph under `config` (analytic cardinalities
+/// from the catalog's scaling formulas).
+Result<optimizer::JoinGraph> MakeQ5JoinGraph(const TpchPlanConfig& config);
+
+/// \brief Build Q5's join graph from *real data*: tables are analyzed
+/// (histograms + NDVs, optimizer/statistics.h), predicate selectivities
+/// estimated from histograms and edge selectivities from the containment
+/// assumption — the full statistics-driven optimizer path. `config`
+/// supplies the execution rates; its scale factor is ignored (the data
+/// determines cardinalities).
+Result<optimizer::JoinGraph> MakeQ5JoinGraphFromData(
+    const datagen::TpchDatabase& db, const TpchPlanConfig& config);
+
+/// \brief The PhysicalCostParams matching `config`'s rates.
+optimizer::PhysicalCostParams MakePhysicalCostParams(
+    const TpchPlanConfig& config);
+
+}  // namespace xdbft::tpch

@@ -1,0 +1,80 @@
+// DAG-structured execution plans for the paper's benchmark queries
+// (§5.1-5.2): TPC-H Q1 (no join), Q3 (3-way join), Q5 (6-way join, Fig. 9),
+// plus the paper's two complex variants Q1C (nested Q1 with an aggregation
+// in the middle of the plan) and Q2C (CTE consumed by two outer queries,
+// i.e. a genuinely DAG-structured plan).
+//
+// Plans carry per-operator cardinalities derived from the TPC-H catalog and
+// per-operator costs tr(o)/tm(o) derived from the execution rates and
+// storage model in TpchPlanConfig. Table scans are bound
+// (kNeverMaterialize): base tables are already persistent, so Q1 has no
+// free operator — exactly as in the paper, where "Q1 has no free operator
+// that can be selected for materialization" — while Q5 has the 5 free join
+// operators of Figure 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/tpch_catalog.h"
+#include "common/result.h"
+#include "cost/storage_model.h"
+#include "plan/plan.h"
+
+namespace xdbft::tpch {
+
+enum class TpchQuery : int { kQ1, kQ3, kQ5, kQ1C, kQ2C };
+
+const char* TpchQueryName(TpchQuery q);
+std::vector<TpchQuery> AllQueries();
+
+/// \brief Execution-environment parameters used to derive tr(o)/tm(o).
+///
+/// The default rates are calibrated so that Q5 over SF=100 on 10 nodes has
+/// a ~905 s no-failure baseline with total materialization costs ~34% of
+/// the runtime costs, matching the paper's measurements (§5.3); Q1C/Q2C
+/// then land in the reported 60-100% materialization-cost band.
+struct TpchPlanConfig {
+  double scale_factor = 1.0;
+  int num_nodes = 10;
+
+  /// Per-node processing rates, rows/second (MySQL-backed XDB executors).
+  double scan_rows_per_sec = 400e3;
+  double probe_rows_per_sec = 80e3;
+  double build_rows_per_sec = 300e3;
+  double agg_rows_per_sec = 200e3;
+  double output_rows_per_sec = 1e6;
+
+  /// Effective aggregate bandwidth of the fault-tolerant store shared by
+  /// all nodes (iSCSI over 1 GbE incl. contention and MySQL temp-table
+  /// insert overhead), bytes/second.
+  double storage_bandwidth_bps = 16.5 * 1024 * 1024;
+  double storage_latency_seconds = 0.05;
+
+  /// \brief Selectivity applied to Q5's ORDERS date predicate; the paper's
+  /// §5.3 "low selectivity" variant uses a smaller value.
+  double q5_order_selectivity = catalog::TpchCatalog::OrderDateYearSelectivity();
+
+  Status Validate() const;
+
+  cost::StorageMedium MakeStorage() const {
+    cost::StorageMedium m;
+    m.name = "ft-store";
+    m.write_bandwidth_bps = storage_bandwidth_bps;
+    m.read_bandwidth_bps = storage_bandwidth_bps;
+    m.latency_seconds = storage_latency_seconds;
+    m.fault_tolerant = true;
+    return m;
+  }
+};
+
+/// \brief Build the execution plan for `query` under `config`.
+Result<plan::Plan> BuildQuery(TpchQuery query, const TpchPlanConfig& config);
+
+/// \brief Convenience: scale factor such that Q5's no-failure baseline is
+/// approximately `target_seconds` (linear interpolation on SF; used by the
+/// varying-runtime experiment, Fig. 10).
+Result<double> ScaleFactorForQ5Runtime(double target_seconds,
+                                       const TpchPlanConfig& base_config);
+
+}  // namespace xdbft::tpch

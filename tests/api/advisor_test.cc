@@ -1,0 +1,111 @@
+#include "api/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "api/xdbft.h"  // umbrella header must compile standalone
+
+namespace xdbft::api {
+namespace {
+
+plan::Plan SamplePlan() {
+  plan::PlanBuilder b("sample");
+  auto scan = b.Scan("T", 1e8, 64, 100.0);
+  b.Constrain(scan, plan::MatConstraint::kNeverMaterialize);
+  auto join = b.Unary(plan::OpType::kHashJoin, "join", scan, 80.0, 30.0);
+  auto agg = b.Unary(plan::OpType::kHashAggregate, "agg", join, 40.0, 1.0);
+  b.Unary(plan::OpType::kSort, "sort", agg, 5.0, 0.2);
+  return std::move(b).Build();
+}
+
+TEST(AdvisorTest, ChooseBestPlanReturnsCostBasedScheme) {
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0));
+  auto chosen = advisor.ChooseBestPlan(SamplePlan());
+  ASSERT_TRUE(chosen.ok()) << chosen.status();
+  EXPECT_EQ(chosen->kind, ft::SchemeKind::kCostBased);
+  EXPECT_EQ(chosen->recovery, ft::RecoveryMode::kFineGrained);
+  EXPECT_GT(chosen->estimated_cost, 0.0);
+  EXPECT_TRUE(chosen->config.Validate(chosen->plan).ok());
+}
+
+TEST(AdvisorTest, ChooseBestOverCandidates) {
+  plan::PlanBuilder cheap("cheap");
+  auto s = cheap.Scan("T", 1e6, 8, 1.0);
+  cheap.Unary(plan::OpType::kHashAggregate, "agg", s, 1.0, 0.1);
+  plan::Plan pc = std::move(cheap).Build();
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 3600.0, 1.0));
+  auto chosen = advisor.ChooseBestPlan({SamplePlan(), pc});
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(chosen->plan.name(), "cheap");
+}
+
+TEST(AdvisorTest, CompareSchemesListsAllFourSorted) {
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0));
+  auto cmp = advisor.CompareSchemes(SamplePlan());
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  ASSERT_EQ(cmp->estimates.size(), 4u);
+  for (size_t i = 1; i < cmp->estimates.size(); ++i) {
+    EXPECT_LE(cmp->estimates[i - 1].estimated_runtime,
+              cmp->estimates[i].estimated_runtime);
+  }
+}
+
+TEST(AdvisorTest, RecommendationIsNeverWorseThanOthers) {
+  for (double mtbf : {120.0, 3600.0, 86400.0}) {
+    FaultToleranceAdvisor advisor(cost::MakeCluster(10, mtbf, 1.0));
+    auto cmp = advisor.CompareSchemes(SamplePlan());
+    ASSERT_TRUE(cmp.ok());
+    double recommended_cost = 0.0, best = 1e300;
+    for (const auto& e : cmp->estimates) {
+      if (e.kind == cmp->recommended) recommended_cost = e.estimated_runtime;
+      best = std::min(best, e.estimated_runtime);
+    }
+    EXPECT_NEAR(recommended_cost, best, best * 1e-12) << mtbf;
+  }
+}
+
+TEST(AdvisorTest, TiesPreferCostBased) {
+  // With effectively no failures, no-mat and cost-based tie; the
+  // recommendation must be cost-based.
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 1e15, 1.0));
+  auto cmp = advisor.CompareSchemes(SamplePlan());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->recommended, ft::SchemeKind::kCostBased);
+}
+
+TEST(AdvisorTest, ExplainMentionsKeyFacts) {
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0));
+  auto chosen = advisor.ChooseBestPlan(SamplePlan());
+  ASSERT_TRUE(chosen.ok());
+  const std::string report = advisor.Explain(*chosen);
+  EXPECT_NE(report.find("cost-based"), std::string::npos);
+  EXPECT_NE(report.find("fine-grained"), std::string::npos);
+  EXPECT_NE(report.find("estimated runtime"), std::string::npos);
+  EXPECT_NE(report.find("join"), std::string::npos);
+}
+
+TEST(AdvisorTest, RespectsEnumerationOptions) {
+  ft::EnumerationOptions opts;
+  opts.max_free_operators = 0;  // everything rejected
+  opts.pruning.rule1 = opts.pruning.rule2 = false;
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0), {},
+                                opts);
+  EXPECT_FALSE(advisor.ChooseBestPlan(SamplePlan()).ok());
+}
+
+TEST(AdvisorTest, PropagatesModelParams) {
+  cost::CostModelParams model;
+  model.success_target = 0.5;
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0), model);
+  EXPECT_DOUBLE_EQ(advisor.context().model.success_target, 0.5);
+  EXPECT_DOUBLE_EQ(
+      advisor.context().MakeFailureParams().success_target, 0.5);
+}
+
+TEST(AdvisorTest, RejectsInvalidInput) {
+  FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0));
+  EXPECT_FALSE(advisor.ChooseBestPlan(plan::Plan{}).ok());
+  EXPECT_FALSE(advisor.CompareSchemes(plan::Plan{}).ok());
+}
+
+}  // namespace
+}  // namespace xdbft::api

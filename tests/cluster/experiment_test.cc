@@ -1,0 +1,110 @@
+#include "cluster/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/queries.h"
+
+namespace xdbft::cluster {
+namespace {
+
+using ft::SchemeKind;
+
+plan::Plan SmallQ5() {
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  auto p = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  return *p;
+}
+
+TEST(ExperimentTest, RunsAllFourSchemes) {
+  auto result = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 3600.0),
+                                    {}, /*num_traces=*/3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->schemes.size(), 4u);
+  EXPECT_GT(result->baseline_runtime, 0.0);
+  for (const auto& s : result->schemes) {
+    if (s.completed) {
+      EXPECT_GE(s.mean_runtime, result->baseline_runtime * 0.99)
+          << SchemeKindName(s.kind);
+    }
+  }
+}
+
+TEST(ExperimentTest, OutcomeLookupByKind) {
+  auto result = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 3600.0),
+                                    {}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome(SchemeKind::kAllMat).kind, SchemeKind::kAllMat);
+  EXPECT_EQ(result->outcome(SchemeKind::kCostBased).kind,
+            SchemeKind::kCostBased);
+}
+
+TEST(ExperimentTest, SchemesUseExpectedConfigs) {
+  auto result = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 3600.0),
+                                    {}, 2);
+  ASSERT_TRUE(result.ok());
+  // Q5: 5 free joins + 1 sink.
+  EXPECT_EQ(result->outcome(SchemeKind::kAllMat).num_materialized, 6u);
+  EXPECT_EQ(result->outcome(SchemeKind::kNoMatLineage).num_materialized, 1u);
+  EXPECT_EQ(result->outcome(SchemeKind::kNoMatRestart).num_materialized, 1u);
+  const auto cb = result->outcome(SchemeKind::kCostBased).num_materialized;
+  EXPECT_GE(cb, 1u);
+  EXPECT_LE(cb, 6u);
+}
+
+TEST(ExperimentTest, NoFailuresMakesNoMatOptimal) {
+  // With an (effectively) infinite MTBF, materializing costs overhead and
+  // recovers nothing: no-mat has ~0% overhead, all-mat > 0%.
+  auto result = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 1e15),
+                                    {}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->outcome(SchemeKind::kNoMatLineage).overhead_percent,
+              0.0, 0.5);
+  EXPECT_GT(result->outcome(SchemeKind::kAllMat).overhead_percent, 5.0);
+  // The cost-based scheme detects the failure-free regime and stays at ~0%.
+  EXPECT_NEAR(result->outcome(SchemeKind::kCostBased).overhead_percent, 0.0,
+              0.5);
+}
+
+TEST(ExperimentTest, CostBasedCompetitiveUnderFailures) {
+  // Across a range of MTBFs, cost-based must be at most ~10% above the
+  // best completed scheme (it is the best or close to it; §5.2).
+  for (double mtbf : {1800.0, 3600.0 * 24}) {
+    auto result = RunSchemeComparison(SmallQ5(),
+                                      cost::MakeCluster(10, mtbf), {},
+                                      /*num_traces=*/5);
+    ASSERT_TRUE(result.ok());
+    double best = 1e300;
+    for (const auto& s : result->schemes) {
+      if (s.completed && s.kind != SchemeKind::kCostBased) {
+        best = std::min(best, s.mean_runtime);
+      }
+    }
+    const auto& cb = result->outcome(SchemeKind::kCostBased);
+    ASSERT_TRUE(cb.completed);
+    EXPECT_LE(cb.mean_runtime, best * 1.10) << "mtbf=" << mtbf;
+  }
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  auto r1 = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 1800.0),
+                                {}, 3, /*seed=*/7);
+  auto r2 = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 1800.0),
+                                {}, 3, /*seed=*/7);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 0; i < r1->schemes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1->schemes[i].mean_runtime,
+                     r2->schemes[i].mean_runtime);
+  }
+}
+
+TEST(ExperimentTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(
+      RunSchemeComparison(plan::Plan{}, cost::MakeCluster(10, 3600.0)).ok());
+  cost::ClusterStats bad = cost::MakeCluster(0, 3600.0);
+  EXPECT_FALSE(RunSchemeComparison(SmallQ5(), bad).ok());
+}
+
+}  // namespace
+}  // namespace xdbft::cluster

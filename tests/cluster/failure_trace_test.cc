@@ -1,0 +1,125 @@
+#include "cluster/failure_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::cluster {
+namespace {
+
+TEST(FailureTraceTest, NeverFailsReturnsInfinity) {
+  FailureTrace t;
+  EXPECT_EQ(t.NextFailureAfter(0.0), kNeverFails);
+  EXPECT_EQ(t.NextFailureAfter(1e12), kNeverFails);
+  EXPECT_EQ(t.CountFailuresUntil(1e12), 0u);
+}
+
+TEST(FailureTraceTest, DeterministicForSeed) {
+  FailureTrace a(100.0, 7), b(100.0, 7);
+  for (double t = 0.0; t < 1000.0; t += 37.0) {
+    EXPECT_DOUBLE_EQ(a.NextFailureAfter(t), b.NextFailureAfter(t));
+  }
+}
+
+TEST(FailureTraceTest, FailuresAreStrictlyAfterQueryTime) {
+  FailureTrace t(50.0, 3);
+  double now = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double f = t.NextFailureAfter(now);
+    EXPECT_GT(f, now);
+    now = f;
+  }
+}
+
+TEST(FailureTraceTest, NextFailureIsIdempotent) {
+  FailureTrace t(50.0, 3);
+  const double f1 = t.NextFailureAfter(10.0);
+  const double f2 = t.NextFailureAfter(10.0);
+  EXPECT_DOUBLE_EQ(f1, f2);
+}
+
+TEST(FailureTraceTest, QueryingFarAheadExtendsLazily) {
+  FailureTrace t(10.0, 11);
+  const double far = t.NextFailureAfter(1e6);
+  EXPECT_GT(far, 1e6);
+  // Going back in time still works on the generated prefix.
+  EXPECT_LT(t.NextFailureAfter(0.0), far);
+}
+
+TEST(FailureTraceTest, MeanInterArrivalMatchesMtbf) {
+  const double mtbf = 250.0;
+  FailureTrace t(mtbf, 101);
+  const double horizon = mtbf * 20000;
+  const size_t count = t.CountFailuresUntil(horizon);
+  EXPECT_NEAR(static_cast<double>(count), horizon / mtbf,
+              horizon / mtbf * 0.05);
+}
+
+TEST(FailureTraceTest, CountFailuresMonotone) {
+  FailureTrace t(10.0, 5);
+  size_t prev = 0;
+  for (double h = 0.0; h <= 1000.0; h += 100.0) {
+    const size_t c = t.CountFailuresUntil(h);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ClusterTraceTest, GeneratesOneTracePerNode) {
+  auto stats = cost::MakeCluster(7, 1000.0);
+  ClusterTrace ct = ClusterTrace::Generate(stats, 1);
+  EXPECT_EQ(ct.num_nodes(), 7);
+}
+
+TEST(ClusterTraceTest, NodesFailIndependently) {
+  auto stats = cost::MakeCluster(2, 1000.0);
+  ClusterTrace ct = ClusterTrace::Generate(stats, 1);
+  EXPECT_NE(ct.node(0).NextFailureAfter(0.0),
+            ct.node(1).NextFailureAfter(0.0));
+}
+
+TEST(ClusterTraceTest, NextFailureAfterPicksEarliestNode) {
+  auto stats = cost::MakeCluster(5, 500.0);
+  ClusterTrace ct = ClusterTrace::Generate(stats, 2);
+  int which = -1;
+  const double f = ct.NextFailureAfter(0.0, &which);
+  ASSERT_GE(which, 0);
+  ASSERT_LT(which, 5);
+  EXPECT_DOUBLE_EQ(ct.node(which).NextFailureAfter(0.0), f);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(ct.node(i).NextFailureAfter(0.0), f);
+  }
+}
+
+TEST(ClusterTraceTest, EffectiveClusterFailureRateScalesWithNodes) {
+  // With n nodes the cluster-level failure rate is ~n/MTBF (the premise of
+  // Fig. 1 and of the effective-MTBF used by the cost model).
+  const double mtbf = 1000.0;
+  auto stats = cost::MakeCluster(10, mtbf);
+  ClusterTrace ct = ClusterTrace::Generate(stats, 3);
+  int count = 0;
+  double t = 0.0;
+  const double horizon = mtbf * 2000;
+  while (true) {
+    t = ct.NextFailureAfter(t);
+    if (t > horizon) break;
+    ++count;
+  }
+  const double expected = horizon / (mtbf / 10.0);
+  EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.05);
+}
+
+TEST(GenerateTraceSetTest, TracesAreIndependentAndDeterministic) {
+  auto stats = cost::MakeCluster(3, 100.0);
+  auto set1 = GenerateTraceSet(stats, 10, 42);
+  auto set2 = GenerateTraceSet(stats, 10, 42);
+  ASSERT_EQ(set1.size(), 10u);
+  // Deterministic: same seeds -> same traces.
+  for (size_t i = 0; i < set1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(set1[i].NextFailureAfter(0.0),
+                     set2[i].NextFailureAfter(0.0));
+  }
+  // Independent: different trace indices differ.
+  EXPECT_NE(set1[0].NextFailureAfter(0.0), set1[1].NextFailureAfter(0.0));
+}
+
+}  // namespace
+}  // namespace xdbft::cluster

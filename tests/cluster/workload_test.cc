@@ -1,0 +1,129 @@
+#include "cluster/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/queries.h"
+
+namespace xdbft::cluster {
+namespace {
+
+using ft::SchemeKind;
+
+std::vector<WorkloadQuery> MixedWorkload() {
+  std::vector<WorkloadQuery> w;
+  // Short, medium and long variants of Q5 (runtime scales with SF).
+  const double sfs[] = {1.0, 20.0, 200.0};
+  const char* labels[] = {"short", "medium", "long"};
+  double arrival = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    tpch::TpchPlanConfig cfg;
+    cfg.scale_factor = sfs[i];
+    auto p = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+    w.push_back({labels[i], std::move(*p), arrival});
+    arrival += 5.0;
+  }
+  return w;
+}
+
+TEST(WorkloadTest, SimulatesAllQueriesInOrder) {
+  auto out = SimulateWorkload(MixedWorkload(), SchemeKind::kCostBased,
+                              cost::MakeCluster(10, 3600.0, 1.0));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->queries.size(), 3u);
+  double prev_finish = 0.0;
+  for (const auto& q : out->queries) {
+    EXPECT_GE(q.start_seconds, prev_finish);
+    EXPECT_GE(q.finish_seconds, q.start_seconds);
+    prev_finish = q.finish_seconds;
+  }
+  EXPECT_DOUBLE_EQ(out->makespan_seconds, prev_finish);
+}
+
+TEST(WorkloadTest, ArrivalTimesDelayStart) {
+  std::vector<WorkloadQuery> w = MixedWorkload();
+  w[0].arrival_seconds = 100.0;
+  auto out = SimulateWorkload(w, SchemeKind::kNoMatLineage,
+                              cost::MakeCluster(10, 1e15, 1.0));
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->queries[0].start_seconds, 100.0);
+}
+
+TEST(WorkloadTest, NoFailuresMeansBaselineRuntimes) {
+  auto out = SimulateWorkload(MixedWorkload(), SchemeKind::kNoMatLineage,
+                              cost::MakeCluster(10, 1e15, 1.0));
+  ASSERT_TRUE(out.ok());
+  for (const auto& q : out->queries) {
+    EXPECT_TRUE(q.completed);
+    EXPECT_NEAR(q.runtime_seconds, q.baseline_seconds,
+                q.baseline_seconds * 1e-9);
+    EXPECT_NEAR(q.overhead_percent, 0.0, 1e-6);
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const auto w = MixedWorkload();
+  auto a = SimulateWorkload(w, SchemeKind::kAllMat,
+                            cost::MakeCluster(10, 1800.0, 1.0), {}, 7);
+  auto b = SimulateWorkload(w, SchemeKind::kAllMat,
+                            cost::MakeCluster(10, 1800.0, 1.0), {}, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->makespan_seconds, b->makespan_seconds);
+}
+
+TEST(WorkloadTest, SharedTraceMakesLaterQueriesSeeLaterFailures) {
+  // Two identical workloads except the second query arrives much later:
+  // under a shared trace the later query must not see the exact same
+  // failure offsets (trace continuity).
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 50.0;
+  auto p = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  std::vector<WorkloadQuery> w1 = {{"a", *p, 0.0}, {"b", *p, 0.0}};
+  auto out = SimulateWorkload(w1, SchemeKind::kNoMatLineage,
+                              cost::MakeCluster(10, 900.0, 1.0), {}, 3);
+  ASSERT_TRUE(out.ok());
+  // Both completed; runtimes generally differ because they hit different
+  // stretches of the same failure trace.
+  EXPECT_TRUE(out->queries[0].completed);
+  EXPECT_TRUE(out->queries[1].completed);
+}
+
+TEST(WorkloadTest, CompareSchemesRunsAllFour) {
+  auto out = CompareSchemesOnWorkload(MixedWorkload(),
+                                      cost::MakeCluster(10, 3600.0, 1.0));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_EQ((*out)[0].scheme, SchemeKind::kAllMat);
+  EXPECT_EQ((*out)[3].scheme, SchemeKind::kCostBased);
+}
+
+TEST(WorkloadTest, CostBasedCompetitiveOnMixedWorkload) {
+  // The paper's headline claim at workload level: across a mixed
+  // workload, the cost-based scheme's makespan is at most ~10% above the
+  // best fixed scheme (and typically the best).
+  for (double mtbf : {1800.0, 3600.0 * 24}) {
+    auto out = CompareSchemesOnWorkload(
+        MixedWorkload(), cost::MakeCluster(10, mtbf, 1.0), {}, 11);
+    ASSERT_TRUE(out.ok());
+    double best_fixed = 1e300, cost_based = 0.0;
+    for (const auto& o : *out) {
+      if (o.aborted > 0) continue;
+      if (o.scheme == SchemeKind::kCostBased) {
+        cost_based = o.makespan_seconds;
+      } else {
+        best_fixed = std::min(best_fixed, o.makespan_seconds);
+      }
+    }
+    ASSERT_GT(cost_based, 0.0);
+    EXPECT_LE(cost_based, best_fixed * 1.10) << "mtbf=" << mtbf;
+  }
+}
+
+TEST(WorkloadTest, RejectsEmptyWorkload) {
+  EXPECT_FALSE(SimulateWorkload({}, SchemeKind::kAllMat,
+                                cost::MakeCluster(10, 3600.0, 1.0))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace xdbft::cluster

@@ -1,0 +1,77 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft {
+namespace {
+
+TEST(MathUtilTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.001, /*rtol=*/0.01));
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 4.0}), std::sqrt(2.0));
+}
+
+TEST(MathUtilTest, PercentileBoundsAndMedian) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 2.0);
+}
+
+TEST(MathUtilTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 95.0), 9.5);
+}
+
+TEST(MathUtilTest, PercentileEmpty) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(MathUtilTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(MathUtilTest, PearsonDegenerate) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1}), 0.0);
+}
+
+TEST(MathUtilTest, SpearmanMonotoneNonlinear) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {1, 8, 27, 64, 125};  // monotone but nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, SpearmanHandlesTies) {
+  std::vector<double> xs = {1, 2, 2, 3};
+  std::vector<double> ys = {1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, HarmonicNumber) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(100), std::log(100.0) + 0.5772156649, 0.01);
+}
+
+}  // namespace
+}  // namespace xdbft

@@ -1,0 +1,111 @@
+#include "cost/operator_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::cost {
+namespace {
+
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan CardinalityPlan() {
+  PlanBuilder b("cards");
+  const OpId scan = b.Scan("L", /*rows=*/6e6, /*width=*/50, /*tr=*/0.0);
+  b.plan().mutable_node(scan).output_rows = 6e6;
+  const OpId filt = b.Unary(OpType::kFilter, "f", scan, 0.0, 0.0,
+                            /*rows=*/1e6, /*width=*/50);
+  b.Unary(OpType::kHashAggregate, "agg", filt, 0.0, 0.0,
+          /*rows=*/1e3, /*width=*/30);
+  return std::move(b).Build();
+}
+
+TEST(OperatorCostTest, MaterializeCostScalesWithOutputBytes) {
+  OperatorCostEstimator est(ExecutionRates{}, ExternalIscsiStorage(), 10);
+  plan::PlanNode n;
+  n.output_rows = 1e6;
+  n.row_width_bytes = 100;
+  const double small = est.MaterializeCost(n);
+  n.output_rows = 2e6;
+  const double big = est.MaterializeCost(n);
+  EXPECT_GT(big, small);
+  EXPECT_NEAR(big - est.medium().latency_seconds,
+              2.0 * (small - est.medium().latency_seconds), 1e-9);
+}
+
+TEST(OperatorCostTest, EstimateAllFillsMissingCosts) {
+  Plan p = CardinalityPlan();
+  OperatorCostEstimator est(ExecutionRates{}, ExternalIscsiStorage(), 10);
+  ASSERT_TRUE(est.EstimateAll(&p).ok());
+  for (const auto& n : p.nodes()) {
+    if (n.type != OpType::kTableScan) {
+      EXPECT_GT(n.runtime_cost, 0.0) << n.label;
+    }
+    EXPECT_GT(n.materialize_cost, 0.0) << n.label;
+  }
+}
+
+TEST(OperatorCostTest, FilterCheaperThanShuffleAtSameCardinality) {
+  PlanBuilder b("cmp");
+  const OpId scan = b.Scan("T", 1e7, 40, 0.0);
+  b.Unary(OpType::kFilter, "f", scan, 0.0, 0.0, 1e7, 40);
+  b.Unary(OpType::kRepartition, "r", scan, 0.0, 0.0, 1e7, 40);
+  Plan p = std::move(b).Build();
+  OperatorCostEstimator est(ExecutionRates{}, ExternalIscsiStorage(), 10);
+  const double filter_cost = est.RuntimeCost(p, 1);
+  const double shuffle_cost = est.RuntimeCost(p, 2);
+  EXPECT_LT(filter_cost, shuffle_cost);
+}
+
+TEST(OperatorCostTest, JoinBuildsSmallerSide) {
+  PlanBuilder b("join");
+  const OpId small = b.Scan("S", 1e3, 40, 0.0);
+  const OpId big = b.Scan("B", 1e7, 40, 0.0);
+  const OpId j1 = b.Binary(OpType::kHashJoin, "j1", small, big, 0.0, 0.0,
+                           1e7, 60);
+  Plan p1 = std::move(b).Build();
+
+  PlanBuilder b2("join2");
+  const OpId big2 = b2.Scan("B", 1e7, 40, 0.0);
+  const OpId small2 = b2.Scan("S", 1e3, 40, 0.0);
+  const OpId j2 = b2.Binary(OpType::kHashJoin, "j2", big2, small2, 0.0, 0.0,
+                            1e7, 60);
+  Plan p2 = std::move(b2).Build();
+
+  OperatorCostEstimator est(ExecutionRates{}, ExternalIscsiStorage(), 10);
+  // The cost must not depend on input order.
+  EXPECT_DOUBLE_EQ(est.RuntimeCost(p1, j1), est.RuntimeCost(p2, j2));
+}
+
+TEST(OperatorCostTest, MoreNodesReduceRuntime) {
+  Plan p = CardinalityPlan();
+  OperatorCostEstimator est10(ExecutionRates{}, ExternalIscsiStorage(), 10);
+  OperatorCostEstimator est100(ExecutionRates{}, ExternalIscsiStorage(), 100);
+  EXPECT_GT(est10.RuntimeCost(p, 1), est100.RuntimeCost(p, 1));
+}
+
+TEST(OperatorCostTest, EstimateAllRejectsNull) {
+  OperatorCostEstimator est(ExecutionRates{}, ExternalIscsiStorage(), 10);
+  EXPECT_FALSE(est.EstimateAll(nullptr).ok());
+}
+
+TEST(StorageModelTest, PresetsHaveSensibleProperties) {
+  EXPECT_TRUE(ExternalIscsiStorage().fault_tolerant);
+  EXPECT_FALSE(LocalDiskStorage().fault_tolerant);
+  EXPECT_FALSE(InMemoryStorage().fault_tolerant);
+  EXPECT_GT(InMemoryStorage().write_bandwidth_bps,
+            LocalDiskStorage().write_bandwidth_bps);
+}
+
+TEST(StorageModelTest, WriteAndReadSeconds) {
+  StorageMedium m;
+  m.write_bandwidth_bps = 100.0;
+  m.read_bandwidth_bps = 50.0;
+  m.latency_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(m.WriteSeconds(10, 10), 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(m.ReadSeconds(10, 10), 1.0 + 2.0);
+}
+
+}  // namespace
+}  // namespace xdbft::cost

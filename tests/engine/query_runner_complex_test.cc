@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "engine/query_runner.h"
+
+namespace xdbft::engine {
+namespace {
+
+using catalog::TpchTable;
+using exec::Value;
+
+struct Fixture {
+  datagen::TpchDatabase db;
+  PartitionedDatabase pd;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    datagen::TpchGenOptions opts;
+    opts.scale_factor = 0.01;
+    opts.seed = 777;
+    auto db = datagen::GenerateTpch(opts);
+    auto pd = DistributeTpch(*db, 3);
+    return new Fixture{std::move(*db), std::move(*pd)};
+  }();
+  return *fixture;
+}
+
+// Q1C reference: per (returnflag, linestatus), count items above the
+// group's average extended price (within the shipdate window).
+std::map<std::pair<std::string, std::string>, int64_t> ReferenceQ1C(
+    const datagen::TpchDatabase& db) {
+  std::map<std::pair<std::string, std::string>, std::pair<double, int64_t>>
+      sums;
+  for (const auto& row : db.lineitem.rows) {
+    if (row[10].AsInt64() > params::kQ1ShipdateCutoff) continue;
+    auto& [sum, cnt] = sums[{row[8].AsString(), row[9].AsString()}];
+    sum += row[5].AsDouble();
+    ++cnt;
+  }
+  std::map<std::pair<std::string, std::string>, int64_t> counts;
+  for (const auto& row : db.lineitem.rows) {
+    if (row[10].AsInt64() > params::kQ1ShipdateCutoff) continue;
+    const auto key = std::make_pair(row[8].AsString(), row[9].AsString());
+    const auto& [sum, cnt] = sums[key];
+    if (row[5].AsDouble() > sum / static_cast<double>(cnt)) ++counts[key];
+  }
+  return counts;
+}
+
+TEST(Q1CTest, MatchesReference) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ1C();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto ref = ReferenceQ1C(f.db);
+  ASSERT_EQ(result->result.num_rows(), ref.size());
+  for (const auto& row : result->result.rows) {
+    const auto it = ref.find({row[0].AsString(), row[1].AsString()});
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(row[2].AsInt64(), it->second);
+  }
+}
+
+TEST(Q1CTest, HasAggregationInTheMiddle) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ1C();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->stages.size(), 3u);
+  EXPECT_EQ(result->stages[0].label, "InnerAgg(avg_price)");
+  // The mid-plan aggregation output is tiny — the paper's cheap
+  // checkpoint.
+  EXPECT_LT(result->stages[0].output_rows, 10u);
+  EXPECT_GT(result->stages[1].output_rows,
+            100 * result->stages[0].output_rows);
+}
+
+// Q2C reference: min supplycost per part of the filtered type; outer i
+// keeps (part, supplier) pairs achieving the min, split by retail price.
+struct Q2CReference {
+  std::set<std::pair<int64_t, int64_t>> outer1;  // (partkey, suppkey)
+  std::set<std::pair<int64_t, int64_t>> outer2;
+};
+
+Q2CReference ReferenceQ2C(const datagen::TpchDatabase& db) {
+  std::map<int64_t, std::pair<std::string, double>> part_info;
+  for (const auto& row : db.part.rows) {
+    part_info[row[0].AsInt64()] = {row[2].AsString(), row[3].AsDouble()};
+  }
+  std::map<int64_t, double> min_cost;
+  for (const auto& row : db.partsupp.rows) {
+    const auto& [type, price] = part_info[row[0].AsInt64()];
+    if (type < "STANDARD" || type >= "STANDARE") continue;
+    auto it = min_cost.find(row[0].AsInt64());
+    if (it == min_cost.end() || row[2].AsDouble() < it->second) {
+      min_cost[row[0].AsInt64()] = row[2].AsDouble();
+    }
+  }
+  Q2CReference ref;
+  for (const auto& row : db.partsupp.rows) {
+    const auto it = min_cost.find(row[0].AsInt64());
+    if (it == min_cost.end() || row[2].AsDouble() != it->second) continue;
+    const double price = part_info[row[0].AsInt64()].second;
+    auto& target = price < 1400.0 ? ref.outer1 : ref.outer2;
+    target.insert({row[0].AsInt64(), row[1].AsInt64()});
+  }
+  return ref;
+}
+
+TEST(Q2CTest, ResultsAreMinCostPairs) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ2C();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Q2CReference ref = ReferenceQ2C(f.db);
+  ASSERT_EQ(result->stages.size(), 3u);
+  // Outer results are capped at 100 rows each and must be subsets of the
+  // reference pair sets.
+  const size_t n1 = result->stages[1].output_rows;
+  const size_t n2 = result->stages[2].output_rows;
+  EXPECT_EQ(n1, std::min<size_t>(100, ref.outer1.size()));
+  EXPECT_EQ(n2, std::min<size_t>(100, ref.outer2.size()));
+  for (size_t i = 0; i < result->result.num_rows(); ++i) {
+    const auto& row = result->result.rows[i];
+    const std::pair<int64_t, int64_t> pair = {row[0].AsInt64(),
+                                              row[1].AsInt64()};
+    if (i < n1) {
+      EXPECT_TRUE(ref.outer1.count(pair)) << i;
+    } else {
+      EXPECT_TRUE(ref.outer2.count(pair)) << i;
+    }
+  }
+}
+
+TEST(Q2CTest, OuterResultsSortedBySupplycost) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ2C();
+  ASSERT_TRUE(result.ok());
+  const size_t n1 = result->stages[1].output_rows;
+  double prev = -1.0;
+  for (size_t i = 0; i < n1; ++i) {
+    const double c = result->result.rows[i][2].AsDouble();
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ComplexQueriesTest, ResultsIndependentOfPartitionCount) {
+  const Fixture& f = GetFixture();
+  auto pd1 = DistributeTpch(f.db, 1);
+  ASSERT_TRUE(pd1.ok());
+  QueryRunner rn(&f.pd);
+  QueryRunner r1(&*pd1);
+  auto an = rn.RunQ1C();
+  auto a1 = r1.RunQ1C();
+  ASSERT_TRUE(an.ok());
+  ASSERT_TRUE(a1.ok());
+  ASSERT_EQ(an->result.num_rows(), a1->result.num_rows());
+  for (size_t i = 0; i < an->result.num_rows(); ++i) {
+    EXPECT_TRUE(exec::RowEq{}(an->result.rows[i], a1->result.rows[i]));
+  }
+}
+
+TEST(ComplexQueriesTest, RejectNullDatabase) {
+  QueryRunner runner(nullptr);
+  EXPECT_FALSE(runner.RunQ1C().ok());
+  EXPECT_FALSE(runner.RunQ2C().ok());
+}
+
+}  // namespace
+}  // namespace xdbft::engine

@@ -1,0 +1,264 @@
+#include "engine/query_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "engine/cost_calibrator.h"
+
+namespace xdbft::engine {
+namespace {
+
+using catalog::TpchTable;
+using exec::Value;
+
+struct Fixture {
+  datagen::TpchDatabase db;
+  PartitionedDatabase pd;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    datagen::TpchGenOptions opts;
+    opts.scale_factor = 0.01;
+    opts.seed = 4242;
+    auto db = datagen::GenerateTpch(opts);
+    auto pd = DistributeTpch(*db, 4);
+    auto* f = new Fixture{std::move(*db), std::move(*pd)};
+    return f;
+  }();
+  return *fixture;
+}
+
+// ---- single-node reference computations ----
+
+// Q1 reference: group lineitem rows passing the shipdate filter by
+// (returnflag, linestatus), summing qty/price and counting.
+std::map<std::pair<std::string, std::string>, std::tuple<double, double, int64_t>>
+ReferenceQ1(const datagen::TpchDatabase& db) {
+  std::map<std::pair<std::string, std::string>,
+           std::tuple<double, double, int64_t>>
+      groups;
+  for (const auto& row : db.lineitem.rows) {
+    if (row[10].AsInt64() > params::kQ1ShipdateCutoff) continue;
+    auto& [qty, price, cnt] =
+        groups[{row[8].AsString(), row[9].AsString()}];
+    qty += row[4].AsDouble();
+    price += row[5].AsDouble();
+    ++cnt;
+  }
+  return groups;
+}
+
+// Q5 reference: revenue per nation name.
+std::map<std::string, double> ReferenceQ5(const datagen::TpchDatabase& db) {
+  std::map<int64_t, int64_t> cust_nation;
+  for (const auto& row : db.customer.rows) {
+    cust_nation[row[0].AsInt64()] = row[2].AsInt64();
+  }
+  std::map<int64_t, int64_t> supp_nation;
+  for (const auto& row : db.supplier.rows) {
+    supp_nation[row[0].AsInt64()] = row[2].AsInt64();
+  }
+  std::map<int64_t, std::string> nation_name;
+  std::set<int64_t> region_nations;
+  for (const auto& row : db.nation.rows) {
+    nation_name[row[0].AsInt64()] = row[1].AsString();
+    if (row[2].AsInt64() == params::kQ5Region) {
+      region_nations.insert(row[0].AsInt64());
+    }
+  }
+  std::map<int64_t, std::pair<int64_t, bool>> order_info;  // cust, in-range
+  for (const auto& row : db.orders.rows) {
+    const int64_t d = row[2].AsInt64();
+    order_info[row[0].AsInt64()] = {
+        row[1].AsInt64(),
+        d >= params::kQ5YearStart && d < params::kQ5YearEnd};
+  }
+  std::map<std::string, double> revenue;
+  for (const auto& row : db.lineitem.rows) {
+    const auto& [cust, in_range] = order_info[row[0].AsInt64()];
+    if (!in_range) continue;
+    const int64_t cnat = cust_nation[cust];
+    if (!region_nations.count(cnat)) continue;
+    if (supp_nation[row[3].AsInt64()] != cnat) continue;
+    revenue[nation_name[cnat]] +=
+        row[5].AsDouble() * (1.0 - row[6].AsDouble());
+  }
+  return revenue;
+}
+
+TEST(QueryRunnerTest, Q1MatchesReference) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ1();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto ref = ReferenceQ1(f.db);
+  ASSERT_EQ(result->result.num_rows(), ref.size());
+  for (const auto& row : result->result.rows) {
+    const auto it = ref.find({row[0].AsString(), row[1].AsString()});
+    ASSERT_NE(it, ref.end());
+    const auto& [qty, price, cnt] = it->second;
+    EXPECT_NEAR(row[2].AsDouble(), qty, std::fabs(qty) * 1e-9);
+    EXPECT_NEAR(row[3].AsDouble(), price, std::fabs(price) * 1e-9);
+    // The merge phase sums partial counts with SUM, which is double-typed.
+    EXPECT_DOUBLE_EQ(row[4].AsDouble(), static_cast<double>(cnt));
+  }
+}
+
+TEST(QueryRunnerTest, Q1RecordsStages) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ1();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->stages.size(), 2u);
+  EXPECT_EQ(result->stages[0].label, "PartialAgg(L)");
+  EXPECT_GT(result->stages[0].output_rows, 0u);
+  EXPECT_GT(result->total_seconds, 0.0);
+}
+
+TEST(QueryRunnerTest, Q3ReturnsTopTenByRevenue) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ3();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_LE(result->result.num_rows(), 10u);
+  ASSERT_GT(result->result.num_rows(), 0u);
+  // Sorted descending by revenue.
+  const auto rev = result->result.schema.Find("revenue");
+  ASSERT_TRUE(rev.ok());
+  double prev = 1e300;
+  for (const auto& row : result->result.rows) {
+    const double r = row[static_cast<size_t>(*rev)].AsDouble();
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+  EXPECT_EQ(result->stages.size(), 4u);
+}
+
+TEST(QueryRunnerTest, Q3TopRevenueMatchesReference) {
+  // Reference: max revenue over qualifying orders.
+  const Fixture& f = GetFixture();
+  std::set<int64_t> segment_customers;
+  for (const auto& row : f.db.customer.rows) {
+    if (row[3].AsString() == params::kQ3Segment) {
+      segment_customers.insert(row[0].AsInt64());
+    }
+  }
+  std::map<int64_t, bool> order_ok;
+  for (const auto& row : f.db.orders.rows) {
+    order_ok[row[0].AsInt64()] =
+        row[2].AsInt64() < params::kQ3Date &&
+        segment_customers.count(row[1].AsInt64()) > 0;
+  }
+  std::map<int64_t, double> order_rev;
+  for (const auto& row : f.db.lineitem.rows) {
+    if (!order_ok[row[0].AsInt64()]) continue;
+    if (row[10].AsInt64() <= params::kQ3Date) continue;
+    order_rev[row[0].AsInt64()] +=
+        row[5].AsDouble() * (1.0 - row[6].AsDouble());
+  }
+  double max_rev = 0.0;
+  for (const auto& [k, v] : order_rev) max_rev = std::max(max_rev, v);
+
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ3();
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->result.num_rows(), 0u);
+  const auto rev = result->result.schema.Find("revenue");
+  EXPECT_NEAR(result->result.rows[0][static_cast<size_t>(*rev)].AsDouble(),
+              max_rev, max_rev * 1e-9);
+}
+
+TEST(QueryRunnerTest, Q5MatchesReference) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ5();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto ref = ReferenceQ5(f.db);
+  ASSERT_EQ(result->result.num_rows(), ref.size());
+  for (const auto& row : result->result.rows) {
+    const auto it = ref.find(row[0].AsString());
+    ASSERT_NE(it, ref.end()) << row[0].AsString();
+    EXPECT_NEAR(row[1].AsDouble(), it->second,
+                std::fabs(it->second) * 1e-9);
+  }
+}
+
+TEST(QueryRunnerTest, Q5HasFigureNineStages) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ5();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->stages.size(), 6u);
+  EXPECT_EQ(result->stages[0].label, "Join1(R,N)");
+  EXPECT_EQ(result->stages[4].label, "Join5(RNCOL,S)");
+  EXPECT_EQ(result->stages[5].label, "Agg(nation)");
+}
+
+TEST(QueryRunnerTest, RejectsNullDatabase) {
+  QueryRunner runner(nullptr);
+  EXPECT_FALSE(runner.RunQ1().ok());
+  EXPECT_FALSE(runner.RunQ3().ok());
+  EXPECT_FALSE(runner.RunQ5().ok());
+}
+
+TEST(QueryRunnerTest, ResultsIndependentOfPartitionCount) {
+  const Fixture& f = GetFixture();
+  auto pd2 = DistributeTpch(f.db, 2);
+  ASSERT_TRUE(pd2.ok());
+  QueryRunner r4(&f.pd);
+  QueryRunner r2(&*pd2);
+  auto a = r4.RunQ5();
+  auto b = r2.RunQ5();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->result.num_rows(), b->result.num_rows());
+  for (size_t i = 0; i < a->result.num_rows(); ++i) {
+    EXPECT_EQ(a->result.rows[i][0], b->result.rows[i][0]);
+    EXPECT_NEAR(a->result.rows[i][1].AsDouble(),
+                b->result.rows[i][1].AsDouble(),
+                std::fabs(a->result.rows[i][1].AsDouble()) * 1e-9);
+  }
+}
+
+TEST(CostCalibratorTest, BuildsChainPlanFromStages) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);
+  auto result = runner.RunQ5();
+  ASSERT_TRUE(result.ok());
+  auto plan = BuildCalibratedPlan(*result, cost::ExternalIscsiStorage(),
+                                  "q5-calibrated");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->num_nodes(), result->stages.size());
+  EXPECT_TRUE(plan->Validate().ok());
+  // Measured runtimes carried over.
+  for (size_t i = 0; i < result->stages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan->node(static_cast<plan::OpId>(i)).runtime_cost,
+                     result->stages[i].seconds);
+  }
+  // All but the sink are free.
+  const auto free_ops = plan->FreeOperators();
+  EXPECT_EQ(free_ops.size(), plan->num_nodes());
+}
+
+TEST(CostCalibratorTest, ScalePlanMultipliesCosts) {
+  plan::PlanBuilder b("p");
+  auto s = b.Scan("R", 100, 10, 2.0);
+  b.Unary(plan::OpType::kHashAggregate, "agg", s, 4.0, 1.0);
+  plan::Plan p = std::move(b).Build();
+  plan::Plan scaled = ScaleCalibratedPlan(p, 10.0, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.node(0).runtime_cost, 20.0);
+  EXPECT_DOUBLE_EQ(scaled.node(1).runtime_cost, 40.0);
+  EXPECT_DOUBLE_EQ(scaled.node(1).materialize_cost, 3.0);
+}
+
+TEST(CostCalibratorTest, RejectsEmptyExecution) {
+  QueryExecution empty;
+  EXPECT_FALSE(
+      BuildCalibratedPlan(empty, cost::ExternalIscsiStorage(), "x").ok());
+}
+
+}  // namespace
+}  // namespace xdbft::engine

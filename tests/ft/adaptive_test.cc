@@ -1,0 +1,135 @@
+#include "ft/adaptive.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::ft {
+namespace {
+
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan ChainPlan(double tr1 = 50.0, double tm1 = 5.0, double tr2 = 50.0,
+               double tm2 = 5.0) {
+  PlanBuilder b("chain");
+  auto s = b.Scan("R", 1e6, 64, 20.0);
+  b.Constrain(s, plan::MatConstraint::kNeverMaterialize);
+  auto a = b.Unary(OpType::kMapUdf, "a", s, tr1, tm1);
+  auto c = b.Unary(OpType::kMapUdf, "b", a, tr2, tm2);
+  b.Unary(OpType::kHashAggregate, "agg", c, 10.0, 0.5);
+  return std::move(b).Build();
+}
+
+FtCostContext Ctx(double mtbf = 300.0) {
+  FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(1, mtbf, 1.0);
+  return ctx;
+}
+
+TEST(AdaptiveTest, PerfectEstimatesMatchStaticChoice) {
+  const Plan truth = ChainPlan();
+  auto adaptive = AdaptiveMaterialization(truth, truth, Ctx());
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status();
+  EXPECT_EQ(adaptive->decisions_changed, 0);
+  FtPlanEnumerator static_enum(Ctx());
+  auto static_choice = static_enum.FindBest(truth);
+  ASSERT_TRUE(static_choice.ok());
+  EXPECT_TRUE(adaptive->config == static_choice->config);
+}
+
+TEST(AdaptiveTest, ConfigIsValidForTruth) {
+  const Plan truth = ChainPlan();
+  const Plan estimated = PerturbStatistics(truth, 10.0, 3);
+  auto adaptive = AdaptiveMaterialization(estimated, truth, Ctx());
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->config.Validate(truth).ok());
+}
+
+TEST(AdaptiveTest, NeverWorseThanStaticUnderTrueModel) {
+  // Estimated cost of the adaptive config under the *true* statistics
+  // must not exceed the static (bad-estimate) config's by more than noise:
+  // the last decisions are made with fully revealed truth.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Plan truth = ChainPlan();
+    const Plan estimated = PerturbStatistics(truth, 8.0, seed);
+    const FtCostContext ctx = Ctx();
+    FtPlanEnumerator static_enum(ctx);
+    auto static_choice = static_enum.FindBest(estimated);
+    auto adaptive = AdaptiveMaterialization(estimated, truth, ctx);
+    ASSERT_TRUE(static_choice.ok());
+    ASSERT_TRUE(adaptive.ok());
+    FtCostModel model(ctx);
+    auto cost_static = model.Estimate(truth, static_choice->config);
+    auto cost_adaptive = model.Estimate(truth, adaptive->config);
+    ASSERT_TRUE(cost_static.ok());
+    ASSERT_TRUE(cost_adaptive.ok());
+    // Adaptive refines toward the truth; allow equality.
+    EXPECT_LE(cost_adaptive->dominant_cost,
+              cost_static->dominant_cost * 1.05)
+        << "seed=" << seed;
+  }
+}
+
+TEST(AdaptiveTest, CorrectsWildlyWrongMaterializationCost) {
+  // Truth: op "a" is dirt cheap to materialize; estimate claims it is
+  // prohibitively expensive. The static plan skips the checkpoint; the
+  // adaptive pass must pick it up once upstream truth is revealed...
+  const Plan truth = ChainPlan(100.0, 0.5, 100.0, 50.0);
+  Plan estimated = truth;
+  estimated.mutable_node(1).materialize_cost = 500.0;  // op "a"
+  const FtCostContext ctx = Ctx(150.0);
+
+  FtPlanEnumerator static_enum(ctx);
+  auto static_choice = static_enum.FindBest(estimated);
+  ASSERT_TRUE(static_choice.ok());
+  EXPECT_FALSE(static_choice->config.materialized(1));
+
+  auto adaptive = AdaptiveMaterialization(estimated, truth, ctx);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->config.materialized(1));
+  EXPECT_GE(adaptive->decisions_changed, 1);
+}
+
+TEST(AdaptiveTest, RejectsStructurallyDifferentPlans) {
+  const Plan truth = ChainPlan();
+  PlanBuilder b("other");
+  b.Scan("R", 10, 8, 1.0);
+  const Plan other = std::move(b).Build();
+  EXPECT_FALSE(AdaptiveMaterialization(other, truth, Ctx()).ok());
+}
+
+TEST(AdaptiveTest, RejectsInvalidPlans) {
+  EXPECT_FALSE(
+      AdaptiveMaterialization(plan::Plan{}, plan::Plan{}, Ctx()).ok());
+}
+
+TEST(PerturbStatisticsTest, DeterministicAndBounded) {
+  const Plan p = ChainPlan();
+  const Plan a = PerturbStatistics(p, 4.0, 9);
+  const Plan b = PerturbStatistics(p, 4.0, 9);
+  for (const auto& n : p.nodes()) {
+    EXPECT_DOUBLE_EQ(a.node(n.id).runtime_cost, b.node(n.id).runtime_cost);
+    EXPECT_GE(a.node(n.id).runtime_cost, n.runtime_cost / 4.0 - 1e-9);
+    EXPECT_LE(a.node(n.id).runtime_cost, n.runtime_cost * 4.0 + 1e-9);
+  }
+}
+
+TEST(PerturbStatisticsTest, FactorOneIsIdentity) {
+  const Plan p = ChainPlan();
+  const Plan a = PerturbStatistics(p, 1.0, 5);
+  for (const auto& n : p.nodes()) {
+    EXPECT_DOUBLE_EQ(a.node(n.id).runtime_cost, n.runtime_cost);
+    EXPECT_DOUBLE_EQ(a.node(n.id).materialize_cost, n.materialize_cost);
+  }
+}
+
+TEST(PerturbStatisticsTest, DifferentSeedsDiffer) {
+  const Plan p = ChainPlan();
+  const Plan a = PerturbStatistics(p, 4.0, 1);
+  const Plan b = PerturbStatistics(p, 4.0, 2);
+  EXPECT_NE(a.node(1).runtime_cost, b.node(1).runtime_cost);
+}
+
+}  // namespace
+}  // namespace xdbft::ft

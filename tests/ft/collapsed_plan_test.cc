@@ -1,0 +1,201 @@
+#include "ft/collapsed_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xdbft::ft {
+namespace {
+
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+// The paper's Figure 3 plan (0-based ids): 0,1 -> 2 -> 3 -> 4 -> {5, 6}.
+// Costs are chosen so the collapsed t(c) values match Table 2:
+// t({0,1,2}) = 4, t({3,4}) = 3, t({5}) = 1, t({6}) = 2.
+Plan Fig3Plan() {
+  PlanBuilder b("fig3");
+  const OpId s1 = b.Scan("R", 1e6, 100, 1.0);                       // op 0
+  const OpId s2 = b.Scan("S", 1e6, 100, 2.0);                       // op 1
+  const OpId j = b.Binary(OpType::kHashJoin, "join", s1, s2, 1.5, 0.5);
+  const OpId m = b.Unary(OpType::kMapUdf, "map", j, 1.0, 1.0);      // op 3
+  const OpId r = b.Unary(OpType::kRepartition, "rep", m, 1.5, 0.5); // op 4
+  b.Unary(OpType::kReduceUdf, "red1", r, 0.8, 0.2);                 // op 5
+  b.Unary(OpType::kReduceUdf, "red2", r, 1.6, 0.4);                 // op 6
+  return std::move(b).Build();
+}
+
+MaterializationConfig Fig3Config(const Plan& p) {
+  auto c = MaterializationConfig::NoMat(p);
+  c.set_materialized(2, true);  // join output materialized
+  c.set_materialized(4, true);  // repartition output materialized
+  return c;                     // 5, 6 are sinks -> materialized already
+}
+
+TEST(CollapsedPlanTest, Fig3Structure) {
+  Plan p = Fig3Plan();
+  auto r = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const CollapsedPlan& cp = *r;
+  ASSERT_EQ(cp.num_ops(), 4u);
+  EXPECT_EQ(cp.op(0).members, (std::vector<OpId>{0, 1, 2}));
+  EXPECT_EQ(cp.op(1).members, (std::vector<OpId>{3, 4}));
+  EXPECT_EQ(cp.op(2).members, (std::vector<OpId>{5}));
+  EXPECT_EQ(cp.op(3).members, (std::vector<OpId>{6}));
+  EXPECT_EQ(cp.op(1).inputs, (std::vector<CollapsedId>{0}));
+  EXPECT_EQ(cp.op(2).inputs, (std::vector<CollapsedId>{1}));
+  EXPECT_EQ(cp.op(3).inputs, (std::vector<CollapsedId>{1}));
+  EXPECT_EQ(cp.sources(), (std::vector<CollapsedId>{0}));
+  EXPECT_EQ(cp.sinks(), (std::vector<CollapsedId>{2, 3}));
+}
+
+TEST(CollapsedPlanTest, Fig3CostsMatchTable2) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_DOUBLE_EQ(cp->op(0).total_cost(), 4.0);   // (2 + 1.5) + 0.5
+  EXPECT_DOUBLE_EQ(cp->op(1).total_cost(), 3.0);   // (1 + 1.5) + 0.5
+  EXPECT_DOUBLE_EQ(cp->op(2).total_cost(), 1.0);   // 0.8 + 0.2
+  EXPECT_DOUBLE_EQ(cp->op(3).total_cost(), 2.0);   // 1.6 + 0.4
+}
+
+TEST(CollapsedPlanTest, DominantMemberPathPicksMaxTrBranch) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  // In {0,1,2}, scan 1 (tr=2) dominates scan 0 (tr=1).
+  EXPECT_EQ(cp->op(0).dominant_members, (std::vector<OpId>{1, 2}));
+}
+
+TEST(CollapsedPlanTest, PipeConstantAppliedToMultiOpPathsOnly) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 0.8);
+  ASSERT_TRUE(cp.ok());
+  // Multi-operator dominant path is discounted...
+  EXPECT_DOUBLE_EQ(cp->op(0).runtime_cost, (2.0 + 1.5) * 0.8);
+  // ...singleton collapsed operators are not (Fig. 5's t({o}) = tr + tm).
+  EXPECT_DOUBLE_EQ(cp->op(2).runtime_cost, 0.8);
+}
+
+TEST(CollapsedPlanTest, Fig3PathEnumeration) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  const auto paths = cp->AllPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (CollapsedPath{0, 1, 2}));
+  EXPECT_EQ(paths[1], (CollapsedPath{0, 1, 3}));
+}
+
+TEST(CollapsedPlanTest, PathRuntimeNoFailureIsSumOfTotals) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_DOUBLE_EQ(cp->PathRuntimeNoFailure({0, 1, 2}), 8.0);
+  EXPECT_DOUBLE_EQ(cp->PathRuntimeNoFailure({0, 1, 3}), 9.0);
+}
+
+TEST(CollapsedPlanTest, MakespanIsCriticalPath) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  // Sinks {5} and {6} run in parallel after {3,4}; critical path is 9.
+  EXPECT_DOUBLE_EQ(cp->MakespanNoFailure(), 9.0);
+}
+
+TEST(CollapsedPlanTest, NoMatCollapsesIntoSinks) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, MaterializationConfig::NoMat(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  // Only the two sinks remain; each contains the full upstream sub-plan.
+  ASSERT_EQ(cp->num_ops(), 2u);
+  EXPECT_EQ(cp->op(0).members, (std::vector<OpId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(cp->op(1).members, (std::vector<OpId>{0, 1, 2, 3, 4, 6}));
+  EXPECT_TRUE(cp->op(0).inputs.empty());
+  EXPECT_TRUE(cp->op(1).inputs.empty());
+}
+
+TEST(CollapsedPlanTest, SharedNonMaterializedWorkIsDuplicated) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, MaterializationConfig::NoMat(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  // Ops 0-4 appear in both collapsed sinks: their work is re-done per
+  // consumer when nothing is materialized.
+  std::multiset<OpId> all;
+  for (const auto& c : cp->ops()) {
+    all.insert(c.members.begin(), c.members.end());
+  }
+  EXPECT_EQ(all.count(4), 2u);
+  EXPECT_EQ(all.count(0), 2u);
+}
+
+TEST(CollapsedPlanTest, AllMatGivesOneCollapsedOpPerOperator) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, MaterializationConfig::AllMat(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp->num_ops(), p.num_nodes());
+  for (const auto& c : cp->ops()) {
+    EXPECT_EQ(c.members.size(), 1u);
+    EXPECT_EQ(c.dominant_members.size(), 1u);
+  }
+}
+
+TEST(CollapsedPlanTest, ForEachPathEarlyStop) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  size_t calls = 0;
+  const size_t visited = cp->ForEachPath([&](const CollapsedPath&) {
+    ++calls;
+    return false;  // stop after the first path
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(CollapsedPlanTest, RejectsInvalidPipeConstant) {
+  Plan p = Fig3Plan();
+  EXPECT_FALSE(CollapsedPlan::Create(p, Fig3Config(p), 0.0).ok());
+  EXPECT_FALSE(CollapsedPlan::Create(p, Fig3Config(p), 1.5).ok());
+}
+
+TEST(CollapsedPlanTest, RejectsInvalidConfig) {
+  Plan p = Fig3Plan();
+  MaterializationConfig bad(p.num_nodes());  // sink not materialized
+  EXPECT_FALSE(CollapsedPlan::Create(p, bad, 1.0).ok());
+}
+
+TEST(CollapsedPlanTest, ExplainListsCollapsedOps) {
+  Plan p = Fig3Plan();
+  auto cp = CollapsedPlan::Create(p, Fig3Config(p), 1.0);
+  ASSERT_TRUE(cp.ok());
+  const std::string s = cp->Explain();
+  EXPECT_NE(s.find("{0,1,2}"), std::string::npos);
+  EXPECT_NE(s.find("{3,4}"), std::string::npos);
+}
+
+// Diamond DAG: scan -> {a, b} -> join. With only the scan materialized the
+// two branches collapse into the join's collapsed operator.
+TEST(CollapsedPlanTest, DiamondCollapse) {
+  PlanBuilder b("diamond");
+  const OpId s = b.Scan("R", 100, 8, 2.0);
+  const OpId a = b.Unary(OpType::kFilter, "a", s, 3.0, 1.0);
+  const OpId x = b.Unary(OpType::kFilter, "b", s, 5.0, 1.0);
+  b.Binary(OpType::kHashJoin, "join", a, x, 1.0, 0.5);
+  Plan p = std::move(b).Build();
+  auto config = MaterializationConfig::NoMat(p);
+  config.set_materialized(s, true);
+  auto cp = CollapsedPlan::Create(p, config, 1.0);
+  ASSERT_TRUE(cp.ok());
+  ASSERT_EQ(cp->num_ops(), 2u);
+  EXPECT_EQ(cp->op(1).members, (std::vector<OpId>{1, 2, 3}));
+  // Dominant internal path takes the tr=5 branch: 5 + 1 = 6.
+  EXPECT_DOUBLE_EQ(cp->op(1).runtime_cost, 6.0);
+  // The scan is consumed by both branches but only one edge c0 -> c1.
+  EXPECT_EQ(cp->op(1).inputs, (std::vector<CollapsedId>{0}));
+}
+
+}  // namespace
+}  // namespace xdbft::ft

@@ -1,0 +1,48 @@
+// Guards the contract that table3_robustness relies on: EnumerateAll
+// returns configurations in FromFreeMask mask order, so position i in the
+// returned vector IS mask i.
+#include <gtest/gtest.h>
+
+#include "ft/enumerator.h"
+#include "tpch/queries.h"
+
+namespace xdbft::ft {
+namespace {
+
+TEST(EnumerateOrderTest, PositionsAreMasks) {
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  auto plan = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  ASSERT_TRUE(plan.ok());
+  FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(10, 3600.0, 1.0);
+  FtPlanEnumerator enumerator(ctx);
+  auto all = enumerator.EnumerateAll(*plan);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 32u);
+  for (uint64_t mask = 0; mask < all->size(); ++mask) {
+    EXPECT_TRUE((*all)[mask].first ==
+                MaterializationConfig::FromFreeMask(*plan, mask))
+        << mask;
+  }
+}
+
+TEST(EnumerateOrderTest, EstimatesMatchDirectEvaluation) {
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  auto plan = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(10, 3600.0, 1.0);
+  FtPlanEnumerator enumerator(ctx);
+  auto all = enumerator.EnumerateAll(*plan);
+  ASSERT_TRUE(all.ok());
+  FtCostModel model(ctx);
+  for (uint64_t mask = 0; mask < all->size(); mask += 5) {
+    auto est = model.Estimate(*plan, (*all)[mask].first);
+    ASSERT_TRUE(est.ok());
+    EXPECT_DOUBLE_EQ((*all)[mask].second, est->dominant_cost) << mask;
+  }
+}
+
+}  // namespace
+}  // namespace xdbft::ft

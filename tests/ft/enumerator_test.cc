@@ -1,0 +1,270 @@
+#include "ft/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace xdbft::ft {
+namespace {
+
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan Fig3Plan() {
+  PlanBuilder b("fig3");
+  const OpId s1 = b.Scan("R", 1e6, 100, 1.0);
+  const OpId s2 = b.Scan("S", 1e6, 100, 2.0);
+  const OpId j = b.Binary(OpType::kHashJoin, "join", s1, s2, 1.5, 0.5);
+  const OpId m = b.Unary(OpType::kMapUdf, "map", j, 1.0, 1.0);
+  const OpId r = b.Unary(OpType::kRepartition, "rep", m, 1.5, 0.5);
+  b.Unary(OpType::kReduceUdf, "red1", r, 0.8, 0.2);
+  b.Unary(OpType::kReduceUdf, "red2", r, 1.6, 0.4);
+  return std::move(b).Build();
+}
+
+FtCostContext MakeContext(double mtbf, int nodes = 1, double mttr = 0.0) {
+  FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(nodes, mtbf, mttr);
+  return ctx;
+}
+
+EnumerationOptions NoPruning() {
+  EnumerationOptions opts;
+  opts.pruning.rule1 = false;
+  opts.pruning.rule2 = false;
+  opts.pruning.rule3 = false;
+  opts.pruning.memoize_dominant_paths = false;
+  return opts;
+}
+
+TEST(EnumeratorTest, FindsOptimumOfExhaustiveEnumeration) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator enumerator(MakeContext(60.0), NoPruning());
+  auto best = enumerator.FindBest(p);
+  ASSERT_TRUE(best.ok()) << best.status();
+
+  // Cross-check against EnumerateAll.
+  auto all = enumerator.EnumerateAll(p);
+  ASSERT_TRUE(all.ok());
+  double min_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [config, cost] : *all) min_cost = std::min(min_cost, cost);
+  EXPECT_NEAR(best->estimated_cost, min_cost, 1e-9);
+}
+
+TEST(EnumeratorTest, EnumerateAllCountsConfigs) {
+  Plan p = Fig3Plan();  // 5 enumerable operators -> 32 configurations
+  FtPlanEnumerator enumerator(MakeContext(60.0));
+  auto all = enumerator.EnumerateAll(p);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 32u);
+}
+
+TEST(EnumeratorTest, StatsCountUnprunedSpace) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator enumerator(MakeContext(60.0), NoPruning());
+  ASSERT_TRUE(enumerator.FindBest(p).ok());
+  EXPECT_EQ(enumerator.stats().candidate_plans, 1u);
+  EXPECT_EQ(enumerator.stats().total_ft_plans_unpruned, 32u);
+  EXPECT_EQ(enumerator.stats().ft_plans_enumerated, 32u);
+  EXPECT_GT(enumerator.stats().paths_evaluated, 0u);
+}
+
+TEST(EnumeratorTest, Rule3ReducesEvaluatedPaths) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator without(MakeContext(60.0), NoPruning());
+  ASSERT_TRUE(without.FindBest(p).ok());
+
+  EnumerationOptions with_rule3 = NoPruning();
+  with_rule3.pruning.rule3 = true;
+  with_rule3.pruning.memoize_dominant_paths = true;
+  FtPlanEnumerator with(MakeContext(60.0), with_rule3);
+  ASSERT_TRUE(with.FindBest(p).ok());
+
+  EXPECT_LT(with.stats().paths_evaluated, without.stats().paths_evaluated);
+  EXPECT_GT(with.stats().rule3_early_stops, 0u);
+}
+
+TEST(EnumeratorTest, PruningPreservesOptimumOnFig3) {
+  Plan p = Fig3Plan();
+  for (double mtbf : {10.0, 60.0, 600.0, 86400.0}) {
+    FtPlanEnumerator unpruned(MakeContext(mtbf), NoPruning());
+    auto b1 = unpruned.FindBest(p);
+    FtPlanEnumerator pruned(MakeContext(mtbf));  // all rules on
+    auto b2 = pruned.FindBest(p);
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    EXPECT_NEAR(b1->estimated_cost, b2->estimated_cost, 1e-9)
+        << "mtbf=" << mtbf;
+  }
+}
+
+Plan RandomChain(Rng& rng) {
+  PlanBuilder b("rand");
+  const int length = static_cast<int>(rng.NextInt(2, 7));
+  OpId prev = b.Scan("src", 1e5, 64, rng.NextDouble() * 10.0);
+  b.plan().mutable_node(prev).materialize_cost = rng.NextDouble() * 5.0;
+  for (int i = 0; i < length; ++i) {
+    prev = b.Unary(OpType::kFilter, "op" + std::to_string(i), prev,
+                   rng.NextDouble() * 10.0, rng.NextDouble() * 5.0);
+  }
+  return std::move(b).Build();
+}
+
+// Rule 3 only skips paths whose cost provably cannot beat bestT, so it must
+// preserve the optimum *exactly* on arbitrary plans.
+class Rule3PreservesOptimum : public ::testing::TestWithParam<int> {};
+
+TEST_P(Rule3PreservesOptimum, RandomChains) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    Plan p = RandomChain(rng);
+    const double mtbf = 5.0 + rng.NextDouble() * 500.0;
+    FtPlanEnumerator unpruned(MakeContext(mtbf), NoPruning());
+    EnumerationOptions rule3_only = NoPruning();
+    rule3_only.pruning.rule3 = true;
+    rule3_only.pruning.memoize_dominant_paths = true;
+    FtPlanEnumerator pruned(MakeContext(mtbf), rule3_only);
+    auto b1 = unpruned.FindBest(p);
+    auto b2 = pruned.FindBest(p);
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    EXPECT_NEAR(b1->estimated_cost, b2->estimated_cost,
+                1e-9 * (1.0 + b1->estimated_cost))
+        << "trial=" << trial << " mtbf=" << mtbf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rule3PreservesOptimum,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Rules 1 and 2 are heuristics derived from pairwise collapse arguments
+// (§4.1/§4.2); in the full configuration space they can exclude the exact
+// optimum, but the chosen plan must stay close to it (and can never beat
+// it, since pruning only shrinks the searched space).
+class FullPruningNearOptimal : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullPruningNearOptimal, RandomChains) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    Plan p = RandomChain(rng);
+    const double mtbf = 5.0 + rng.NextDouble() * 500.0;
+    FtPlanEnumerator unpruned(MakeContext(mtbf), NoPruning());
+    FtPlanEnumerator pruned(MakeContext(mtbf));  // all rules on
+    auto b1 = unpruned.FindBest(p);
+    auto b2 = pruned.FindBest(p);
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    EXPECT_GE(b2->estimated_cost, b1->estimated_cost - 1e-9)
+        << "trial=" << trial;
+    EXPECT_LE(b2->estimated_cost, b1->estimated_cost * 1.25)
+        << "trial=" << trial << " mtbf=" << mtbf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullPruningNearOptimal,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EnumeratorTest, HighMtbfPrefersNoMaterialization) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator enumerator(MakeContext(1e12));
+  auto best = enumerator.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  // With effectively no failures, materializing anything only adds cost.
+  EXPECT_EQ(best->config.NumMaterialized(), 2u);  // the two sinks
+}
+
+TEST(EnumeratorTest, LowMtbfPrefersMoreMaterialization) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator enumerator(MakeContext(4.0), NoPruning());
+  auto best = enumerator.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  EXPECT_GT(best->config.NumMaterialized(), 2u);
+}
+
+TEST(EnumeratorTest, PicksCheaperCandidatePlan) {
+  // Two equivalent plans; the second has smaller costs everywhere.
+  PlanBuilder b1("expensive");
+  OpId s = b1.Scan("R", 1e6, 100, 10.0);
+  b1.Unary(OpType::kHashAggregate, "agg", s, 10.0, 1.0);
+  Plan p1 = std::move(b1).Build();
+
+  PlanBuilder b2("cheap");
+  s = b2.Scan("R", 1e6, 100, 1.0);
+  b2.Unary(OpType::kHashAggregate, "agg", s, 1.0, 0.1);
+  Plan p2 = std::move(b2).Build();
+
+  FtPlanEnumerator enumerator(MakeContext(60.0));
+  auto best = enumerator.FindBest({p1, p2});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->plan_index, 1u);
+}
+
+TEST(EnumeratorTest, TopKRecoversPlanBetterUnderFailures) {
+  // Plan A is faster without failures, but its only intermediate is huge
+  // (expensive to materialize). Plan B is slightly slower but has a cheap
+  // checkpoint. Under a low MTBF the enumerator must pick B.
+  PlanBuilder ba("fast-but-fragile");
+  OpId s = ba.Scan("R", 1e6, 100, 9.0);
+  ba.plan().mutable_node(s).materialize_cost = 100.0;
+  ba.Unary(OpType::kHashAggregate, "agg", s, 9.0, 0.1);
+  Plan pa = std::move(ba).Build();
+
+  PlanBuilder bb("slower-but-checkpointable");
+  s = bb.Scan("R", 1e6, 100, 10.0);
+  bb.plan().mutable_node(s).materialize_cost = 0.5;
+  bb.Unary(OpType::kHashAggregate, "agg", s, 10.0, 0.1);
+  Plan pb = std::move(bb).Build();
+
+  FtPlanEnumerator low_mtbf(MakeContext(8.0));
+  auto best = low_mtbf.FindBest({pa, pb});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->plan_index, 1u);
+
+  FtPlanEnumerator high_mtbf(MakeContext(1e12));
+  auto best2 = high_mtbf.FindBest({pa, pb});
+  ASSERT_TRUE(best2.ok());
+  EXPECT_EQ(best2->plan_index, 0u);
+}
+
+TEST(EnumeratorTest, RejectsEmptyCandidateList) {
+  FtPlanEnumerator enumerator(MakeContext(60.0));
+  EXPECT_FALSE(enumerator.FindBest(std::vector<Plan>{}).ok());
+}
+
+TEST(EnumeratorTest, RejectsTooManyFreeOperators) {
+  PlanBuilder b("wide");
+  std::vector<OpId> scans;
+  for (int i = 0; i < 30; ++i) {
+    scans.push_back(b.Scan("s" + std::to_string(i), 10, 8, 1.0));
+  }
+  b.Nary(OpType::kUnion, "u", scans, 1.0, 0.1);
+  Plan p = std::move(b).Build();
+  EnumerationOptions opts = NoPruning();
+  opts.max_free_operators = 10;
+  FtPlanEnumerator enumerator(MakeContext(60.0), opts);
+  EXPECT_FALSE(enumerator.FindBest(p).ok());
+}
+
+TEST(EnumeratorTest, StatsToStringMentionsCounters) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator enumerator(MakeContext(60.0));
+  ASSERT_TRUE(enumerator.FindBest(p).ok());
+  EXPECT_NE(enumerator.stats().ToString().find("plans="),
+            std::string::npos);
+}
+
+TEST(EnumeratorTest, ChosenConfigValidatesAgainstChosenPlan) {
+  Plan p = Fig3Plan();
+  FtPlanEnumerator enumerator(MakeContext(60.0));
+  auto best = enumerator.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  EXPECT_TRUE(best->config.Validate(best->plan).ok());
+  EXPECT_FALSE(best->dominant_path.empty());
+}
+
+}  // namespace
+}  // namespace xdbft::ft

@@ -1,0 +1,99 @@
+#include "ft/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "ft/enumerator.h"
+
+namespace xdbft::ft {
+namespace {
+
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan ChainPlan() {
+  PlanBuilder b("chain");
+  auto s = b.Scan("R", 1e6, 64, 20.0);
+  b.Constrain(s, plan::MatConstraint::kNeverMaterialize);
+  auto a = b.Unary(OpType::kMapUdf, "cheap-ckpt", s, 50.0, 1.0);
+  auto c = b.Unary(OpType::kMapUdf, "pricey-ckpt", a, 50.0, 80.0);
+  b.Unary(OpType::kHashAggregate, "agg", c, 10.0, 0.5);
+  return std::move(b).Build();
+}
+
+FtCostContext Ctx(double mtbf = 200.0) {
+  FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(1, mtbf, 1.0);
+  return ctx;
+}
+
+TEST(ExplainTest, AnalyzesEveryFreeOperator) {
+  const Plan p = ChainPlan();
+  const auto config = MaterializationConfig::NoMat(p);
+  auto analysis = AnalyzeMarginals(p, config, Ctx());
+  ASSERT_TRUE(analysis.ok()) << analysis.status();
+  EXPECT_EQ(analysis->operators.size(), 2u);  // the two free UDFs
+  EXPECT_GT(analysis->configured_cost, 0.0);
+}
+
+TEST(ExplainTest, OptimalConfigHasNoNegativeBenefit) {
+  // Toggling any single flag of the optimum cannot improve it.
+  const Plan p = ChainPlan();
+  FtPlanEnumerator enumerator(Ctx());
+  auto best = enumerator.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  auto analysis = AnalyzeMarginals(best->plan, best->config, Ctx());
+  ASSERT_TRUE(analysis.ok());
+  for (const auto& m : analysis->operators) {
+    EXPECT_GE(m.benefit(), -1e-9) << m.label;
+  }
+}
+
+TEST(ExplainTest, CheapCheckpointShowsPositiveBenefitUnderFailures) {
+  // With m(cheap-ckpt)=1 in a flaky environment, un-materializing it must
+  // hurt (positive benefit for keeping it).
+  Plan p = ChainPlan();
+  auto config = MaterializationConfig::NoMat(p);
+  config.set_materialized(1, true);
+  auto analysis = AnalyzeMarginals(p, config, Ctx(100.0));
+  ASSERT_TRUE(analysis.ok());
+  const auto& cheap = analysis->operators[0];
+  ASSERT_EQ(cheap.op, 1);
+  EXPECT_TRUE(cheap.materialized);
+  EXPECT_GT(cheap.benefit(), 0.0);
+}
+
+TEST(ExplainTest, UselessCheckpointShowsLoss) {
+  // Materializing the pricey operator in a reliable environment loses.
+  Plan p = ChainPlan();
+  auto config = MaterializationConfig::NoMat(p);
+  config.set_materialized(2, true);
+  auto analysis = AnalyzeMarginals(p, config, Ctx(1e15));
+  ASSERT_TRUE(analysis.ok());
+  const auto& pricey = analysis->operators[1];
+  ASSERT_EQ(pricey.op, 2);
+  EXPECT_LT(pricey.benefit(), 0.0);
+}
+
+TEST(ExplainTest, ToStringListsOperators) {
+  const Plan p = ChainPlan();
+  auto analysis =
+      AnalyzeMarginals(p, MaterializationConfig::NoMat(p), Ctx());
+  ASSERT_TRUE(analysis.ok());
+  const std::string s = analysis->ToString();
+  EXPECT_NE(s.find("cheap-ckpt"), std::string::npos);
+  EXPECT_NE(s.find("pricey-ckpt"), std::string::npos);
+  EXPECT_NE(s.find("configured cost"), std::string::npos);
+}
+
+TEST(ExplainTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(
+      AnalyzeMarginals(Plan{}, MaterializationConfig{}, Ctx()).ok());
+  Plan p = ChainPlan();
+  MaterializationConfig bad(p.num_nodes());  // sink unmaterialized
+  EXPECT_FALSE(AnalyzeMarginals(p, bad, Ctx()).ok());
+}
+
+}  // namespace
+}  // namespace xdbft::ft

@@ -1,0 +1,129 @@
+#include "ft/mat_config.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace xdbft::ft {
+namespace {
+
+using plan::MatConstraint;
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan ChainPlan() {
+  PlanBuilder b("chain");
+  const OpId s = b.Scan("R", 100, 8, 1.0);
+  const OpId f = b.Unary(OpType::kFilter, "f", s, 1.0, 0.5);
+  const OpId j = b.Unary(OpType::kMapUdf, "m", f, 1.0, 0.5);
+  b.Unary(OpType::kHashAggregate, "agg", j, 1.0, 0.1);
+  return std::move(b).Build();
+}
+
+TEST(MatConfigTest, NoMatKeepsOnlySink) {
+  Plan p = ChainPlan();
+  const auto c = MaterializationConfig::NoMat(p);
+  EXPECT_FALSE(c.materialized(0));
+  EXPECT_FALSE(c.materialized(1));
+  EXPECT_FALSE(c.materialized(2));
+  EXPECT_TRUE(c.materialized(3));  // sink always materializes
+  EXPECT_EQ(c.NumMaterialized(), 1u);
+  EXPECT_TRUE(c.Validate(p).ok());
+}
+
+TEST(MatConfigTest, AllMatMaterializesEverything) {
+  Plan p = ChainPlan();
+  const auto c = MaterializationConfig::AllMat(p);
+  EXPECT_EQ(c.NumMaterialized(), 4u);
+  EXPECT_TRUE(c.Validate(p).ok());
+}
+
+TEST(MatConfigTest, AllMatRespectsNeverMaterialize) {
+  Plan p = ChainPlan();
+  p.mutable_node(1).constraint = MatConstraint::kNeverMaterialize;
+  const auto c = MaterializationConfig::AllMat(p);
+  EXPECT_FALSE(c.materialized(1));
+  EXPECT_TRUE(c.materialized(0));
+  EXPECT_TRUE(c.Validate(p).ok());
+}
+
+TEST(MatConfigTest, NoMatRespectsAlwaysMaterialize) {
+  Plan p = ChainPlan();
+  p.mutable_node(2).constraint = MatConstraint::kAlwaysMaterialize;
+  const auto c = MaterializationConfig::NoMat(p);
+  EXPECT_TRUE(c.materialized(2));
+  EXPECT_TRUE(c.Validate(p).ok());
+}
+
+TEST(MatConfigTest, EnumerableOperatorsExcludesSinkAndBound) {
+  Plan p = ChainPlan();
+  EXPECT_EQ(EnumerableOperators(p), (std::vector<OpId>{0, 1, 2}));
+  p.mutable_node(1).constraint = MatConstraint::kNeverMaterialize;
+  EXPECT_EQ(EnumerableOperators(p), (std::vector<OpId>{0, 2}));
+}
+
+TEST(MatConfigTest, FromFreeMaskEnumeratesAllCombinations) {
+  Plan p = ChainPlan();  // 3 enumerable ops -> 8 configs
+  std::set<std::string> seen;
+  for (uint64_t mask = 0; mask < 8; ++mask) {
+    const auto c = MaterializationConfig::FromFreeMask(p, mask);
+    EXPECT_TRUE(c.Validate(p).ok()) << mask;
+    seen.insert(c.ToString());
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(MatConfigTest, FromFreeMaskBitOrderMatchesAscendingIds) {
+  Plan p = ChainPlan();
+  const auto c = MaterializationConfig::FromFreeMask(p, 0b010);
+  EXPECT_FALSE(c.materialized(0));
+  EXPECT_TRUE(c.materialized(1));
+  EXPECT_FALSE(c.materialized(2));
+}
+
+TEST(MatConfigTest, ValidateCatchesUnmaterializedSink) {
+  Plan p = ChainPlan();
+  MaterializationConfig c(p.num_nodes());
+  EXPECT_FALSE(c.Validate(p).ok());
+}
+
+TEST(MatConfigTest, ValidateCatchesSizeMismatch) {
+  Plan p = ChainPlan();
+  MaterializationConfig c(2);
+  EXPECT_FALSE(c.Validate(p).ok());
+}
+
+TEST(MatConfigTest, ValidateCatchesViolatedBound) {
+  Plan p = ChainPlan();
+  p.mutable_node(1).constraint = MatConstraint::kNeverMaterialize;
+  auto c = MaterializationConfig::NoMat(p);
+  c.set_materialized(1, true);
+  EXPECT_FALSE(c.Validate(p).ok());
+
+  p.mutable_node(1).constraint = MatConstraint::kAlwaysMaterialize;
+  auto c2 = MaterializationConfig::AllMat(p);
+  c2.set_materialized(1, false);
+  EXPECT_FALSE(c2.Validate(p).ok());
+}
+
+TEST(MatConfigTest, ToStringListsMaterializedOps) {
+  Plan p = ChainPlan();
+  auto c = MaterializationConfig::NoMat(p);
+  EXPECT_EQ(c.ToString(), "{m: 3}");
+  c.set_materialized(1, true);
+  EXPECT_EQ(c.ToString(), "{m: 1,3}");
+}
+
+TEST(MatConfigTest, EqualityOperator) {
+  Plan p = ChainPlan();
+  EXPECT_TRUE(MaterializationConfig::NoMat(p) ==
+              MaterializationConfig::NoMat(p));
+  EXPECT_FALSE(MaterializationConfig::NoMat(p) ==
+               MaterializationConfig::AllMat(p));
+}
+
+}  // namespace
+}  // namespace xdbft::ft

@@ -1,0 +1,142 @@
+#include "ft/scheme.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::ft {
+namespace {
+
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan StarJoinPlan() {
+  PlanBuilder b("star");
+  const OpId fact = b.Scan("F", 1e7, 100, 8.0);
+  const OpId d1 = b.Scan("D1", 1e4, 50, 0.5);
+  const OpId d2 = b.Scan("D2", 1e4, 50, 0.5);
+  const OpId j1 = b.Binary(OpType::kHashJoin, "j1", fact, d1, 4.0, 3.0);
+  const OpId j2 = b.Binary(OpType::kHashJoin, "j2", j1, d2, 4.0, 3.0);
+  b.Unary(OpType::kHashAggregate, "agg", j2, 1.0, 0.1);
+  return std::move(b).Build();
+}
+
+FtCostContext MakeContext(double mtbf) {
+  FtCostContext ctx;
+  ctx.cluster = cost::MakeCluster(10, mtbf, 1.0);
+  return ctx;
+}
+
+TEST(SchemeTest, KindNames) {
+  EXPECT_STREQ(SchemeKindName(SchemeKind::kAllMat), "all-mat");
+  EXPECT_STREQ(SchemeKindName(SchemeKind::kNoMatLineage),
+               "no-mat (lineage)");
+  EXPECT_STREQ(SchemeKindName(SchemeKind::kNoMatRestart),
+               "no-mat (restart)");
+  EXPECT_STREQ(SchemeKindName(SchemeKind::kCostBased), "cost-based");
+}
+
+TEST(SchemeTest, AllMatMaterializesEverything) {
+  auto sp = ApplyScheme(SchemeKind::kAllMat, StarJoinPlan(),
+                        MakeContext(3600.0));
+  ASSERT_TRUE(sp.ok()) << sp.status();
+  EXPECT_EQ(sp->recovery, RecoveryMode::kFineGrained);
+  EXPECT_EQ(sp->config.NumMaterialized(), 6u);
+  EXPECT_GT(sp->estimated_cost, 0.0);
+}
+
+TEST(SchemeTest, NoMatLineageMaterializesOnlySink) {
+  auto sp = ApplyScheme(SchemeKind::kNoMatLineage, StarJoinPlan(),
+                        MakeContext(3600.0));
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->recovery, RecoveryMode::kFineGrained);
+  EXPECT_EQ(sp->config.NumMaterialized(), 1u);
+}
+
+TEST(SchemeTest, NoMatRestartUsesFullRestart) {
+  auto sp = ApplyScheme(SchemeKind::kNoMatRestart, StarJoinPlan(),
+                        MakeContext(3600.0));
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->recovery, RecoveryMode::kFullRestart);
+  EXPECT_EQ(sp->config.NumMaterialized(), 1u);
+}
+
+TEST(SchemeTest, CostBasedNeverWorseThanFixedSchemes) {
+  // The cost-based estimate is the minimum over all configurations, hence
+  // <= both all-mat and no-mat estimates under the same model.
+  for (double mtbf : {60.0, 600.0, 3600.0, 86400.0}) {
+    const Plan p = StarJoinPlan();
+    const FtCostContext ctx = MakeContext(mtbf);
+    auto cost_based = ApplyScheme(SchemeKind::kCostBased, p, ctx);
+    auto all_mat = ApplyScheme(SchemeKind::kAllMat, p, ctx);
+    auto no_mat = ApplyScheme(SchemeKind::kNoMatLineage, p, ctx);
+    ASSERT_TRUE(cost_based.ok());
+    ASSERT_TRUE(all_mat.ok());
+    ASSERT_TRUE(no_mat.ok());
+    EXPECT_LE(cost_based->estimated_cost,
+              all_mat->estimated_cost + 1e-9)
+        << "mtbf=" << mtbf;
+    EXPECT_LE(cost_based->estimated_cost, no_mat->estimated_cost + 1e-9)
+        << "mtbf=" << mtbf;
+  }
+}
+
+TEST(SchemeTest, CostBasedAdaptsToMtbf) {
+  const Plan p = StarJoinPlan();
+  auto low_failure = ApplyScheme(SchemeKind::kCostBased, p,
+                                 MakeContext(30 * 86400.0));
+  auto high_failure = ApplyScheme(SchemeKind::kCostBased, p,
+                                  MakeContext(60.0));
+  ASSERT_TRUE(low_failure.ok());
+  ASSERT_TRUE(high_failure.ok());
+  EXPECT_GE(high_failure->config.NumMaterialized(),
+            low_failure->config.NumMaterialized());
+}
+
+TEST(SchemeTest, CostBasedOverMultipleCandidates) {
+  PlanBuilder cheap("cheap");
+  OpId s = cheap.Scan("R", 1e5, 64, 1.0);
+  cheap.Unary(OpType::kHashAggregate, "agg", s, 1.0, 0.1);
+  Plan pc = std::move(cheap).Build();
+
+  PlanBuilder costly("costly");
+  s = costly.Scan("R", 1e5, 64, 5.0);
+  costly.Unary(OpType::kHashAggregate, "agg", s, 5.0, 0.1);
+  Plan pe = std::move(costly).Build();
+
+  auto sp = ApplyCostBasedScheme({pe, pc}, MakeContext(3600.0));
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->plan.name(), "cheap");
+}
+
+TEST(SchemeTest, RejectsInvalidPlan) {
+  Plan empty;
+  EXPECT_FALSE(
+      ApplyScheme(SchemeKind::kAllMat, empty, MakeContext(60.0)).ok());
+}
+
+TEST(SchemeTest, RejectsInvalidContext) {
+  FtCostContext bad = MakeContext(60.0);
+  bad.cluster.num_nodes = -1;
+  EXPECT_FALSE(ApplyScheme(SchemeKind::kAllMat, StarJoinPlan(), bad).ok());
+}
+
+TEST(SchemeTest, EstimatesOrderedSensiblyUnderHighFailureRate) {
+  // At a very low MTBF, no-mat has a (much) higher estimated runtime than
+  // all-mat for this plan with cheap materializations.
+  PlanBuilder b("chain");
+  OpId prev = b.Scan("R", 1e6, 10, 5.0);
+  for (int i = 0; i < 4; ++i) {
+    prev = b.Unary(OpType::kFilter, "f" + std::to_string(i), prev, 5.0, 0.2);
+  }
+  Plan p = std::move(b).Build();
+  const FtCostContext ctx = MakeContext(120.0);
+  auto all_mat = ApplyScheme(SchemeKind::kAllMat, p, ctx);
+  auto no_mat = ApplyScheme(SchemeKind::kNoMatLineage, p, ctx);
+  ASSERT_TRUE(all_mat.ok());
+  ASSERT_TRUE(no_mat.ok());
+  EXPECT_LT(all_mat->estimated_cost, no_mat->estimated_cost);
+}
+
+}  // namespace
+}  // namespace xdbft::ft

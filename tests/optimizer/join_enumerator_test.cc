@@ -1,0 +1,229 @@
+#include "optimizer/join_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpch/q5_join_graph.h"
+
+namespace xdbft::optimizer {
+namespace {
+
+JoinGraph ChainGraph(int n) {
+  JoinGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddRelation({"R" + std::to_string(i),
+                   100.0 * (i + 1), 1.0 * (i + 1), 10, 50});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, i + 1, 0.01).ok());
+  }
+  return g;
+}
+
+TEST(JoinTreeArenaTest, LeafAndJoin) {
+  JoinTreeArena arena;
+  const int a = arena.Leaf(0);
+  const int b = arena.Leaf(1);
+  const int j = arena.Join(a, b);
+  EXPECT_TRUE(arena.node(a).is_leaf());
+  EXPECT_FALSE(arena.node(j).is_leaf());
+  EXPECT_EQ(arena.Relations(j), RelSet{0b11});
+}
+
+TEST(JoinTreeArenaTest, ToStringShowsStructure) {
+  JoinGraph g = ChainGraph(3);
+  JoinTreeArena arena;
+  const int t =
+      arena.Join(arena.Join(arena.Leaf(0), arena.Leaf(1)), arena.Leaf(2));
+  EXPECT_EQ(arena.ToString(t, g), "((R0 R1) R2)");
+}
+
+// Ordered connected join trees over a chain of n relations:
+// Catalan(n-1) * 2^(n-1).
+class ChainTreeCount : public ::testing::TestWithParam<std::pair<int, size_t>> {};
+
+TEST_P(ChainTreeCount, MatchesCatalanFormula) {
+  const auto [n, expected] = GetParam();
+  JoinGraph g = ChainGraph(n);
+  JoinTreeArena arena;
+  auto trees = EnumerateAllJoinTrees(g, &arena);
+  ASSERT_TRUE(trees.ok()) << trees.status();
+  EXPECT_EQ(trees->size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ChainTreeCount,
+    ::testing::Values(std::make_pair(2, size_t{2}),      // C1*2 = 2
+                      std::make_pair(3, size_t{8}),      // C2*4 = 8
+                      std::make_pair(4, size_t{40}),     // C3*8 = 40
+                      std::make_pair(5, size_t{224}),    // C4*16 = 224
+                      std::make_pair(6, size_t{1344}))); // C5*32 = 1344
+
+TEST(EnumerateAllTest, Q5Yields1344JoinOrders) {
+  // Paper §5.5: 1344 equivalent join orders of TPC-H Q5.
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 10.0;
+  auto g = tpch::MakeQ5JoinGraph(cfg);
+  ASSERT_TRUE(g.ok());
+  JoinTreeArena arena;
+  auto trees = EnumerateAllJoinTrees(*g, &arena);
+  ASSERT_TRUE(trees.ok());
+  EXPECT_EQ(trees->size(), 1344u);
+}
+
+TEST(EnumerateAllTest, EveryTreeCoversAllRelations) {
+  JoinGraph g = ChainGraph(4);
+  JoinTreeArena arena;
+  auto trees = EnumerateAllJoinTrees(g, &arena);
+  ASSERT_TRUE(trees.ok());
+  for (int root : *trees) {
+    EXPECT_EQ(arena.Relations(root), g.AllRels());
+  }
+}
+
+TEST(EnumerateAllTest, TreesAreDistinct) {
+  JoinGraph g = ChainGraph(4);
+  JoinTreeArena arena;
+  auto trees = EnumerateAllJoinTrees(g, &arena);
+  ASSERT_TRUE(trees.ok());
+  std::set<std::string> shapes;
+  for (int root : *trees) shapes.insert(arena.ToString(root, g));
+  EXPECT_EQ(shapes.size(), trees->size());
+}
+
+TEST(EnumerateAllTest, RejectsNullArena) {
+  JoinGraph g = ChainGraph(3);
+  EXPECT_FALSE(EnumerateAllJoinTrees(g, nullptr).ok());
+}
+
+TEST(TreeCostTest, LeafCostIsScanCost) {
+  JoinGraph g = ChainGraph(3);
+  JoinTreeArena arena;
+  EXPECT_DOUBLE_EQ(TreeCost(arena, arena.Leaf(2), g, {}), 3.0);
+}
+
+TEST(TreeCostTest, JoinAddsOperatorCost) {
+  JoinGraph g = ChainGraph(2);
+  JoinTreeArena arena;
+  const int t = arena.Join(arena.Leaf(0), arena.Leaf(1));
+  const double cost = TreeCost(arena, t, g, {});
+  EXPECT_GT(cost, 1.0 + 2.0);
+}
+
+TEST(TreeCostTest, OrderInsensitiveForSameShape) {
+  // Build/probe side selection is by cardinality, so (A B) and (B A) cost
+  // the same.
+  JoinGraph g = ChainGraph(2);
+  JoinTreeArena arena;
+  const int t1 = arena.Join(arena.Leaf(0), arena.Leaf(1));
+  const int t2 = arena.Join(arena.Leaf(1), arena.Leaf(0));
+  EXPECT_DOUBLE_EQ(TreeCost(arena, t1, g, {}), TreeCost(arena, t2, g, {}));
+}
+
+TEST(TopKTest, ReturnsSortedByCost) {
+  JoinGraph g = ChainGraph(5);
+  JoinTreeArena arena;
+  auto roots = EnumerateTopKJoinTrees(g, 5, {}, &arena);
+  ASSERT_TRUE(roots.ok()) << roots.status();
+  ASSERT_LE(roots->size(), 5u);
+  ASSERT_GE(roots->size(), 2u);
+  double prev = 0.0;
+  for (int root : *roots) {
+    const double cost = TreeCost(arena, root, g, {});
+    EXPECT_GE(cost, prev - 1e-9);
+    prev = cost;
+  }
+}
+
+TEST(TopKTest, Top1IsGlobalOptimum) {
+  JoinGraph g = ChainGraph(5);
+  JoinTreeArena arena_all;
+  auto all = EnumerateAllJoinTrees(g, &arena_all);
+  ASSERT_TRUE(all.ok());
+  double best = 1e300;
+  for (int root : *all) {
+    best = std::min(best, TreeCost(arena_all, root, g, {}));
+  }
+  JoinTreeArena arena_dp;
+  auto top = EnumerateTopKJoinTrees(g, 1, {}, &arena_dp);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_NEAR(TreeCost(arena_dp, (*top)[0], g, {}), best, 1e-9 * best);
+}
+
+TEST(TopKTest, RejectsBadArguments) {
+  JoinGraph g = ChainGraph(3);
+  JoinTreeArena arena;
+  EXPECT_FALSE(EnumerateTopKJoinTrees(g, 0, {}, &arena).ok());
+  EXPECT_FALSE(EnumerateTopKJoinTrees(g, 3, {}, nullptr).ok());
+}
+
+TEST(EmitPlanTest, ProducesValidPlanWithBoundScans) {
+  JoinGraph g = ChainGraph(4);
+  JoinTreeArena arena;
+  auto trees = EnumerateAllJoinTrees(g, &arena);
+  ASSERT_TRUE(trees.ok());
+  auto plan = EmitPlan(arena, (*trees)[0], g, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->Validate().ok());
+  // 4 scans + 3 joins + 1 aggregation sink.
+  EXPECT_EQ(plan->num_nodes(), 8u);
+  int scans = 0, joins = 0;
+  for (const auto& n : plan->nodes()) {
+    if (n.type == plan::OpType::kTableScan) {
+      ++scans;
+      EXPECT_FALSE(n.is_free());
+    }
+    if (n.type == plan::OpType::kHashJoin) {
+      ++joins;
+      EXPECT_TRUE(n.is_free());
+    }
+  }
+  EXPECT_EQ(scans, 4);
+  EXPECT_EQ(joins, 3);
+}
+
+TEST(EmitPlanTest, NoAggregateSinkOption) {
+  JoinGraph g = ChainGraph(3);
+  JoinTreeArena arena;
+  const int t = arena.Join(arena.Join(arena.Leaf(0), arena.Leaf(1)),
+                           arena.Leaf(2));
+  PlanEmissionOptions opts;
+  opts.add_aggregate_sink = false;
+  auto plan = EmitPlan(arena, t, g, {}, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_nodes(), 5u);
+  // The top join is the sink.
+  EXPECT_EQ(plan->Sinks().size(), 1u);
+  EXPECT_EQ(plan->node(plan->Sinks()[0]).type, plan::OpType::kHashJoin);
+}
+
+TEST(EmitPlanTest, Q5PlanMatchesHandBuiltCardinalities) {
+  // Emitting the Fig. 9 chain order from the join graph must reproduce the
+  // hand-built Q5 cardinalities (same catalog, same selectivities).
+  tpch::TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  auto g = tpch::MakeQ5JoinGraph(cfg);
+  ASSERT_TRUE(g.ok());
+  JoinTreeArena arena;
+  // ((((R N) C) O) L) S — relations were added in this order (0..5).
+  int t = arena.Leaf(0);
+  for (int i = 1; i < 6; ++i) t = arena.Join(t, arena.Leaf(i));
+  auto plan = EmitPlan(arena, t, *g, tpch::MakePhysicalCostParams(cfg));
+  ASSERT_TRUE(plan.ok());
+  auto q5 = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
+  ASSERT_TRUE(q5.ok());
+  // Compare the final join cardinality: both must be ~686k at SF=100.
+  double emitted_final = 0.0, built_final = 0.0;
+  for (const auto& n : plan->nodes()) {
+    if (n.type == plan::OpType::kHashJoin) emitted_final = n.output_rows;
+  }
+  for (const auto& n : q5->nodes()) {
+    if (n.type == plan::OpType::kHashJoin) built_final = n.output_rows;
+  }
+  EXPECT_NEAR(emitted_final, built_final, built_final * 0.01);
+}
+
+}  // namespace
+}  // namespace xdbft::optimizer

@@ -1,0 +1,97 @@
+#include "optimizer/join_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::optimizer {
+namespace {
+
+// Chain A - B - C with simple cardinalities.
+JoinGraph ChainGraph() {
+  JoinGraph g;
+  g.AddRelation({"A", 100, 1.0, 10, 50});
+  g.AddRelation({"B", 200, 2.0, 10, 50});
+  g.AddRelation({"C", 400, 4.0, 10, 50});
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.01, "a=b").ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 0.005, "b=c").ok());
+  return g;
+}
+
+TEST(JoinGraphTest, ValidatesConnectedGraph) {
+  EXPECT_TRUE(ChainGraph().Validate().ok());
+}
+
+TEST(JoinGraphTest, RejectsDisconnectedGraph) {
+  JoinGraph g;
+  g.AddRelation({"A", 100, 1.0, 10, 50});
+  g.AddRelation({"B", 200, 2.0, 10, 50});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JoinGraphTest, RejectsBadEdges) {
+  JoinGraph g = ChainGraph();
+  EXPECT_FALSE(g.AddEdge(0, 0, 0.5).ok());
+  EXPECT_FALSE(g.AddEdge(0, 9, 0.5).ok());
+  EXPECT_FALSE(g.AddEdge(0, 2, 0.0).ok());
+  EXPECT_FALSE(g.AddEdge(0, 2, 1.5).ok());
+}
+
+TEST(JoinGraphTest, RejectsNonPositiveCardinality) {
+  JoinGraph g;
+  g.AddRelation({"A", 0.0, 1.0, 10, 50});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JoinGraphTest, ConnectedSubsets) {
+  JoinGraph g = ChainGraph();
+  EXPECT_TRUE(g.Connected(0b001));
+  EXPECT_TRUE(g.Connected(0b011));
+  EXPECT_TRUE(g.Connected(0b111));
+  EXPECT_FALSE(g.Connected(0b101));  // A and C are not adjacent
+  EXPECT_FALSE(g.Connected(0));
+}
+
+TEST(JoinGraphTest, HasCrossEdge) {
+  JoinGraph g = ChainGraph();
+  EXPECT_TRUE(g.HasCrossEdge(0b001, 0b010));
+  EXPECT_TRUE(g.HasCrossEdge(0b011, 0b100));
+  EXPECT_FALSE(g.HasCrossEdge(0b001, 0b100));
+}
+
+TEST(JoinGraphTest, CardinalityUsesInternalEdgesOnly) {
+  JoinGraph g = ChainGraph();
+  EXPECT_DOUBLE_EQ(g.Cardinality(0b001), 100);
+  EXPECT_DOUBLE_EQ(g.Cardinality(0b011), 100 * 200 * 0.01);
+  EXPECT_DOUBLE_EQ(g.Cardinality(0b110), 200 * 400 * 0.005);
+  EXPECT_DOUBLE_EQ(g.Cardinality(0b111), 100 * 200 * 400 * 0.01 * 0.005);
+  // A,C without B: no internal edge applies.
+  EXPECT_DOUBLE_EQ(g.Cardinality(0b101), 100 * 400);
+}
+
+TEST(JoinGraphTest, CrossSelectivity) {
+  JoinGraph g = ChainGraph();
+  EXPECT_DOUBLE_EQ(g.CrossSelectivity(0b001, 0b010), 0.01);
+  EXPECT_DOUBLE_EQ(g.CrossSelectivity(0b001, 0b110), 0.01);
+  EXPECT_DOUBLE_EQ(g.CrossSelectivity(0b001, 0b100), 1.0);
+}
+
+TEST(JoinGraphTest, WidthSumsContributions) {
+  JoinGraph g = ChainGraph();
+  EXPECT_DOUBLE_EQ(g.Width(0b111), 30);
+  EXPECT_DOUBLE_EQ(g.Width(0b010), 10);
+}
+
+TEST(JoinGraphTest, AllRelsMask) {
+  EXPECT_EQ(ChainGraph().AllRels(), RelSet{0b111});
+}
+
+TEST(JoinGraphTest, CardinalityCommutesWithSubsetUnion) {
+  // |S1 join S2| = |S1| * |S2| * cross-selectivity(S1, S2).
+  JoinGraph g = ChainGraph();
+  const RelSet s1 = 0b011, s2 = 0b100;
+  EXPECT_DOUBLE_EQ(g.Cardinality(s1 | s2),
+                   g.Cardinality(s1) * g.Cardinality(s2) *
+                       g.CrossSelectivity(s1, s2));
+}
+
+}  // namespace
+}  // namespace xdbft::optimizer

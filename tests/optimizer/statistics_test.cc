@@ -1,0 +1,165 @@
+#include "optimizer/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/tpch_gen.h"
+
+namespace xdbft::optimizer {
+namespace {
+
+using exec::Table;
+using exec::Value;
+using exec::ValueType;
+
+Table UniformInts(int n, int64_t lo, int64_t hi, uint64_t seed = 1) {
+  Table t;
+  t.schema = {{"x", ValueType::kInt64}};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) t.rows.push_back({Value(rng.NextInt(lo, hi))});
+  return t;
+}
+
+TEST(AnalyzeTableTest, BasicColumnStats) {
+  Table t;
+  t.schema = {{"a", ValueType::kInt64}, {"s", ValueType::kString}};
+  t.rows = {{Value(1), Value("x")},
+            {Value(5), Value("y")},
+            {Value(5), Value("x")},
+            {Value(), Value("z")}};
+  auto stats = AnalyzeTable(t);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->row_count, 4u);
+  const auto* a = *stats->Find("a");
+  EXPECT_EQ(a->null_count, 1u);
+  EXPECT_EQ(a->distinct_count, 2u);
+  EXPECT_DOUBLE_EQ(a->min, 1.0);
+  EXPECT_DOUBLE_EQ(a->max, 5.0);
+  EXPECT_TRUE(a->is_numeric());
+  const auto* s = *stats->Find("s");
+  EXPECT_EQ(s->distinct_count, 3u);
+  EXPECT_FALSE(s->is_numeric());
+  EXPECT_FALSE(stats->Find("missing").ok());
+}
+
+TEST(AnalyzeTableTest, HistogramCountsSumToNonNullRows) {
+  Table t = UniformInts(5000, 0, 999);
+  auto stats = AnalyzeTable(t, 32);
+  ASSERT_TRUE(stats.ok());
+  const auto* x = *stats->Find("x");
+  size_t total = 0;
+  for (size_t b : x->histogram) total += b;
+  EXPECT_EQ(total, 5000u);
+  EXPECT_EQ(x->histogram.size(), 32u);
+}
+
+TEST(AnalyzeTableTest, RejectsBadBuckets) {
+  Table t = UniformInts(10, 0, 9);
+  EXPECT_FALSE(AnalyzeTable(t, 0).ok());
+}
+
+TEST(EstimateLessThanTest, UniformDataIsLinear) {
+  Table t = UniformInts(20000, 0, 9999);
+  auto stats = AnalyzeTable(t);
+  const auto* x = *(*stats).Find("x");
+  for (double frac : {0.1, 0.25, 0.5, 0.9}) {
+    const double est = EstimateLessThan(*x, frac * 10000.0);
+    EXPECT_NEAR(est, frac, 0.03) << frac;
+  }
+  EXPECT_DOUBLE_EQ(EstimateLessThan(*x, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateLessThan(*x, 20000.0), 1.0);
+}
+
+TEST(EstimateLessThanTest, SkewedDataFollowsHistogram) {
+  // 90% of values in [0,10), 10% in [990,1000).
+  Table t;
+  t.schema = {{"x", ValueType::kInt64}};
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    t.rows.push_back({Value(i % 10 == 0 ? rng.NextInt(990, 999)
+                                        : rng.NextInt(0, 9))});
+  }
+  auto stats = AnalyzeTable(t, 100);
+  const auto* x = *(*stats).Find("x");
+  EXPECT_NEAR(EstimateLessThan(*x, 500.0), 0.9, 0.02);
+}
+
+TEST(EstimateEqualsTest, MatchesActualFrequency) {
+  Table t = UniformInts(50000, 0, 99);
+  auto stats = AnalyzeTable(t, 100);
+  const auto* x = *(*stats).Find("x");
+  // Each of the 100 values holds ~1% of rows.
+  EXPECT_NEAR(EstimateEquals(*x, 42.0), 0.01, 0.004);
+  EXPECT_DOUBLE_EQ(EstimateEquals(*x, 1234.0), 0.0);
+}
+
+TEST(EstimateEqualsTest, StringFallsBackToNdv) {
+  Table t;
+  t.schema = {{"s", ValueType::kString}};
+  for (int i = 0; i < 100; ++i) {
+    t.rows.push_back({Value("v" + std::to_string(i % 4))});
+  }
+  auto stats = AnalyzeTable(t);
+  const auto* s = *(*stats).Find("s");
+  EXPECT_DOUBLE_EQ(EstimateEquals(*s, 0.0), 0.25);
+}
+
+TEST(EstimateRangeTest, SubtractsCdfs) {
+  Table t = UniformInts(20000, 0, 9999);
+  auto stats = AnalyzeTable(t);
+  const auto* x = *(*stats).Find("x");
+  EXPECT_NEAR(EstimateRange(*x, 2500.0, 7500.0), 0.5, 0.03);
+  EXPECT_DOUBLE_EQ(EstimateRange(*x, 7500.0, 2500.0), 0.0);
+}
+
+TEST(JoinCardinalityTest, ContainmentAssumption) {
+  ColumnStats l, r;
+  l.distinct_count = 100;
+  r.distinct_count = 1000;
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(10000, l, 50000, r),
+                   10000.0 * 50000.0 / 1000.0);
+}
+
+TEST(JoinCardinalityTest, MatchesRealTpchJoin) {
+  // ORDERS join LINEITEM on orderkey: every lineitem matches exactly one
+  // order, so |join| = |lineitem|; the estimator must land within 5%.
+  datagen::TpchGenOptions opts;
+  opts.scale_factor = 0.005;
+  auto db = datagen::GenerateTpch(opts);
+  ASSERT_TRUE(db.ok());
+  auto ostats = AnalyzeTable(db->orders);
+  auto lstats = AnalyzeTable(db->lineitem);
+  ASSERT_TRUE(ostats.ok());
+  ASSERT_TRUE(lstats.ok());
+  const auto* okey = *ostats->Find("o_orderkey");
+  const auto* lkey = *lstats->Find("l_orderkey");
+  const double est = EstimateJoinCardinality(
+      db->orders.num_rows(), *okey, db->lineitem.num_rows(), *lkey);
+  const double actual = static_cast<double>(db->lineitem.num_rows());
+  EXPECT_NEAR(est, actual, actual * 0.05);
+}
+
+TEST(SelectivityTest, MatchesRealTpchPredicate) {
+  // sigma(o_orderdate < D) on generated ORDERS: estimate vs exact count.
+  datagen::TpchGenOptions opts;
+  opts.scale_factor = 0.005;
+  auto db = datagen::GenerateTpch(opts);
+  ASSERT_TRUE(db.ok());
+  auto stats = AnalyzeTable(db->orders);
+  const auto* odate = *(*stats).Find("o_orderdate");
+  const double cutoff = datagen::kDateRangeDays / 3.0;
+  size_t actual = 0;
+  for (const auto& row : db->orders.rows) {
+    if (row[2].AsInt64() < cutoff) ++actual;
+  }
+  const double est = EstimateLessThan(*odate, cutoff);
+  const double actual_frac =
+      static_cast<double>(actual) /
+      static_cast<double>(db->orders.num_rows());
+  EXPECT_NEAR(est, actual_frac, 0.02);
+}
+
+}  // namespace
+}  // namespace xdbft::optimizer

@@ -1,0 +1,128 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::plan {
+namespace {
+
+// The running example of the paper's Figure 2/3: ops 1,2 -> 3 -> 4 -> 5,
+// then 5 -> 6 and 5 -> 7 (we use 0-based ids 0..6).
+Plan Fig3Plan() {
+  PlanBuilder b("fig3");
+  const OpId s1 = b.Scan("R", 1e6, 100, 1.0);
+  const OpId s2 = b.Scan("S", 1e6, 100, 2.0);
+  const OpId j3 = b.Binary(OpType::kHashJoin, "join", s1, s2, 1.5, 0.5);
+  const OpId m4 = b.Unary(OpType::kMapUdf, "map", j3, 1.0, 1.0);
+  const OpId r5 = b.Unary(OpType::kRepartition, "repart", m4, 1.5, 0.5);
+  b.Unary(OpType::kReduceUdf, "reduce1", r5, 0.8, 0.2);
+  b.Unary(OpType::kReduceUdf, "reduce2", r5, 1.6, 0.4);
+  return std::move(b).Build();
+}
+
+TEST(PlanTest, BuilderAssignsSequentialIds) {
+  Plan p = Fig3Plan();
+  EXPECT_EQ(p.num_nodes(), 7u);
+  for (size_t i = 0; i < p.num_nodes(); ++i) {
+    EXPECT_EQ(p.node(static_cast<OpId>(i)).id, static_cast<OpId>(i));
+  }
+}
+
+TEST(PlanTest, SourcesAndSinks) {
+  Plan p = Fig3Plan();
+  EXPECT_EQ(p.Sources(), (std::vector<OpId>{0, 1}));
+  EXPECT_EQ(p.Sinks(), (std::vector<OpId>{5, 6}));
+}
+
+TEST(PlanTest, Consumers) {
+  Plan p = Fig3Plan();
+  EXPECT_EQ(p.Consumers(0), (std::vector<OpId>{2}));
+  EXPECT_EQ(p.Consumers(4), (std::vector<OpId>{5, 6}));
+  EXPECT_TRUE(p.Consumers(5).empty());
+}
+
+TEST(PlanTest, TopologicalOrderRespectsEdges) {
+  Plan p = Fig3Plan();
+  const auto order = p.TopologicalOrder();
+  std::vector<size_t> pos(p.num_nodes());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<size_t>(order[i])] = i;
+  }
+  for (const auto& n : p.nodes()) {
+    for (OpId in : n.inputs) {
+      EXPECT_LT(pos[static_cast<size_t>(in)],
+                pos[static_cast<size_t>(n.id)]);
+    }
+  }
+}
+
+TEST(PlanTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(Fig3Plan().Validate().ok());
+}
+
+TEST(PlanTest, ValidateRejectsEmpty) {
+  Plan p;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(PlanTest, ValidateRejectsForwardReference) {
+  Plan p("bad");
+  PlanNode n;
+  n.label = "x";
+  n.inputs = {5};  // references a node that does not exist yet
+  p.AddNode(n);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(PlanTest, ValidateRejectsDuplicateInput) {
+  PlanBuilder b("dup");
+  const OpId s = b.Scan("R", 10, 8, 1.0);
+  b.Nary(OpType::kUnion, "u", {s, s}, 1.0, 0.0);
+  Plan p = std::move(b).Build();
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(PlanTest, ValidateRejectsNegativeCost) {
+  PlanBuilder b("neg");
+  const OpId s = b.Scan("R", 10, 8, 1.0);
+  b.Unary(OpType::kFilter, "f", s, -1.0, 0.0);
+  Plan p = std::move(b).Build();
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(PlanTest, ValidateRejectsMissingLabel) {
+  Plan p("nolabel");
+  PlanNode n;
+  p.AddNode(n);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(PlanTest, FreeOperatorsHonorsConstraints) {
+  Plan p = Fig3Plan();
+  EXPECT_EQ(p.FreeOperators().size(), 7u);
+  p.mutable_node(2).constraint = MatConstraint::kAlwaysMaterialize;
+  p.mutable_node(3).constraint = MatConstraint::kNeverMaterialize;
+  EXPECT_EQ(p.FreeOperators().size(), 5u);
+}
+
+TEST(PlanTest, TotalCosts) {
+  Plan p = Fig3Plan();
+  EXPECT_DOUBLE_EQ(p.TotalRuntimeCost(), 1.0 + 2.0 + 1.5 + 1.0 + 1.5 + 0.8 + 1.6);
+  EXPECT_DOUBLE_EQ(p.TotalMaterializeCost(), 0.5 + 1.0 + 0.5 + 0.2 + 0.4);
+}
+
+TEST(PlanTest, ExplainMentionsEveryOperator) {
+  Plan p = Fig3Plan();
+  const std::string s = p.Explain();
+  EXPECT_NE(s.find("Scan(R)"), std::string::npos);
+  EXPECT_NE(s.find("HashJoin"), std::string::npos);
+  EXPECT_NE(s.find("reduce2"), std::string::npos);
+}
+
+TEST(PlanTest, OpTypeNamesAreDistinct) {
+  EXPECT_STREQ(OpTypeName(OpType::kTableScan), "TableScan");
+  EXPECT_STREQ(OpTypeName(OpType::kRepartition), "Repartition");
+  EXPECT_STREQ(OpTypeName(OpType::kSink), "Sink");
+}
+
+}  // namespace
+}  // namespace xdbft::plan

@@ -1,0 +1,76 @@
+// Robustness fuzzing of the plan-text parser: random mutations of a valid
+// serialization and random garbage must never crash, and every accepted
+// input must produce a plan that validates.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "plan/plan_text.h"
+
+namespace xdbft::plan {
+namespace {
+
+std::string ValidText() {
+  PlanBuilder b("fuzz-base");
+  const OpId s1 = b.Scan("R", 100, 8, 1.0);
+  const OpId s2 = b.Scan("S", 200, 8, 2.0);
+  const OpId j = b.Binary(OpType::kHashJoin, "join", s1, s2, 3.0, 1.0);
+  b.Unary(OpType::kHashAggregate, "agg", j, 1.0, 0.1);
+  return PlanToText(std::move(b).Build());
+}
+
+class PlanTextFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanTextFuzz, MutatedInputNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const std::string base = ValidText();
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      const size_t pos = rng.NextBounded(text.size());
+      switch (rng.NextBounded(4)) {
+        case 0:  // flip a character
+          text[pos] = static_cast<char>(32 + rng.NextBounded(95));
+          break;
+        case 1:  // delete a character
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate a chunk
+          text.insert(pos, text.substr(pos, rng.NextBounded(10) + 1));
+          break;
+        case 3:  // insert a newline
+          text.insert(pos, "\n");
+          break;
+      }
+    }
+    auto result = PlanFromText(text);  // must not crash
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST_P(PlanTextFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const size_t len = rng.NextBounded(400);
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward format-relevant characters.
+      static const char kAlphabet[] =
+          "node plan\"=,.0123456789 \n\t-+eE";
+      text.push_back(
+          kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+    }
+    auto result = PlanFromText(text);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanTextFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace xdbft::plan

@@ -1,0 +1,153 @@
+#include "plan/plan_text.h"
+
+#include <gtest/gtest.h>
+
+namespace xdbft::plan {
+namespace {
+
+Plan SamplePlan() {
+  PlanBuilder b("sample query");
+  const OpId s1 = b.Scan("R", 1234567.0, 100.5, 1.25);
+  const OpId s2 = b.Scan("S", 1e9, 64, 2.0);
+  b.Constrain(s1, MatConstraint::kNeverMaterialize);
+  const OpId j = b.Binary(OpType::kHashJoin, "join(a=b)", s1, s2, 3.75,
+                          0.5, 5e8, 120);
+  const OpId a = b.Unary(OpType::kHashAggregate, "agg", j, 1.0, 0.1, 42, 8);
+  b.Constrain(a, MatConstraint::kAlwaysMaterialize);
+  b.Unary(OpType::kSort, "sort desc", a, 0.5, 0.05, 42, 8);
+  return std::move(b).Build();
+}
+
+TEST(PlanTextTest, RoundTripPreservesEverything) {
+  const Plan original = SamplePlan();
+  const std::string text = PlanToText(original);
+  auto parsed = PlanFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name(), original.name());
+  ASSERT_EQ(parsed->num_nodes(), original.num_nodes());
+  for (const auto& n : original.nodes()) {
+    const auto& m = parsed->node(n.id);
+    EXPECT_EQ(m.type, n.type) << n.id;
+    EXPECT_EQ(m.label, n.label) << n.id;
+    EXPECT_EQ(m.inputs, n.inputs) << n.id;
+    EXPECT_DOUBLE_EQ(m.runtime_cost, n.runtime_cost) << n.id;
+    EXPECT_DOUBLE_EQ(m.materialize_cost, n.materialize_cost) << n.id;
+    EXPECT_DOUBLE_EQ(m.output_rows, n.output_rows) << n.id;
+    EXPECT_DOUBLE_EQ(m.row_width_bytes, n.row_width_bytes) << n.id;
+    EXPECT_EQ(m.constraint, n.constraint) << n.id;
+  }
+}
+
+TEST(PlanTextTest, RoundTripIsStable) {
+  const std::string t1 = PlanToText(SamplePlan());
+  const std::string t2 = PlanToText(*PlanFromText(t1));
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(PlanTextTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a calibrated plan\n"
+      "plan commented\n"
+      "\n"
+      "node 0 TableScan \"scan\" inputs= tr=1 tm=0 rows=10 width=8 "
+      "constraint=never  # trailing comment\n";
+  auto p = PlanFromText(text);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->num_nodes(), 1u);
+  EXPECT_EQ(p->node(0).constraint, MatConstraint::kNeverMaterialize);
+}
+
+TEST(PlanTextTest, PreservesLossyDoubles) {
+  PlanBuilder b("doubles");
+  b.Scan("R", 1.0 / 3.0, 0.1, 1e-17);
+  const Plan p = std::move(b).Build();
+  auto parsed = PlanFromText(PlanToText(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->node(0).output_rows, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(parsed->node(0).runtime_cost, 1e-17);
+}
+
+TEST(PlanTextTest, RejectsMissingHeader) {
+  EXPECT_FALSE(PlanFromText("node 0 TableScan \"x\" inputs= tr=1 tm=0 "
+                            "rows=1 width=1 constraint=free\n")
+                   .ok());
+  EXPECT_FALSE(PlanFromText("").ok());
+}
+
+TEST(PlanTextTest, RejectsNonDenseIds) {
+  const std::string text =
+      "plan bad\n"
+      "node 1 TableScan \"x\" inputs= tr=1 tm=0 rows=1 width=1 "
+      "constraint=free\n";
+  EXPECT_FALSE(PlanFromText(text).ok());
+}
+
+TEST(PlanTextTest, RejectsUnknownType) {
+  const std::string text =
+      "plan bad\n"
+      "node 0 FooBar \"x\" inputs= tr=1 tm=0 rows=1 width=1 "
+      "constraint=free\n";
+  EXPECT_FALSE(PlanFromText(text).ok());
+}
+
+TEST(PlanTextTest, RejectsMalformedTokens) {
+  EXPECT_FALSE(PlanFromText("plan p\nnode 0 TableScan \"x\" inputs= "
+                            "tr=abc tm=0 rows=1 width=1 constraint=free\n")
+                   .ok());
+  EXPECT_FALSE(PlanFromText("plan p\nnode 0 TableScan \"x\" inputs= "
+                            "tm=0 tr=1 rows=1 width=1 constraint=free\n")
+                   .ok());
+  EXPECT_FALSE(PlanFromText("plan p\nnode 0 TableScan x inputs= tr=1 "
+                            "tm=0 rows=1 width=1 constraint=free\n")
+                   .ok());
+  EXPECT_FALSE(PlanFromText("plan p\nnode 0 TableScan \"x\" inputs= tr=1 "
+                            "tm=0 rows=1 width=1 constraint=maybe\n")
+                   .ok());
+}
+
+TEST(PlanTextTest, RejectsForwardInputReference) {
+  const std::string text =
+      "plan bad\n"
+      "node 0 TableScan \"x\" inputs=1 tr=1 tm=0 rows=1 width=1 "
+      "constraint=free\n"
+      "node 1 Filter \"f\" inputs=0 tr=1 tm=0 rows=1 width=1 "
+      "constraint=free\n";
+  EXPECT_FALSE(PlanFromText(text).ok());
+}
+
+TEST(OpTypeFromStringTest, AllNamesRoundTrip) {
+  for (OpType t : {OpType::kTableScan, OpType::kFilter, OpType::kProject,
+                   OpType::kHashJoin, OpType::kHashAggregate, OpType::kSort,
+                   OpType::kLimit, OpType::kRepartition, OpType::kMapUdf,
+                   OpType::kReduceUdf, OpType::kUnion, OpType::kSink}) {
+    auto parsed = OpTypeFromString(OpTypeName(t));
+    ASSERT_TRUE(parsed.ok()) << OpTypeName(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(PlanTextTest, TpchQ5RoundTrips) {
+  // A realistic plan with many operators survives the round trip and
+  // validates.
+  PlanBuilder b("q5-like");
+  std::vector<OpId> scans;
+  for (int i = 0; i < 6; ++i) {
+    scans.push_back(b.Scan("T" + std::to_string(i), 1e6 * (i + 1), 100,
+                           1.0 * (i + 1)));
+    b.Constrain(scans.back(), MatConstraint::kNeverMaterialize);
+  }
+  OpId prev = scans[0];
+  for (int i = 1; i < 6; ++i) {
+    prev = b.Binary(OpType::kHashJoin, "j" + std::to_string(i), prev,
+                    scans[static_cast<size_t>(i)], 2.0, 1.0, 1e5, 200);
+  }
+  b.Unary(OpType::kHashAggregate, "agg", prev, 1.0, 0.1, 5, 112);
+  const Plan p = std::move(b).Build();
+  auto parsed = PlanFromText(PlanToText(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Validate().ok());
+  EXPECT_EQ(parsed->num_nodes(), 12u);
+}
+
+}  // namespace
+}  // namespace xdbft::plan

@@ -1,0 +1,72 @@
+// Tests of the statistics-driven Q5 join graph: cardinalities estimated
+// from real analyzed data must track the analytic catalog formulas and
+// keep the chain's 1344 join orders.
+#include <gtest/gtest.h>
+
+#include "tpch/q5_join_graph.h"
+
+namespace xdbft::tpch {
+namespace {
+
+TEST(DataDrivenGraphTest, MatchesAnalyticGraphCardinalities) {
+  const double sf = 0.01;
+  datagen::TpchGenOptions gen;
+  gen.scale_factor = sf;
+  auto db = datagen::GenerateTpch(gen);
+  ASSERT_TRUE(db.ok());
+  TpchPlanConfig cfg;
+  cfg.scale_factor = sf;
+  auto data_graph = MakeQ5JoinGraphFromData(*db, cfg);
+  ASSERT_TRUE(data_graph.ok()) << data_graph.status();
+  auto analytic_graph = MakeQ5JoinGraph(cfg);
+  ASSERT_TRUE(analytic_graph.ok());
+
+  // Relation cardinalities within 2x of the analytic model (the data
+  // generator matches TPC-H scaling; selectivity estimates add noise).
+  for (int i = 0; i < data_graph->num_relations(); ++i) {
+    const double d = data_graph->relation(i).rows;
+    const double a = analytic_graph->relation(i).rows;
+    EXPECT_GT(d, a / 2.0) << data_graph->relation(i).name;
+    EXPECT_LT(d, a * 2.0) << data_graph->relation(i).name;
+  }
+  // Full-set (final join) cardinality within 2.5x.
+  const double d_final = data_graph->Cardinality(data_graph->AllRels());
+  const double a_final =
+      analytic_graph->Cardinality(analytic_graph->AllRels());
+  EXPECT_GT(d_final, a_final / 2.5);
+  EXPECT_LT(d_final, a_final * 2.5);
+}
+
+TEST(DataDrivenGraphTest, Keeps1344JoinOrders) {
+  datagen::TpchGenOptions gen;
+  gen.scale_factor = 0.005;
+  auto db = datagen::GenerateTpch(gen);
+  TpchPlanConfig cfg;
+  auto g = MakeQ5JoinGraphFromData(*db, cfg);
+  ASSERT_TRUE(g.ok());
+  optimizer::JoinTreeArena arena;
+  auto trees = optimizer::EnumerateAllJoinTrees(*g, &arena);
+  ASSERT_TRUE(trees.ok());
+  EXPECT_EQ(trees->size(), 1344u);
+}
+
+TEST(DataDrivenGraphTest, FeedsTopKAndAdvisor) {
+  datagen::TpchGenOptions gen;
+  gen.scale_factor = 0.005;
+  auto db = datagen::GenerateTpch(gen);
+  TpchPlanConfig cfg;
+  auto g = MakeQ5JoinGraphFromData(*db, cfg);
+  ASSERT_TRUE(g.ok());
+  optimizer::JoinTreeArena arena;
+  auto roots = optimizer::EnumerateTopKJoinTrees(
+      *g, 3, MakePhysicalCostParams(cfg), &arena);
+  ASSERT_TRUE(roots.ok());
+  EXPECT_GE(roots->size(), 1u);
+  auto plan = optimizer::EmitPlan(arena, (*roots)[0], *g,
+                                  MakePhysicalCostParams(cfg));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+}  // namespace
+}  // namespace xdbft::tpch

@@ -1,0 +1,193 @@
+#include "tpch/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "ft/collapsed_plan.h"
+#include "ft/mat_config.h"
+
+namespace xdbft::tpch {
+namespace {
+
+TpchPlanConfig Sf100Config() {
+  TpchPlanConfig cfg;
+  cfg.scale_factor = 100.0;
+  return cfg;
+}
+
+double Baseline(const plan::Plan& p) {
+  auto cp = ft::CollapsedPlan::Create(p, ft::MaterializationConfig::NoMat(p));
+  return cp->MakespanNoFailure();
+}
+
+double TotalRuntime(const plan::Plan& p) { return p.TotalRuntimeCost(); }
+
+double FreeMatCost(const plan::Plan& p) {
+  double mat = 0.0;
+  for (const auto& n : p.nodes()) {
+    if (n.is_free()) mat += n.materialize_cost;
+  }
+  return mat;
+}
+
+TEST(TpchQueriesTest, AllQueriesBuildAndValidate) {
+  for (TpchQuery q : AllQueries()) {
+    auto p = BuildQuery(q, Sf100Config());
+    ASSERT_TRUE(p.ok()) << TpchQueryName(q) << ": " << p.status();
+    EXPECT_TRUE(p->Validate().ok()) << TpchQueryName(q);
+    EXPECT_GT(Baseline(*p), 0.0) << TpchQueryName(q);
+  }
+}
+
+TEST(TpchQueriesTest, Q1HasNoFreeOperator) {
+  // Paper §5.2: "Q1 is an exception since it has no free operator that can
+  // be selected for materialization."
+  auto p = BuildQuery(TpchQuery::kQ1, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(ft::EnumerableOperators(*p).empty());
+}
+
+TEST(TpchQueriesTest, Q5HasFiveFreeJoins) {
+  // Paper Fig. 9: the 5 join operators are free -> 2^5 = 32 configs.
+  auto p = BuildQuery(TpchQuery::kQ5, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  const auto free_ops = ft::EnumerableOperators(*p);
+  ASSERT_EQ(free_ops.size(), 5u);
+  for (plan::OpId id : free_ops) {
+    EXPECT_EQ(p->node(id).type, plan::OpType::kHashJoin);
+  }
+}
+
+TEST(TpchQueriesTest, Q3IsThreeWayJoin) {
+  auto p = BuildQuery(TpchQuery::kQ3, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  int joins = 0;
+  for (const auto& n : p->nodes()) {
+    if (n.type == plan::OpType::kHashJoin) ++joins;
+  }
+  EXPECT_EQ(joins, 2);  // 3 relations -> 2 join operators
+}
+
+TEST(TpchQueriesTest, Q2CIsDagStructured) {
+  // Q2C's CTE feeds two outer queries: some operator has two consumers and
+  // the plan has two sinks.
+  auto p = BuildQuery(TpchQuery::kQ2C, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Sinks().size(), 2u);
+  bool has_shared_op = false;
+  for (const auto& n : p->nodes()) {
+    if (p->Consumers(n.id).size() >= 2) has_shared_op = true;
+  }
+  EXPECT_TRUE(has_shared_op);
+}
+
+TEST(TpchQueriesTest, Q1CAggregationInMiddleIsCheapToMaterialize) {
+  // The inner aggregation must be the cheapest free materialization point
+  // by a wide margin (the paper's natural checkpoint).
+  auto p = BuildQuery(TpchQuery::kQ1C, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  double min_mat = 1e100, max_mat = 0.0;
+  for (plan::OpId id : ft::EnumerableOperators(*p)) {
+    min_mat = std::min(min_mat, p->node(id).materialize_cost);
+    max_mat = std::max(max_mat, p->node(id).materialize_cost);
+  }
+  EXPECT_LT(min_mat * 100.0, max_mat);
+}
+
+TEST(TpchQueriesTest, Q5Sf100BaselineNearPaper) {
+  // Paper §5.3: Q5 over SF=100 ran 905.33s without failures; our
+  // calibration lands within 5%.
+  auto p = BuildQuery(TpchQuery::kQ5, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(Baseline(*p), 905.33, 905.33 * 0.05);
+}
+
+TEST(TpchQueriesTest, Q5MaterializationShareNearPaper) {
+  // Paper §5.3: total materialization costs of Q5's operators are ~34% of
+  // the total runtime costs.
+  auto p = BuildQuery(TpchQuery::kQ5, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  const double ratio = FreeMatCost(*p) / TotalRuntime(*p);
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.45);
+}
+
+TEST(TpchQueriesTest, Q3MaterializationShareModerate) {
+  // Paper §5.2 (high MTBF): Q3/Q5 have moderate materialization costs
+  // (~20-30% of runtime).
+  auto p = BuildQuery(TpchQuery::kQ3, Sf100Config());
+  ASSERT_TRUE(p.ok());
+  const double ratio = FreeMatCost(*p) / TotalRuntime(*p);
+  EXPECT_GT(ratio, 0.15);
+  EXPECT_LT(ratio, 0.35);
+}
+
+TEST(TpchQueriesTest, ComplexQueriesHaveHighMaterializationShare) {
+  // Paper §5.2: Q1C and Q2C have materialization costs of ~60-100% of the
+  // runtime costs under all-mat.
+  for (TpchQuery q : {TpchQuery::kQ1C, TpchQuery::kQ2C}) {
+    auto p = BuildQuery(q, Sf100Config());
+    ASSERT_TRUE(p.ok());
+    const double ratio = FreeMatCost(*p) / TotalRuntime(*p);
+    EXPECT_GT(ratio, 0.5) << TpchQueryName(q);
+    EXPECT_LT(ratio, 1.2) << TpchQueryName(q);
+  }
+}
+
+TEST(TpchQueriesTest, RuntimeScalesWithScaleFactor) {
+  TpchPlanConfig small = Sf100Config();
+  small.scale_factor = 1.0;
+  for (TpchQuery q : AllQueries()) {
+    auto p1 = BuildQuery(q, small);
+    auto p100 = BuildQuery(q, Sf100Config());
+    ASSERT_TRUE(p1.ok());
+    ASSERT_TRUE(p100.ok());
+    EXPECT_GT(Baseline(*p100), 20.0 * Baseline(*p1)) << TpchQueryName(q);
+  }
+}
+
+TEST(TpchQueriesTest, RuntimeShrinksWithMoreNodes) {
+  TpchPlanConfig wide = Sf100Config();
+  wide.num_nodes = 100;
+  auto p10 = BuildQuery(TpchQuery::kQ5, Sf100Config());
+  auto p100 = BuildQuery(TpchQuery::kQ5, wide);
+  ASSERT_TRUE(p10.ok());
+  ASSERT_TRUE(p100.ok());
+  EXPECT_LT(Baseline(*p100), Baseline(*p10) / 5.0);
+}
+
+TEST(TpchQueriesTest, ScaleFactorForQ5RuntimeInverts) {
+  TpchPlanConfig cfg;
+  auto sf = ScaleFactorForQ5Runtime(925.0, cfg);
+  ASSERT_TRUE(sf.ok()) << sf.status();
+  EXPECT_NEAR(*sf, 100.0, 10.0);
+
+  cfg.scale_factor = *sf;
+  auto p = BuildQuery(TpchQuery::kQ5, cfg);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(Baseline(*p), 925.0, 2.0);
+}
+
+TEST(TpchQueriesTest, ScaleFactorForQ5RuntimeRejectsBadTarget) {
+  EXPECT_FALSE(ScaleFactorForQ5Runtime(-1.0, TpchPlanConfig{}).ok());
+}
+
+TEST(TpchQueriesTest, ConfigValidation) {
+  TpchPlanConfig cfg;
+  cfg.scale_factor = 0.0;
+  EXPECT_FALSE(BuildQuery(TpchQuery::kQ1, cfg).ok());
+  cfg = TpchPlanConfig{};
+  cfg.num_nodes = 0;
+  EXPECT_FALSE(BuildQuery(TpchQuery::kQ1, cfg).ok());
+  cfg = TpchPlanConfig{};
+  cfg.q5_order_selectivity = 2.0;
+  EXPECT_FALSE(BuildQuery(TpchQuery::kQ5, cfg).ok());
+}
+
+TEST(TpchQueriesTest, QueryNames) {
+  EXPECT_STREQ(TpchQueryName(TpchQuery::kQ1), "Q1");
+  EXPECT_STREQ(TpchQueryName(TpchQuery::kQ2C), "Q2C");
+  EXPECT_EQ(AllQueries().size(), 5u);
+}
+
+}  // namespace
+}  // namespace xdbft::tpch

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipe_const.dir/ablation_pipe_const.cc.o"
+  "CMakeFiles/ablation_pipe_const.dir/ablation_pipe_const.cc.o.d"
+  "ablation_pipe_const"
+  "ablation_pipe_const.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipe_const.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_success_target.dir/ablation_success_target.cc.o"
+  "CMakeFiles/ablation_success_target.dir/ablation_success_target.cc.o.d"
+  "ablation_success_target"
+  "ablation_success_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_success_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wasted_time.dir/ablation_wasted_time.cc.o"
+  "CMakeFiles/ablation_wasted_time.dir/ablation_wasted_time.cc.o.d"
+  "ablation_wasted_time"
+  "ablation_wasted_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wasted_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

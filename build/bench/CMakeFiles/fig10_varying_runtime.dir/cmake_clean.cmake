@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_varying_runtime.dir/fig10_varying_runtime.cc.o"
+  "CMakeFiles/fig10_varying_runtime.dir/fig10_varying_runtime.cc.o.d"
+  "fig10_varying_runtime"
+  "fig10_varying_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_varying_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_varying_mtbf.dir/fig11_varying_mtbf.cc.o"
+  "CMakeFiles/fig11_varying_mtbf.dir/fig11_varying_mtbf.cc.o.d"
+  "fig11_varying_mtbf"
+  "fig11_varying_mtbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_varying_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

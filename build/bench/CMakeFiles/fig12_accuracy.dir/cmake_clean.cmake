@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_accuracy.dir/fig12_accuracy.cc.o"
+  "CMakeFiles/fig12_accuracy.dir/fig12_accuracy.cc.o.d"
+  "fig12_accuracy"
+  "fig12_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

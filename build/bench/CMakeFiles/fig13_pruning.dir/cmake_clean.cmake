@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pruning.dir/fig13_pruning.cc.o"
+  "CMakeFiles/fig13_pruning.dir/fig13_pruning.cc.o.d"
+  "fig13_pruning"
+  "fig13_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

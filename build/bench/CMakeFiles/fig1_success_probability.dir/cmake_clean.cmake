@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_success_probability.dir/fig1_success_probability.cc.o"
+  "CMakeFiles/fig1_success_probability.dir/fig1_success_probability.cc.o.d"
+  "fig1_success_probability"
+  "fig1_success_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_success_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

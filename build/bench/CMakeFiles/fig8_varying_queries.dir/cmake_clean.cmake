@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_varying_queries.dir/fig8_varying_queries.cc.o"
+  "CMakeFiles/fig8_varying_queries.dir/fig8_varying_queries.cc.o.d"
+  "fig8_varying_queries"
+  "fig8_varying_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_varying_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_mixed_workload.dir/motivation_mixed_workload.cc.o"
+  "CMakeFiles/motivation_mixed_workload.dir/motivation_mixed_workload.cc.o.d"
+  "motivation_mixed_workload"
+  "motivation_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

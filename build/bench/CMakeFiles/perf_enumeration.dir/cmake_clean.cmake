@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_enumeration.dir/perf_enumeration.cc.o"
+  "CMakeFiles/perf_enumeration.dir/perf_enumeration.cc.o.d"
+  "perf_enumeration"
+  "perf_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_exec.dir/perf_exec.cc.o"
+  "CMakeFiles/perf_exec.dir/perf_exec.cc.o.d"
+  "perf_exec"
+  "perf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_robustness.dir/table3_robustness.cc.o"
+  "CMakeFiles/table3_robustness.dir/table3_robustness.cc.o.d"
+  "table3_robustness"
+  "table3_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_timeline.dir/failure_timeline.cpp.o"
+  "CMakeFiles/failure_timeline.dir/failure_timeline.cpp.o.d"
+  "failure_timeline"
+  "failure_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_workload.dir/mixed_workload.cpp.o"
+  "CMakeFiles/mixed_workload.dir/mixed_workload.cpp.o.d"
+  "mixed_workload"
+  "mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_recovery.dir/real_recovery.cpp.o"
+  "CMakeFiles/real_recovery.dir/real_recovery.cpp.o.d"
+  "real_recovery"
+  "real_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_end_to_end.dir/tpch_end_to_end.cpp.o"
+  "CMakeFiles/tpch_end_to_end.dir/tpch_end_to_end.cpp.o.d"
+  "tpch_end_to_end"
+  "tpch_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

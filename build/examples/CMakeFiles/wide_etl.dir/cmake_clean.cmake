@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_etl.dir/wide_etl.cpp.o"
+  "CMakeFiles/wide_etl.dir/wide_etl.cpp.o.d"
+  "wide_etl"
+  "wide_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

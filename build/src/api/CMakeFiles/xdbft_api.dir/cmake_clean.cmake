@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_api.dir/advisor.cc.o"
+  "CMakeFiles/xdbft_api.dir/advisor.cc.o.d"
+  "libxdbft_api.a"
+  "libxdbft_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

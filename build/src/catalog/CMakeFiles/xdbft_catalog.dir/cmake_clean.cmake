@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_catalog.dir/tpch_catalog.cc.o"
+  "CMakeFiles/xdbft_catalog.dir/tpch_catalog.cc.o.d"
+  "libxdbft_catalog.a"
+  "libxdbft_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_cluster.dir/experiment.cc.o"
+  "CMakeFiles/xdbft_cluster.dir/experiment.cc.o.d"
+  "CMakeFiles/xdbft_cluster.dir/failure_trace.cc.o"
+  "CMakeFiles/xdbft_cluster.dir/failure_trace.cc.o.d"
+  "CMakeFiles/xdbft_cluster.dir/simulator.cc.o"
+  "CMakeFiles/xdbft_cluster.dir/simulator.cc.o.d"
+  "CMakeFiles/xdbft_cluster.dir/workload.cc.o"
+  "CMakeFiles/xdbft_cluster.dir/workload.cc.o.d"
+  "libxdbft_cluster.a"
+  "libxdbft_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

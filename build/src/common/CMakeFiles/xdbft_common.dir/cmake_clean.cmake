@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_common.dir/logging.cc.o"
+  "CMakeFiles/xdbft_common.dir/logging.cc.o.d"
+  "CMakeFiles/xdbft_common.dir/math_util.cc.o"
+  "CMakeFiles/xdbft_common.dir/math_util.cc.o.d"
+  "CMakeFiles/xdbft_common.dir/rng.cc.o"
+  "CMakeFiles/xdbft_common.dir/rng.cc.o.d"
+  "CMakeFiles/xdbft_common.dir/status.cc.o"
+  "CMakeFiles/xdbft_common.dir/status.cc.o.d"
+  "CMakeFiles/xdbft_common.dir/string_util.cc.o"
+  "CMakeFiles/xdbft_common.dir/string_util.cc.o.d"
+  "libxdbft_common.a"
+  "libxdbft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cost_params.cc" "src/cost/CMakeFiles/xdbft_cost.dir/cost_params.cc.o" "gcc" "src/cost/CMakeFiles/xdbft_cost.dir/cost_params.cc.o.d"
+  "/root/repo/src/cost/operator_cost.cc" "src/cost/CMakeFiles/xdbft_cost.dir/operator_cost.cc.o" "gcc" "src/cost/CMakeFiles/xdbft_cost.dir/operator_cost.cc.o.d"
+  "/root/repo/src/cost/storage_model.cc" "src/cost/CMakeFiles/xdbft_cost.dir/storage_model.cc.o" "gcc" "src/cost/CMakeFiles/xdbft_cost.dir/storage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/xdbft_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

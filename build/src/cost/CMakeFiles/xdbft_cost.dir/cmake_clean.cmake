@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_cost.dir/cost_params.cc.o"
+  "CMakeFiles/xdbft_cost.dir/cost_params.cc.o.d"
+  "CMakeFiles/xdbft_cost.dir/operator_cost.cc.o"
+  "CMakeFiles/xdbft_cost.dir/operator_cost.cc.o.d"
+  "CMakeFiles/xdbft_cost.dir/storage_model.cc.o"
+  "CMakeFiles/xdbft_cost.dir/storage_model.cc.o.d"
+  "libxdbft_cost.a"
+  "libxdbft_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

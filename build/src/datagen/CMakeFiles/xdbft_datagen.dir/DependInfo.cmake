@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/tpch_gen.cc" "src/datagen/CMakeFiles/xdbft_datagen.dir/tpch_gen.cc.o" "gcc" "src/datagen/CMakeFiles/xdbft_datagen.dir/tpch_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/xdbft_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/xdbft_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

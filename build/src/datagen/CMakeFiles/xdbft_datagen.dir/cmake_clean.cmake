@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_datagen.dir/tpch_gen.cc.o"
+  "CMakeFiles/xdbft_datagen.dir/tpch_gen.cc.o.d"
+  "libxdbft_datagen.a"
+  "libxdbft_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_calibrator.cc" "src/engine/CMakeFiles/xdbft_engine.dir/cost_calibrator.cc.o" "gcc" "src/engine/CMakeFiles/xdbft_engine.dir/cost_calibrator.cc.o.d"
+  "/root/repo/src/engine/ft_executor.cc" "src/engine/CMakeFiles/xdbft_engine.dir/ft_executor.cc.o" "gcc" "src/engine/CMakeFiles/xdbft_engine.dir/ft_executor.cc.o.d"
+  "/root/repo/src/engine/partitioned_table.cc" "src/engine/CMakeFiles/xdbft_engine.dir/partitioned_table.cc.o" "gcc" "src/engine/CMakeFiles/xdbft_engine.dir/partitioned_table.cc.o.d"
+  "/root/repo/src/engine/query_runner.cc" "src/engine/CMakeFiles/xdbft_engine.dir/query_runner.cc.o" "gcc" "src/engine/CMakeFiles/xdbft_engine.dir/query_runner.cc.o.d"
+  "/root/repo/src/engine/query_runner_complex.cc" "src/engine/CMakeFiles/xdbft_engine.dir/query_runner_complex.cc.o" "gcc" "src/engine/CMakeFiles/xdbft_engine.dir/query_runner_complex.cc.o.d"
+  "/root/repo/src/engine/stage_plan.cc" "src/engine/CMakeFiles/xdbft_engine.dir/stage_plan.cc.o" "gcc" "src/engine/CMakeFiles/xdbft_engine.dir/stage_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/xdbft_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/xdbft_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/xdbft_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/xdbft_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/xdbft_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_engine.dir/cost_calibrator.cc.o"
+  "CMakeFiles/xdbft_engine.dir/cost_calibrator.cc.o.d"
+  "CMakeFiles/xdbft_engine.dir/ft_executor.cc.o"
+  "CMakeFiles/xdbft_engine.dir/ft_executor.cc.o.d"
+  "CMakeFiles/xdbft_engine.dir/partitioned_table.cc.o"
+  "CMakeFiles/xdbft_engine.dir/partitioned_table.cc.o.d"
+  "CMakeFiles/xdbft_engine.dir/query_runner.cc.o"
+  "CMakeFiles/xdbft_engine.dir/query_runner.cc.o.d"
+  "CMakeFiles/xdbft_engine.dir/query_runner_complex.cc.o"
+  "CMakeFiles/xdbft_engine.dir/query_runner_complex.cc.o.d"
+  "CMakeFiles/xdbft_engine.dir/stage_plan.cc.o"
+  "CMakeFiles/xdbft_engine.dir/stage_plan.cc.o.d"
+  "libxdbft_engine.a"
+  "libxdbft_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

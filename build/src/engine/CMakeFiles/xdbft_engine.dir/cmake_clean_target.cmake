@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxdbft_engine.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/xdbft_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/xdbft_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/join_operators.cc" "src/exec/CMakeFiles/xdbft_exec.dir/join_operators.cc.o" "gcc" "src/exec/CMakeFiles/xdbft_exec.dir/join_operators.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/xdbft_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/xdbft_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/schema.cc" "src/exec/CMakeFiles/xdbft_exec.dir/schema.cc.o" "gcc" "src/exec/CMakeFiles/xdbft_exec.dir/schema.cc.o.d"
+  "/root/repo/src/exec/value.cc" "src/exec/CMakeFiles/xdbft_exec.dir/value.cc.o" "gcc" "src/exec/CMakeFiles/xdbft_exec.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_exec.dir/expr.cc.o"
+  "CMakeFiles/xdbft_exec.dir/expr.cc.o.d"
+  "CMakeFiles/xdbft_exec.dir/join_operators.cc.o"
+  "CMakeFiles/xdbft_exec.dir/join_operators.cc.o.d"
+  "CMakeFiles/xdbft_exec.dir/operators.cc.o"
+  "CMakeFiles/xdbft_exec.dir/operators.cc.o.d"
+  "CMakeFiles/xdbft_exec.dir/schema.cc.o"
+  "CMakeFiles/xdbft_exec.dir/schema.cc.o.d"
+  "CMakeFiles/xdbft_exec.dir/value.cc.o"
+  "CMakeFiles/xdbft_exec.dir/value.cc.o.d"
+  "libxdbft_exec.a"
+  "libxdbft_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/adaptive.cc" "src/ft/CMakeFiles/xdbft_ft.dir/adaptive.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/adaptive.cc.o.d"
+  "/root/repo/src/ft/checkpointing.cc" "src/ft/CMakeFiles/xdbft_ft.dir/checkpointing.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/checkpointing.cc.o.d"
+  "/root/repo/src/ft/collapsed_plan.cc" "src/ft/CMakeFiles/xdbft_ft.dir/collapsed_plan.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/collapsed_plan.cc.o.d"
+  "/root/repo/src/ft/enumerator.cc" "src/ft/CMakeFiles/xdbft_ft.dir/enumerator.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/enumerator.cc.o.d"
+  "/root/repo/src/ft/explain.cc" "src/ft/CMakeFiles/xdbft_ft.dir/explain.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/explain.cc.o.d"
+  "/root/repo/src/ft/failure_math.cc" "src/ft/CMakeFiles/xdbft_ft.dir/failure_math.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/failure_math.cc.o.d"
+  "/root/repo/src/ft/ft_cost.cc" "src/ft/CMakeFiles/xdbft_ft.dir/ft_cost.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/ft_cost.cc.o.d"
+  "/root/repo/src/ft/greedy.cc" "src/ft/CMakeFiles/xdbft_ft.dir/greedy.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/greedy.cc.o.d"
+  "/root/repo/src/ft/mat_config.cc" "src/ft/CMakeFiles/xdbft_ft.dir/mat_config.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/mat_config.cc.o.d"
+  "/root/repo/src/ft/pruning.cc" "src/ft/CMakeFiles/xdbft_ft.dir/pruning.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/pruning.cc.o.d"
+  "/root/repo/src/ft/scheme.cc" "src/ft/CMakeFiles/xdbft_ft.dir/scheme.cc.o" "gcc" "src/ft/CMakeFiles/xdbft_ft.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/xdbft_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/xdbft_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

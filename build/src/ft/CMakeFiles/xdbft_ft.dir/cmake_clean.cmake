@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_ft.dir/adaptive.cc.o"
+  "CMakeFiles/xdbft_ft.dir/adaptive.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/checkpointing.cc.o"
+  "CMakeFiles/xdbft_ft.dir/checkpointing.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/collapsed_plan.cc.o"
+  "CMakeFiles/xdbft_ft.dir/collapsed_plan.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/enumerator.cc.o"
+  "CMakeFiles/xdbft_ft.dir/enumerator.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/explain.cc.o"
+  "CMakeFiles/xdbft_ft.dir/explain.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/failure_math.cc.o"
+  "CMakeFiles/xdbft_ft.dir/failure_math.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/ft_cost.cc.o"
+  "CMakeFiles/xdbft_ft.dir/ft_cost.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/greedy.cc.o"
+  "CMakeFiles/xdbft_ft.dir/greedy.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/mat_config.cc.o"
+  "CMakeFiles/xdbft_ft.dir/mat_config.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/pruning.cc.o"
+  "CMakeFiles/xdbft_ft.dir/pruning.cc.o.d"
+  "CMakeFiles/xdbft_ft.dir/scheme.cc.o"
+  "CMakeFiles/xdbft_ft.dir/scheme.cc.o.d"
+  "libxdbft_ft.a"
+  "libxdbft_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/join_enumerator.cc" "src/optimizer/CMakeFiles/xdbft_optimizer.dir/join_enumerator.cc.o" "gcc" "src/optimizer/CMakeFiles/xdbft_optimizer.dir/join_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/join_graph.cc" "src/optimizer/CMakeFiles/xdbft_optimizer.dir/join_graph.cc.o" "gcc" "src/optimizer/CMakeFiles/xdbft_optimizer.dir/join_graph.cc.o.d"
+  "/root/repo/src/optimizer/statistics.cc" "src/optimizer/CMakeFiles/xdbft_optimizer.dir/statistics.cc.o" "gcc" "src/optimizer/CMakeFiles/xdbft_optimizer.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/xdbft_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/xdbft_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_optimizer.dir/join_enumerator.cc.o"
+  "CMakeFiles/xdbft_optimizer.dir/join_enumerator.cc.o.d"
+  "CMakeFiles/xdbft_optimizer.dir/join_graph.cc.o"
+  "CMakeFiles/xdbft_optimizer.dir/join_graph.cc.o.d"
+  "CMakeFiles/xdbft_optimizer.dir/statistics.cc.o"
+  "CMakeFiles/xdbft_optimizer.dir/statistics.cc.o.d"
+  "libxdbft_optimizer.a"
+  "libxdbft_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_plan.dir/plan.cc.o"
+  "CMakeFiles/xdbft_plan.dir/plan.cc.o.d"
+  "CMakeFiles/xdbft_plan.dir/plan_text.cc.o"
+  "CMakeFiles/xdbft_plan.dir/plan_text.cc.o.d"
+  "libxdbft_plan.a"
+  "libxdbft_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

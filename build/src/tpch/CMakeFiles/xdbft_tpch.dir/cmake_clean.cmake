@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_tpch.dir/q5_join_graph.cc.o"
+  "CMakeFiles/xdbft_tpch.dir/q5_join_graph.cc.o.d"
+  "CMakeFiles/xdbft_tpch.dir/queries.cc.o"
+  "CMakeFiles/xdbft_tpch.dir/queries.cc.o.d"
+  "libxdbft_tpch.a"
+  "libxdbft_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

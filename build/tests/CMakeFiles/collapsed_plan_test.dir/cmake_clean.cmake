@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapsed_plan_test.dir/ft/collapsed_plan_test.cc.o"
+  "CMakeFiles/collapsed_plan_test.dir/ft/collapsed_plan_test.cc.o.d"
+  "collapsed_plan_test"
+  "collapsed_plan_test.pdb"
+  "collapsed_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapsed_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

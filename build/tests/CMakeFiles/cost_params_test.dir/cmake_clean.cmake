@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_params_test.dir/cost/cost_params_test.cc.o"
+  "CMakeFiles/cost_params_test.dir/cost/cost_params_test.cc.o.d"
+  "cost_params_test"
+  "cost_params_test.pdb"
+  "cost_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_driven_graph_test.dir/tpch/data_driven_graph_test.cc.o"
+  "CMakeFiles/data_driven_graph_test.dir/tpch/data_driven_graph_test.cc.o.d"
+  "data_driven_graph_test"
+  "data_driven_graph_test.pdb"
+  "data_driven_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_driven_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerate_order_test.dir/ft/enumerate_order_test.cc.o"
+  "CMakeFiles/enumerate_order_test.dir/ft/enumerate_order_test.cc.o.d"
+  "enumerate_order_test"
+  "enumerate_order_test.pdb"
+  "enumerate_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerate_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_math_test.dir/ft/failure_math_test.cc.o"
+  "CMakeFiles/failure_math_test.dir/ft/failure_math_test.cc.o.d"
+  "failure_math_test"
+  "failure_math_test.pdb"
+  "failure_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

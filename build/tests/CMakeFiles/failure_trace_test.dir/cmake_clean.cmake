@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_trace_test.dir/cluster/failure_trace_test.cc.o"
+  "CMakeFiles/failure_trace_test.dir/cluster/failure_trace_test.cc.o.d"
+  "failure_trace_test"
+  "failure_trace_test.pdb"
+  "failure_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

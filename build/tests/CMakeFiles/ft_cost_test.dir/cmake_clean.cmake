@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_cost_test.dir/ft/ft_cost_test.cc.o"
+  "CMakeFiles/ft_cost_test.dir/ft/ft_cost_test.cc.o.d"
+  "ft_cost_test"
+  "ft_cost_test.pdb"
+  "ft_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_executor_test.dir/engine/ft_executor_test.cc.o"
+  "CMakeFiles/ft_executor_test.dir/engine/ft_executor_test.cc.o.d"
+  "ft_executor_test"
+  "ft_executor_test.pdb"
+  "ft_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

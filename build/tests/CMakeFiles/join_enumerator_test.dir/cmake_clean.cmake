@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_enumerator_test.dir/optimizer/join_enumerator_test.cc.o"
+  "CMakeFiles/join_enumerator_test.dir/optimizer/join_enumerator_test.cc.o.d"
+  "join_enumerator_test"
+  "join_enumerator_test.pdb"
+  "join_enumerator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_enumerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

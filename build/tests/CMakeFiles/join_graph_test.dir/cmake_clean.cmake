@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_graph_test.dir/optimizer/join_graph_test.cc.o"
+  "CMakeFiles/join_graph_test.dir/optimizer/join_graph_test.cc.o.d"
+  "join_graph_test"
+  "join_graph_test.pdb"
+  "join_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

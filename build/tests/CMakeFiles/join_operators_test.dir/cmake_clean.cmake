@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_operators_test.dir/exec/join_operators_test.cc.o"
+  "CMakeFiles/join_operators_test.dir/exec/join_operators_test.cc.o.d"
+  "join_operators_test"
+  "join_operators_test.pdb"
+  "join_operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat_config_test.dir/ft/mat_config_test.cc.o"
+  "CMakeFiles/mat_config_test.dir/ft/mat_config_test.cc.o.d"
+  "mat_config_test"
+  "mat_config_test.pdb"
+  "mat_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

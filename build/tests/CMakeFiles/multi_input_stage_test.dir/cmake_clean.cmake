@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_input_stage_test.dir/engine/multi_input_stage_test.cc.o"
+  "CMakeFiles/multi_input_stage_test.dir/engine/multi_input_stage_test.cc.o.d"
+  "multi_input_stage_test"
+  "multi_input_stage_test.pdb"
+  "multi_input_stage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_input_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

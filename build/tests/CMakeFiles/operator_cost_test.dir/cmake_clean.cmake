@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_cost_test.dir/cost/operator_cost_test.cc.o"
+  "CMakeFiles/operator_cost_test.dir/cost/operator_cost_test.cc.o.d"
+  "operator_cost_test"
+  "operator_cost_test.pdb"
+  "operator_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

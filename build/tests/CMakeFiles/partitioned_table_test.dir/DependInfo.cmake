@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/partitioned_table_test.cc" "tests/CMakeFiles/partitioned_table_test.dir/engine/partitioned_table_test.cc.o" "gcc" "tests/CMakeFiles/partitioned_table_test.dir/engine/partitioned_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/xdbft_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/xdbft_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/xdbft_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/xdbft_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/xdbft_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/xdbft_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xdbft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_table_test.dir/engine/partitioned_table_test.cc.o"
+  "CMakeFiles/partitioned_table_test.dir/engine/partitioned_table_test.cc.o.d"
+  "partitioned_table_test"
+  "partitioned_table_test.pdb"
+  "partitioned_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_text_test.dir/plan/plan_text_test.cc.o"
+  "CMakeFiles/plan_text_test.dir/plan/plan_text_test.cc.o.d"
+  "plan_text_test"
+  "plan_text_test.pdb"
+  "plan_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

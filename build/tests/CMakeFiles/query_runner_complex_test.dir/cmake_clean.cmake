@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_runner_complex_test.dir/engine/query_runner_complex_test.cc.o"
+  "CMakeFiles/query_runner_complex_test.dir/engine/query_runner_complex_test.cc.o.d"
+  "query_runner_complex_test"
+  "query_runner_complex_test.pdb"
+  "query_runner_complex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_runner_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_catalog_test.dir/catalog/tpch_catalog_test.cc.o"
+  "CMakeFiles/tpch_catalog_test.dir/catalog/tpch_catalog_test.cc.o.d"
+  "tpch_catalog_test"
+  "tpch_catalog_test.pdb"
+  "tpch_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_gen_test.dir/datagen/tpch_gen_test.cc.o"
+  "CMakeFiles/tpch_gen_test.dir/datagen/tpch_gen_test.cc.o.d"
+  "tpch_gen_test"
+  "tpch_gen_test.pdb"
+  "tpch_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

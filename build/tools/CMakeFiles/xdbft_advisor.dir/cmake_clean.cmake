@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdbft_advisor.dir/xdbft_advisor.cc.o"
+  "CMakeFiles/xdbft_advisor.dir/xdbft_advisor.cc.o.d"
+  "xdbft_advisor"
+  "xdbft_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdbft_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,12 +1,18 @@
 // Shared output helpers for the paper-reproduction harnesses: fixed-width
-// table printing and the standard experiment header.
+// table printing, the standard experiment header, and an env-gated
+// machine-readable JSON-lines writer (BENCH_<name>.json).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace xdbft::bench {
 
@@ -46,6 +52,102 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<int> widths_;
+};
+
+/// \brief One JSON object rendered in insertion order — the payload of a
+/// BenchJsonWriter row.
+class JsonLine {
+ public:
+  JsonLine& Set(const std::string& key, double v) {
+    fields_.emplace_back(key, obs::JsonNumber(v));
+    return *this;
+  }
+  JsonLine& Set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, obs::JsonQuote(v));
+    return *this;
+  }
+  JsonLine& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonLine& Set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  /// \brief `raw` must already be valid JSON (e.g. a nested object).
+  JsonLine& SetRaw(const std::string& key, const std::string& raw) {
+    fields_.emplace_back(key, raw);
+    return *this;
+  }
+  /// \brief Append all fields of `other` after this line's fields.
+  JsonLine& Merge(const JsonLine& other) {
+    fields_.insert(fields_.end(), other.fields_.begin(),
+                   other.fields_.end());
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += obs::JsonQuote(fields_[i].first);
+      out += ": ";
+      out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// \brief Writes one JSON object per line to
+/// `$XDBFT_BENCH_JSON_DIR/BENCH_<name>.json`; disabled (every call a
+/// no-op) when the environment variable is unset, so the human-readable
+/// stdout tables stay the default. On destruction a final
+/// `{"type": "metrics", ...}` line captures the process-wide metrics
+/// snapshot, making the harness runs comparable with `--metrics-json`
+/// advisor reports.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& bench_name)
+      : bench_name_(bench_name) {
+    const char* dir = std::getenv("XDBFT_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    path_ = std::string(dir) + "/BENCH_" + bench_name + ".json";
+    out_.open(path_);
+    if (!out_) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      path_.clear();
+    }
+  }
+
+  ~BenchJsonWriter() {
+    if (!enabled()) return;
+    JsonLine tail;
+    tail.Set("bench", bench_name_).Set("type", "metrics");
+    tail.SetRaw("metrics", obs::MetricsRegistry::Default().Snapshot()
+                               .ToJson(/*compact=*/true));
+    out_ << tail.ToJson() << "\n";
+  }
+
+  bool enabled() const { return out_.is_open() && !path_.empty(); }
+
+  /// \brief Emit one data row (the "bench" and "type" keys are added).
+  void Write(const JsonLine& row) {
+    if (!enabled()) return;
+    JsonLine line;
+    line.Set("bench", bench_name_).Set("type", "row");
+    line.Merge(row);
+    out_ << line.ToJson() << "\n";
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::ofstream out_;
 };
 
 /// \brief "123.4" style or "Aborted" for incomplete runs.

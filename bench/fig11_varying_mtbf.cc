@@ -33,6 +33,7 @@ int main() {
       {"Cluster C (10 nodes, MTBF=1 hour)", cost::kSecondsPerHour},
   };
 
+  bench::BenchJsonWriter json("fig11_varying_mtbf");
   bench::Table table({"cluster", "all-mat", "no-mat(lin)", "no-mat(rst)",
                       "cost-based", "cb-mat-ops"},
                      {36, 10, 12, 12, 12, 10});
@@ -56,6 +57,16 @@ int main() {
                     bench::OverheadCell(nr.completed, nr.overhead_percent),
                     bench::OverheadCell(cb.completed, cb.overhead_percent),
                     StrFormat("%zu", cb.num_materialized)});
+    json.Write(bench::JsonLine()
+                   .Set("cluster", s.name)
+                   .Set("mtbf_seconds", s.mtbf)
+                   .Set("all_mat_overhead_pct", am.overhead_percent)
+                   .Set("no_mat_lineage_overhead_pct", nl.overhead_percent)
+                   .Set("no_mat_restart_overhead_pct", nr.overhead_percent)
+                   .Set("no_mat_restart_completed", nr.completed)
+                   .Set("cost_based_overhead_pct", cb.overhead_percent)
+                   .Set("cost_based_materialized",
+                        static_cast<double>(cb.num_materialized)));
   }
 
   std::printf(

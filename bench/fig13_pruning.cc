@@ -103,6 +103,7 @@ int main() {
       {"All Rules", true, true, true},
   };
 
+  bench::BenchJsonWriter json("fig13_pruning");
   bench::Table table({"rules", "1 week(%)", "1 day(%)", "1 hour(%)"},
                      {12, 10, 10, 10});
   table.PrintHeaderRow();
@@ -111,7 +112,13 @@ int main() {
     for (const auto& c : clusters) {
       ft::FtCostContext ctx;
       ctx.cluster = cost::MakeCluster(cfg.num_nodes, c.mtbf, 1.0);
-      row.push_back(StrFormat("%.1f", PrunedPercent(plans, ctx, rules)));
+      const double pruned = PrunedPercent(plans, ctx, rules);
+      row.push_back(StrFormat("%.1f", pruned));
+      json.Write(bench::JsonLine()
+                     .Set("rules", rules.name)
+                     .Set("cluster", c.name)
+                     .Set("mtbf_seconds", c.mtbf)
+                     .Set("pruned_percent", pruned));
     }
     table.PrintRow(row);
   }

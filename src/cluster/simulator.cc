@@ -6,6 +6,7 @@
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "ft/checkpointing.h"
+#include "obs/metrics.h"
 
 namespace xdbft::cluster {
 
@@ -30,34 +31,72 @@ double NodeSkew(int node) {
 
 }  // namespace
 
+// Simulated seconds map to trace microseconds 1:1000 (1 simulated second
+// renders as 1 ms), keeping hour-long simulations navigable in the viewer.
+constexpr double kTraceUsPerSimSecond = 1000.0;
+
+void ClusterSimulator::TraceSpan(const std::string& name,
+                                 const std::string& category, double start_s,
+                                 double dur_s, int node_idx) const {
+  if (options_.trace == nullptr) return;
+  options_.trace->AddComplete(name, category,
+                              start_s * kTraceUsPerSimSecond,
+                              dur_s * kTraceUsPerSimSecond,
+                              options_.trace_pid, node_idx);
+}
+
+void ClusterSimulator::TraceInstant(const std::string& name,
+                                    const std::string& category, double at_s,
+                                    int node_idx) const {
+  if (options_.trace == nullptr) return;
+  options_.trace->AddInstant(name, category, at_s * kTraceUsPerSimSecond,
+                             options_.trace_pid, node_idx);
+}
+
 double ClusterSimulator::RunPartition(double ready, double duration,
-                                      FailureTrace& node,
-                                      int* restarts) const {
+                                      FailureTrace& node, int* restarts,
+                                      const std::string& label,
+                                      int node_idx) const {
   if (duration <= 0.0) return ready;
   double start = ready;
   while (true) {
     const double fail = node.NextFailureAfter(start);
-    if (fail >= start + duration) return start + duration;
+    if (fail >= start + duration) {
+      TraceSpan(label, "subplan", start, duration, node_idx);
+      XDBFT_COUNTER_INC("simulator.subplan_runs");
+      return start + duration;
+    }
     // The node fails mid-execution: all partition work on this sub-plan is
     // lost. The coordinator notices at the next monitoring tick, then
     // redeploys (MTTR) and starts over from the materialized inputs.
     ++(*restarts);
+    XDBFT_COUNTER_INC("simulator.failures");
+    TraceSpan(label + " (killed)", "killed", start, fail - start, node_idx);
+    TraceInstant("failure", "failure", fail, node_idx);
     double detected = fail;
     if (options_.monitoring_interval > 0.0) {
       const double ticks =
           std::ceil(fail / options_.monitoring_interval);
       detected = ticks * options_.monitoring_interval;
+      TraceSpan("detect", "wait", fail, detected - fail, node_idx);
     }
+    TraceSpan("mttr", "wait", detected, stats_.mttr_seconds, node_idx);
+    XDBFT_GAUGE_ADD("simulator.mttr_wait_seconds",
+                    (detected - fail) + stats_.mttr_seconds);
     start = detected + stats_.mttr_seconds;
   }
 }
 
 Result<SimulationResult> ClusterSimulator::RunFineGrained(
-    const CollapsedPlan& cp, ClusterTrace& trace,
-    double start_time) const {
+    const CollapsedPlan& cp, const std::vector<std::string>& op_labels,
+    ClusterTrace& trace, double start_time) const {
   SimulationResult result;
   std::vector<double> finish(cp.num_ops(), start_time);
   for (const auto& c : cp.ops()) {  // ascending id = topological
+    const std::string& label =
+        static_cast<size_t>(c.id) < op_labels.size()
+            ? op_labels[static_cast<size_t>(c.id)]
+            : StrFormat("c%d", c.id);
     double ready = start_time;
     for (ft::CollapsedId in : c.inputs) {
       ready = std::max(ready, finish[static_cast<size_t>(in)]);
@@ -71,7 +110,7 @@ Result<SimulationResult> ClusterSimulator::RunFineGrained(
       double completion = ready;
       if (segments == 1) {
         completion = RunPartition(ready, duration, trace.node(k),
-                                  &result.restarts);
+                                  &result.restarts, label, k);
       } else {
         // Intra-operator checkpointing: each segment is its own retry
         // unit; all but the last also write a state checkpoint.
@@ -79,8 +118,9 @@ Result<SimulationResult> ClusterSimulator::RunFineGrained(
         for (int s = 0; s < segments; ++s) {
           const double seg =
               work + (s + 1 < segments ? options_.checkpoint_cost : 0.0);
-          completion = RunPartition(completion, seg, trace.node(k),
-                                    &result.restarts);
+          completion = RunPartition(
+              completion, seg, trace.node(k), &result.restarts,
+              StrFormat("%s [seg %d/%d]", label.c_str(), s + 1, segments), k);
         }
       }
       done = std::max(done, completion);
@@ -106,18 +146,25 @@ Result<SimulationResult> ClusterSimulator::RunFullRestart(
   while (true) {
     const double fail = trace.NextFailureAfter(start);
     if (fail >= start + makespan) {
+      TraceSpan("query", "query", start, makespan, /*node_idx=*/0);
       result.runtime = start + makespan - start_time;
       result.completed = true;
       return result;
     }
     ++result.restarts;
     ++result.failures_hit;
+    XDBFT_COUNTER_INC("simulator.failures");
+    TraceSpan(StrFormat("query (attempt %d, killed)", result.restarts),
+              "killed", start, fail - start, /*node_idx=*/0);
+    TraceInstant("failure", "failure", fail, /*node_idx=*/0);
     if (result.restarts >= options_.max_restarts) {
       // Aborted, like the paper after 100 restarts; report the time spent.
+      XDBFT_COUNTER_INC("simulator.aborts");
       result.runtime = fail + stats_.mttr_seconds - start_time;
       result.completed = false;
       return result;
     }
+    TraceSpan("mttr", "wait", fail, stats_.mttr_seconds, /*node_idx=*/0);
     start = fail + stats_.mttr_seconds;
   }
 }
@@ -133,13 +180,25 @@ Result<SimulationResult> ClusterSimulator::Run(
   XDBFT_ASSIGN_OR_RETURN(
       CollapsedPlan cp,
       CollapsedPlan::Create(plan, config, options_.pipe_constant));
+  std::vector<std::string> op_labels;
+  if (options_.trace != nullptr) {
+    // Label collapsed ops by their materializing anchor for the timeline.
+    op_labels.reserve(cp.num_ops());
+    for (const auto& c : cp.ops()) {
+      op_labels.push_back(StrFormat("c%d:%s", c.id,
+                                    plan.node(c.anchor).label.c_str()));
+    }
+  }
   Result<SimulationResult> result =
       recovery == RecoveryMode::kFineGrained
-          ? RunFineGrained(cp, trace, start_time)
+          ? RunFineGrained(cp, op_labels, trace, start_time)
           : RunFullRestart(cp, trace, start_time);
   if (result.ok()) {
     result->runtime_p50 = result->runtime;
     result->runtime_p95 = result->runtime;
+    XDBFT_COUNTER_INC("simulator.runs");
+    XDBFT_COUNTER_ADD("simulator.restarts", result->restarts);
+    XDBFT_GAUGE_SET("simulator.last_runtime_seconds", result->runtime);
   }
   return result;
 }

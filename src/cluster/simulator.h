@@ -25,6 +25,7 @@
 #include "cost/cost_params.h"
 #include "ft/collapsed_plan.h"
 #include "ft/scheme.h"
+#include "obs/trace.h"
 
 namespace xdbft::cluster {
 
@@ -51,6 +52,16 @@ struct SimulationOptions {
   /// the current segment. 0 disables (paper behavior).
   double checkpoint_interval = 0.0;
   double checkpoint_cost = 1.0;
+  /// When set, the discrete-event timeline is exported into this recorder
+  /// as Chrome trace spans on *virtual* time (1 simulated second = 1 ms in
+  /// the viewer; lane = node): sub-plan runs, killed attempts, failure
+  /// markers, detection and MTTR waits, and full-query restarts. The
+  /// recorder must outlive the simulator calls. Null disables.
+  obs::TraceRecorder* trace = nullptr;
+  /// Trace process id for the emitted spans, so simulator (virtual-time)
+  /// lanes can be kept apart from executor (wall-clock) lanes when both
+  /// write into one recorder.
+  int trace_pid = 0;
 };
 
 /// \brief Outcome of one simulated execution (or, for RunMany, the
@@ -112,10 +123,21 @@ class ClusterSimulator {
 
  private:
   /// Completion time of one collapsed op on one node, starting at `ready`.
+  /// `label`/`node_idx` identify the sub-plan and trace lane for the
+  /// exported timeline.
   double RunPartition(double ready, double duration, FailureTrace& node,
-                      int* restarts) const;
+                      int* restarts, const std::string& label,
+                      int node_idx) const;
+
+  /// Virtual-time trace emission helpers (no-ops when options_.trace is
+  /// null). Durations/timestamps are simulated seconds.
+  void TraceSpan(const std::string& name, const std::string& category,
+                 double start_s, double dur_s, int node_idx) const;
+  void TraceInstant(const std::string& name, const std::string& category,
+                    double at_s, int node_idx) const;
 
   Result<SimulationResult> RunFineGrained(const ft::CollapsedPlan& cp,
+                                          const std::vector<std::string>& op_labels,
                                           ClusterTrace& trace,
                                           double start_time) const;
   Result<SimulationResult> RunFullRestart(const ft::CollapsedPlan& cp,

@@ -1,11 +1,43 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace xdbft {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes the final write so lines from concurrent threads never
+// interleave mid-line (each message is fully assembled in its
+// LogMessage's own ostringstream first; only the emit is locked).
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+// ISO-8601 UTC with milliseconds: 2015-06-04T12:34:56.789Z.
+std::string FormatTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[72];
+  std::snprintf(buf, sizeof(buf),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03" PRId64 "Z",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int64_t>(ms));
+  return buf;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,13 +67,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    ss_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    ss_ << FormatTimestamp() << " [" << LevelName(level_) << " " << base
+        << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << ss_.str() << std::endl;
+    const std::string line = ss_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr << line << std::endl;
   }
   if (fatal_) {
     std::abort();

@@ -3,12 +3,21 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace xdbft::engine {
 
 using exec::Table;
 
 namespace {
+
+// In-memory size estimate of a table (cells are variant values; string
+// payloads are not walked — this feeds relative materialized-vs-recomputed
+// accounting, not an allocator budget).
+uint64_t ApproxTableBytes(const Table& t) {
+  return static_cast<uint64_t>(t.num_rows()) *
+         static_cast<uint64_t>(t.schema.num_columns()) * sizeof(exec::Value);
+}
 
 Table Concatenate(const std::vector<std::optional<Table>>& parts) {
   Table out;
@@ -62,6 +71,17 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
   }
 
   FtExecutionResult result;
+  result.stage_seconds.assign(static_cast<size_t>(num_stages), 0.0);
+  // Trace lanes: tid = partition index, coordinator on its own lane after
+  // the partitions.
+  const int coordinator_tid = n;
+  if (trace_ != nullptr) {
+    trace_->SetProcessName(0, "ft_executor: " + plan_->name());
+    for (int k = 0; k < n; ++k) {
+      trace_->SetThreadName(0, k, StrFormat("node %d", k));
+    }
+    trace_->SetThreadName(0, coordinator_tid, "coordinator");
+  }
 
   // Ensures the output of (stage, slot) exists, recovering lost inputs
   // recursively. slot is the partition index, or 0 for global stages.
@@ -92,11 +112,21 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
           max_attempts));
     }
     const int injector_partition = stage.global ? -1 : slot;
+    const int tid = stage.global ? coordinator_tid : slot;
     // Every attempt consumes work, including attempts killed mid-flight.
     ++result.task_executions;
+    XDBFT_COUNTER_INC("executor.task_attempts");
     if (injector != nullptr &&
         injector->InjectFailure(s, injector_partition, attempt)) {
       ++result.failures_injected;
+      XDBFT_COUNTER_INC("executor.failures_injected");
+      if (trace_ != nullptr) {
+        trace_->AddInstant(
+            "failure", "failure", trace_->NowMicros(), 0, tid,
+            {obs::IntArg("stage", s),
+             obs::IntArg("partition", injector_partition),
+             obs::IntArg("attempt", attempt)});
+      }
       if (!stage.global) {
         // Node `slot` dies: every non-materialized output it holds is
         // lost; materialized outputs live on fault-tolerant storage and
@@ -136,9 +166,44 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
       }
     }
 
+    const double span_start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
+    const auto task_start = std::chrono::steady_clock::now();
     XDBFT_ASSIGN_OR_RETURN(Table out,
                            stage.run(injector_partition == -1 ? -1 : slot,
                                      input_ptrs));
+    const double task_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task_start)
+            .count();
+    result.stage_seconds[static_cast<size_t>(s)] += task_seconds;
+    XDBFT_HISTOGRAM_OBSERVE("executor.task_seconds", task_seconds);
+
+    // Materialized-vs-recomputed accounting: an attempt beyond a task's
+    // first is recovery work a failure-free run would not have done.
+    const bool is_recovery = attempt > 0;
+    const size_t rows = out.num_rows();
+    const uint64_t bytes = ApproxTableBytes(out);
+    if (stage.global || config.materialized(static_cast<plan::OpId>(s))) {
+      result.rows_materialized += rows;
+      result.bytes_materialized += bytes;
+      XDBFT_COUNTER_ADD("executor.rows_materialized", rows);
+      XDBFT_COUNTER_ADD("executor.bytes_materialized", bytes);
+    }
+    if (is_recovery) {
+      result.rows_recomputed += rows;
+      result.bytes_recomputed += bytes;
+      XDBFT_COUNTER_ADD("executor.rows_recomputed", rows);
+      XDBFT_COUNTER_ADD("executor.bytes_recomputed", bytes);
+    }
+    if (trace_ != nullptr) {
+      trace_->AddComplete(
+          stage.label, is_recovery ? "recovery" : "task", span_start_us,
+          trace_->NowMicros() - span_start_us, 0, tid,
+          {obs::IntArg("stage", s),
+           obs::IntArg("partition", injector_partition),
+           obs::IntArg("attempt", attempt),
+           obs::IntArg("rows", static_cast<int64_t>(rows))});
+    }
     out_slot = std::move(out);
     return Status::OK();
   };
@@ -160,6 +225,9 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
     minimal += plan_->stage(s).global ? 1 : n;
   }
   result.recovery_executions = result.task_executions - minimal;
+  XDBFT_COUNTER_ADD("executor.recoveries", result.recovery_executions);
+  XDBFT_COUNTER_INC("executor.runs");
+  XDBFT_GAUGE_SET("executor.last_run_seconds", result.wall_seconds);
   return result;
 }
 

@@ -21,13 +21,16 @@
 // failure-free run under every configuration.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "engine/query_runner.h"
 #include "engine/stage_plan.h"
 #include "ft/mat_config.h"
+#include "obs/trace.h"
 
 namespace xdbft::engine {
 
@@ -92,6 +95,18 @@ struct FtExecutionResult {
   int task_executions = 0;
   /// Wall-clock seconds of the whole execution.
   double wall_seconds = 0.0;
+  /// Rows/bytes written to fault-tolerant storage (outputs of materialized
+  /// and global stages, recomputations included). Bytes are the in-memory
+  /// cell estimate, not a serialized size.
+  size_t rows_materialized = 0;
+  uint64_t bytes_materialized = 0;
+  /// Rows/bytes produced by recovery re-executions (attempts after the
+  /// first of a task — work that a failure-free run would not have done).
+  size_t rows_recomputed = 0;
+  uint64_t bytes_recomputed = 0;
+  /// Wall-clock seconds spent in each stage's tasks (indexed by stage;
+  /// killed attempts contribute their aborted time).
+  std::vector<double> stage_seconds;
 };
 
 /// \brief Executes stage plans with failures and recovery.
@@ -100,6 +115,11 @@ class FaultTolerantExecutor {
   FaultTolerantExecutor(const StagePlan* plan,
                         const PartitionedDatabase* db)
       : plan_(plan), db_(db) {}
+
+  /// \brief Record per-attempt spans and failure markers into `trace`
+  /// (wall-clock timeline; lane = partition, coordinator last). Null
+  /// disables tracing. The recorder must outlive Execute calls.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// \brief Execute under `config` (indexed by stage, as produced from
   /// StagePlan::ToPlanSkeleton()). `injector` may be null (no failures).
@@ -111,6 +131,7 @@ class FaultTolerantExecutor {
  private:
   const StagePlan* plan_;
   const PartitionedDatabase* db_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace xdbft::engine

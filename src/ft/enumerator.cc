@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace xdbft::ft {
 
@@ -12,8 +13,8 @@ using plan::Plan;
 std::string EnumerationStats::ToString() const {
   return StrFormat(
       "EnumerationStats(plans=%llu, ft_plans=%llu/%llu, rule1_marked=%llu, "
-      "rule2_marked=%llu, rule3_stops=%llu [RPt=%llu TPt=%llu memo=%llu], "
-      "paths=%llu)",
+      "rule2_marked=%llu, rule3_stops=%llu [RPt=%llu TPt=%llu memo=%llu/%llu], "
+      "paths=%llu evaluated, %llu skipped)",
       static_cast<unsigned long long>(candidate_plans),
       static_cast<unsigned long long>(ft_plans_enumerated),
       static_cast<unsigned long long>(total_ft_plans_unpruned),
@@ -23,7 +24,9 @@ std::string EnumerationStats::ToString() const {
       static_cast<unsigned long long>(rule3_rpt_hits),
       static_cast<unsigned long long>(rule3_tpt_hits),
       static_cast<unsigned long long>(rule3_memo_hits),
-      static_cast<unsigned long long>(paths_evaluated));
+      static_cast<unsigned long long>(rule3_memo_misses),
+      static_cast<unsigned long long>(paths_evaluated),
+      static_cast<unsigned long long>(rule3_paths_skipped));
 }
 
 Result<FtPlanChoice> FtPlanEnumerator::FindBest(
@@ -32,6 +35,7 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
     return Status::InvalidArgument("no candidate plans");
   }
   XDBFT_RETURN_NOT_OK(model_.context().Validate());
+  XDBFT_SCOPED_TIMER_GAUGE("enumerator.seconds.find_best");
   stats_ = EnumerationStats{};
   stats_.candidate_plans = candidates.size();
 
@@ -53,13 +57,22 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
     }
     stats_.total_ft_plans_unpruned += uint64_t{1} << free_before;
 
-    if (options_.pruning.rule1) {
-      stats_.rule1_ops_marked +=
-          static_cast<uint64_t>(ApplyPruningRule1(&plan, pipe));
-    }
-    if (options_.pruning.rule2) {
-      stats_.rule2_ops_marked += static_cast<uint64_t>(
-          ApplyPruningRule2(&plan, model_.context()));
+    {
+      XDBFT_SCOPED_TIMER_GAUGE("enumerator.seconds.prepass");
+      // Rule 2 runs first: it only consults the operator's own collapsed
+      // runtime, while rule 1 quantifies over a parent's *still-free*
+      // children — operators rule 2 already marked drop out of that
+      // quantifier, so this order marks a superset of (never fewer ops
+      // than) the reverse order. Both rules only add kNeverMaterialize
+      // constraints that are provably cost-safe, so more is better.
+      if (options_.pruning.rule2) {
+        stats_.rule2_ops_marked += static_cast<uint64_t>(
+            ApplyPruningRule2(&plan, model_.context()));
+      }
+      if (options_.pruning.rule1) {
+        stats_.rule1_ops_marked +=
+            static_cast<uint64_t>(ApplyPruningRule1(&plan, pipe));
+      }
     }
 
     const std::vector<plan::OpId> free_ops = EnumerableOperators(plan);
@@ -106,6 +119,7 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
               pruned = true;
               return false;
             }
+            ++stats_.rule3_memo_misses;
           }
         }
         ++stats_.paths_evaluated;
@@ -129,7 +143,11 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
         ++stats_.rule3_rejections;
         // Only count as an early stop if remaining paths were actually
         // skipped; firing on the last path saves nothing (§5.5).
-        if (visited < total_paths) ++stats_.rule3_early_stops;
+        if (visited < total_paths) {
+          ++stats_.rule3_early_stops;
+          stats_.rule3_paths_skipped +=
+              static_cast<uint64_t>(total_paths - visited);
+        }
         continue;
       }
       if (dom_path.empty()) {
@@ -155,6 +173,19 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
       }
     }
   }
+  // Publish this run's counters (rules 1/2 are published at the marking
+  // site in pruning.cc; everything else is accounted here).
+  XDBFT_COUNTER_ADD("enumerator.plans", stats_.candidate_plans);
+  XDBFT_COUNTER_ADD("enumerator.configs_unpruned",
+                    stats_.total_ft_plans_unpruned);
+  XDBFT_COUNTER_ADD("enumerator.configs_enumerated",
+                    stats_.ft_plans_enumerated);
+  XDBFT_COUNTER_ADD("enumerator.pruned_rule3", stats_.rule3_rejections);
+  XDBFT_COUNTER_ADD("enumerator.rule3_paths_skipped",
+                    stats_.rule3_paths_skipped);
+  XDBFT_COUNTER_ADD("enumerator.memo_hits", stats_.rule3_memo_hits);
+  XDBFT_COUNTER_ADD("enumerator.memo_misses", stats_.rule3_memo_misses);
+  XDBFT_COUNTER_ADD("enumerator.paths_evaluated", stats_.paths_evaluated);
   if (!found) {
     return Status::Internal("enumeration found no fault-tolerant plan");
   }

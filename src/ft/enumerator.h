@@ -46,8 +46,15 @@ struct EnumerationStats {
   uint64_t rule3_rpt_hits = 0;   // RPt >= bestT (no cost-model call needed)
   uint64_t rule3_tpt_hits = 0;   // TPt >= bestT
   uint64_t rule3_memo_hits = 0;  // Eq. 9 dominance over a memoized path
+  /// Memo lookups that did not prune (the complement of rule3_memo_hits;
+  /// hits/(hits+misses) is the memo's effectiveness).
+  uint64_t rule3_memo_misses = 0;
   /// Execution paths whose TPt was computed.
   uint64_t paths_evaluated = 0;
+  /// Execution paths rule 3 skipped without analyzing them (the per-path
+  /// share of the search space pruned by rule 3; the aggregate
+  /// ft_plans_enumerated count cannot distinguish these).
+  uint64_t rule3_paths_skipped = 0;
 
   std::string ToString() const;
 };

@@ -20,6 +20,64 @@ std::string MarginalAnalysis::ToString() const {
   return os.str();
 }
 
+std::string AccuracyReport::ToString() const {
+  std::ostringstream os;
+  os << "Predicted failure behavior per collapsed operator:\n";
+  os << StrFormat("  %-28s %10s %8s %8s %10s %10s\n", "operator", "t(c)",
+                  "gamma", "a(c)", "w(c)", "T(c)");
+  for (const auto& p : operators) {
+    os << StrFormat("  %-28s %10.2f %8.4f %8.3f %10.2f %10.2f\n",
+                    p.label.c_str(), p.t, p.gamma, p.attempts, p.wasted,
+                    p.total);
+  }
+  os << StrFormat(
+      "  predicted: runtime %.2fs (dominant path), %.3f extra attempts\n",
+      predicted_runtime, predicted_attempts);
+  if (observed.empty()) {
+    os << "  observed: (no instrumented run)\n";
+    return os.str();
+  }
+  for (const auto& o : observed) {
+    os << StrFormat(
+        "  observed [%s]: %d failures, %d recovery re-executions of %d "
+        "task attempts, runtime %.3fs\n",
+        o.source.c_str(), o.failures, o.recovery_executions,
+        o.task_executions, o.runtime_seconds);
+  }
+  return os.str();
+}
+
+Result<AccuracyReport> BuildAccuracyReport(const plan::Plan& plan,
+                                           const MaterializationConfig& config,
+                                           const FtCostContext& context) {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(config.Validate(plan));
+  XDBFT_RETURN_NOT_OK(context.Validate());
+  XDBFT_ASSIGN_OR_RETURN(
+      CollapsedPlan cp,
+      CollapsedPlan::Create(plan, config, context.model.pipe_constant));
+  const FailureParams params = context.MakeFailureParams();
+
+  AccuracyReport out;
+  out.operators.reserve(cp.ops().size());
+  for (const CollapsedOp& c : cp.ops()) {
+    PredictedOperator p;
+    p.label = StrFormat("c%d:%s", c.id, plan.node(c.anchor).label.c_str());
+    p.t = c.total_cost();
+    p.gamma = SuccessProbability(p.t, params.mtbf_cost);
+    p.attempts =
+        ExpectedAttempts(p.t, params.mtbf_cost, params.success_target);
+    p.wasted = WastedTime(p.t, params);
+    p.total = OperatorTotalRuntime(p.t, params);
+    out.predicted_attempts += p.attempts;
+    out.operators.push_back(std::move(p));
+  }
+  FtCostModel model(context);
+  XDBFT_ASSIGN_OR_RETURN(FtPlanEstimate est, model.Estimate(cp));
+  out.predicted_runtime = est.dominant_cost;
+  return out;
+}
+
 Result<MarginalAnalysis> AnalyzeMarginals(const plan::Plan& plan,
                                           const MaterializationConfig& config,
                                           const FtCostContext& context) {

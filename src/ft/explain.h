@@ -43,4 +43,50 @@ Result<MarginalAnalysis> AnalyzeMarginals(const plan::Plan& plan,
                                           const MaterializationConfig& config,
                                           const FtCostContext& context);
 
+/// \brief Observed counts from an actual run — either the in-process
+/// FaultTolerantExecutor (engine::FtExecutionResult) or the cluster
+/// simulator. Kept as plain numbers so the ft layer stays independent of
+/// the engine/cluster layers.
+struct ObservedExecution {
+  /// Where the observation came from ("ft_executor", "simulator").
+  std::string source;
+  int failures = 0;
+  /// Task attempts beyond the failure-free minimum (recovery work).
+  int recovery_executions = 0;
+  int task_executions = 0;
+  double runtime_seconds = 0.0;
+};
+
+/// \brief Predicted failure behavior of one collapsed operator (§3.5).
+struct PredictedOperator {
+  std::string label;
+  double t = 0.0;         ///< t(c), cost units
+  double gamma = 0.0;     ///< success probability of one attempt
+  double attempts = 0.0;  ///< a(c), Eq. 6
+  double wasted = 0.0;    ///< w(c), Eq. 3/4
+  double total = 0.0;     ///< T(c), Eq. 8
+};
+
+/// \brief Fig. 12-style predicted-vs-observed report for [plan, config]:
+/// the cost model's per-collapsed-operator a(c)/w(c)/T(c) alongside the
+/// attempt/recovery counts an instrumented execution actually recorded.
+struct AccuracyReport {
+  std::vector<PredictedOperator> operators;
+  /// Dominant-path TPt — the plan's predicted runtime under failures.
+  double predicted_runtime = 0.0;
+  /// Sum of a(c) over collapsed operators: expected extra attempts per
+  /// partition chain at the S-percentile.
+  double predicted_attempts = 0.0;
+  /// Observations to render next to the prediction (empty = none yet).
+  std::vector<ObservedExecution> observed;
+
+  std::string ToString() const;
+};
+
+/// \brief Build the predicted side of the accuracy report; callers append
+/// ObservedExecution entries from executor/simulator runs.
+Result<AccuracyReport> BuildAccuracyReport(const plan::Plan& plan,
+                                           const MaterializationConfig& config,
+                                           const FtCostContext& context);
+
 }  // namespace xdbft::ft

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace xdbft::ft {
 
 using plan::MatConstraint;
@@ -78,6 +80,7 @@ int ApplyPruningRule1(Plan* plan, double pipe_constant) {
       }
     }
   }
+  XDBFT_COUNTER_ADD("enumerator.pruned_rule1", marked);
   return marked;
 }
 
@@ -100,6 +103,7 @@ int ApplyPruningRule2(Plan* plan, const FtCostContext& context) {
       ++marked;
     }
   }
+  XDBFT_COUNTER_ADD("enumerator.pruned_rule2", marked);
   return marked;
 }
 

@@ -1,0 +1,236 @@
+// Thread-safe process-wide metrics: named monotonic counters, gauges and
+// fixed-bucket histograms, snapshotable to JSON. The hot-path surface is a
+// set of XDBFT_* macros that cache the metric pointer in a function-local
+// static, so an instrumented call site costs one relaxed atomic op — and
+// compiles to nothing when the build disables instrumentation
+// (-DXDBFT_DISABLE_METRICS, cmake -DXDBFT_ENABLE_METRICS=OFF).
+//
+// Conventions: metric names are dot-separated ("layer.quantity", e.g.
+// "executor.recoveries"); durations are seconds; sizes are bytes. See
+// DESIGN.md §Observability for the full metric inventory.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xdbft::obs {
+
+/// \brief Monotonic counter (relaxed atomics; aggregate reads are not
+/// linearizable with concurrent writers, which is fine for reporting).
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-written double value, with atomic accumulate.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram: bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i]; the last bucket is the +inf overflow.
+class Histogram {
+ public:
+  /// \brief `bounds` are the inclusive upper bounds, strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// \brief Per-bucket counts (bounds().size() + 1 entries).
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Exponential seconds buckets 1ms..~100s, the default for timers.
+const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// \brief Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  double gauge(const std::string& name) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : it->second;
+  }
+
+  /// \brief `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+  std::string ToJson(bool compact = false) const;
+};
+
+/// \brief Thread-safe name -> metric registry. Metric objects live for the
+/// registry's lifetime, so returned pointers may be cached (the macros
+/// below cache them in function-local statics).
+class MetricsRegistry {
+ public:
+  /// \brief The process-wide registry used by the XDBFT_* macros.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// \brief Registers with `bounds` on first use; later calls for the same
+  /// name return the existing histogram regardless of bounds.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+  Histogram* GetHistogram(const std::string& name) {
+    return GetHistogram(name, DefaultLatencyBoundsSeconds());
+  }
+
+  MetricsSnapshot Snapshot() const;
+  /// \brief Zero every metric (tests). Registered objects stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief RAII wall-clock timer; on destruction observes elapsed seconds
+/// into the histogram and/or accumulates into the gauge (either may be
+/// null).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, Gauge* accumulate_gauge = nullptr)
+      : histogram_(histogram),
+        gauge_(accumulate_gauge),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const double s = ElapsedSeconds();
+    if (histogram_ != nullptr) histogram_->Observe(s);
+    if (gauge_ != nullptr) gauge_->Add(s);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Histogram* histogram_;
+  Gauge* gauge_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xdbft::obs
+
+// Hot-path instrumentation macros. Each call site resolves its metric once
+// (thread-safe function-local static) and then pays one relaxed atomic op.
+#if !defined(XDBFT_DISABLE_METRICS)
+
+#define XDBFT_OBS_CONCAT_INNER(a, b) a##b
+#define XDBFT_OBS_CONCAT(a, b) XDBFT_OBS_CONCAT_INNER(a, b)
+
+#define XDBFT_COUNTER_ADD(name, delta)                                     \
+  do {                                                                     \
+    static ::xdbft::obs::Counter* xdbft_obs_counter =                      \
+        ::xdbft::obs::MetricsRegistry::Default().GetCounter(name);         \
+    xdbft_obs_counter->Add(static_cast<uint64_t>(delta));                  \
+  } while (false)
+
+#define XDBFT_COUNTER_INC(name) XDBFT_COUNTER_ADD(name, 1)
+
+#define XDBFT_GAUGE_SET(name, value)                                       \
+  do {                                                                     \
+    static ::xdbft::obs::Gauge* xdbft_obs_gauge =                          \
+        ::xdbft::obs::MetricsRegistry::Default().GetGauge(name);           \
+    xdbft_obs_gauge->Set(static_cast<double>(value));                      \
+  } while (false)
+
+#define XDBFT_GAUGE_ADD(name, delta)                                       \
+  do {                                                                     \
+    static ::xdbft::obs::Gauge* xdbft_obs_gauge =                          \
+        ::xdbft::obs::MetricsRegistry::Default().GetGauge(name);           \
+    xdbft_obs_gauge->Add(static_cast<double>(delta));                      \
+  } while (false)
+
+#define XDBFT_HISTOGRAM_OBSERVE(name, value)                               \
+  do {                                                                     \
+    static ::xdbft::obs::Histogram* xdbft_obs_hist =                       \
+        ::xdbft::obs::MetricsRegistry::Default().GetHistogram(name);       \
+    xdbft_obs_hist->Observe(static_cast<double>(value));                   \
+  } while (false)
+
+/// Times the enclosing scope into histogram `name` (seconds).
+#define XDBFT_SCOPED_TIMER(name)                                           \
+  ::xdbft::obs::ScopedTimer XDBFT_OBS_CONCAT(xdbft_obs_timer_, __LINE__)(  \
+      ::xdbft::obs::MetricsRegistry::Default().GetHistogram(name))
+
+/// Accumulates the enclosing scope's wall time into gauge `name` (seconds).
+#define XDBFT_SCOPED_TIMER_GAUGE(name)                                     \
+  ::xdbft::obs::ScopedTimer XDBFT_OBS_CONCAT(xdbft_obs_timer_, __LINE__)(  \
+      nullptr, ::xdbft::obs::MetricsRegistry::Default().GetGauge(name))
+
+#else  // XDBFT_DISABLE_METRICS: every instrumented site compiles away.
+
+#define XDBFT_COUNTER_ADD(name, delta) \
+  do {                                 \
+  } while (false)
+#define XDBFT_COUNTER_INC(name) \
+  do {                          \
+  } while (false)
+#define XDBFT_GAUGE_SET(name, value) \
+  do {                               \
+  } while (false)
+#define XDBFT_GAUGE_ADD(name, delta) \
+  do {                               \
+  } while (false)
+#define XDBFT_HISTOGRAM_OBSERVE(name, value) \
+  do {                                       \
+  } while (false)
+#define XDBFT_SCOPED_TIMER(name) \
+  do {                           \
+  } while (false)
+#define XDBFT_SCOPED_TIMER_GAUGE(name) \
+  do {                                 \
+  } while (false)
+
+#endif  // XDBFT_DISABLE_METRICS

@@ -1,0 +1,45 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace xdbft::obs {
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\n  \"tool\": ";
+  out += JsonQuote(tool);
+  out += ",\n  \"plan\": ";
+  out += JsonQuote(plan_name);
+  out += ",\n  \"config\": ";
+  out += JsonQuote(config_summary);
+  out += ",\n  \"params\": {";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += JsonQuote(key);
+    out += ": ";
+    out += JsonQuote(value);
+  }
+  out += "\n  },\n  \"metrics\": ";
+  out += metrics.ToJson();
+  // metrics.ToJson() ends with "}\n"; close the report object.
+  while (!out.empty() && (out.back() == '\n')) out.pop_back();
+  out += "\n}\n";
+  return out;
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open report output file: " + path);
+  }
+  out << ToJson();
+  if (!out.good()) {
+    return Status::Internal("failed writing report output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xdbft::obs

@@ -1,0 +1,36 @@
+// RunReport: a machine-readable record of one advisor/executor/simulator
+// run — the identity of what ran (tool, plan, chosen materialization
+// configuration, cluster/model parameters) bundled with a metrics snapshot.
+// This is the document `xdbft_advisor --metrics-json` writes and the format
+// the bench harnesses embed in their BENCH_*.json output.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace xdbft::obs {
+
+struct RunReport {
+  /// Which binary produced the report ("xdbft_advisor", "fig13_pruning").
+  std::string tool;
+  /// Plan identity (plan name; empty when not plan-scoped).
+  std::string plan_name;
+  /// Human-readable summary of the chosen configuration (materialized
+  /// operator labels), when one was chosen.
+  std::string config_summary;
+  /// Free-form run parameters (nodes, mtbf_seconds, ...), values rendered
+  /// as strings.
+  std::map<std::string, std::string> params;
+  /// Point-in-time metrics at the end of the run.
+  MetricsSnapshot metrics;
+
+  /// \brief `{"tool": ..., "plan": ..., "config": ..., "params": {...},
+  /// "metrics": {counters/gauges/histograms}}`.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+};
+
+}  // namespace xdbft::obs

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/status.h"
 
 namespace xdbft {
@@ -52,6 +58,52 @@ TEST(LoggingDeathTest, CheckFailureAborts) {
 TEST(LoggingDeathTest, CheckOkAbortsOnError) {
   EXPECT_DEATH(XDBFT_CHECK_OK(Status::Internal("db on fire")),
                "db on fire");
+}
+
+TEST(LoggingTest, LinesStartWithIso8601UtcTimestamp) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  XDBFT_LOG(Info) << "stamped";
+  const std::string out = testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+  // 2015-06-04T12:34:56.789Z followed by the level tag.
+  const std::regex prefix(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[INFO )");
+  EXPECT_TRUE(std::regex_search(out, prefix)) << out;
+}
+
+TEST(LoggingTest, ConcurrentLogLinesDoNotInterleave) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        XDBFT_LOG(Info) << "thread=" << t << " payload-" << i << "-end";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string out = testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+
+  // Every emitted line must be exactly one complete message: timestamp
+  // prefix, tag, and an intact "payload-N-end" token.
+  std::istringstream lines(out);
+  std::string line;
+  int complete = 0;
+  const std::regex shape(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[INFO )"
+      R"(logging_test\.cc:\d+\] thread=\d payload-\d+-end$)");
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(std::regex_match(line, shape)) << "garbled line: " << line;
+    ++complete;
+  }
+  EXPECT_EQ(complete, kThreads * kLines);
 }
 
 TEST(LoggingTest, NullStreamSwallowsEverything) {

@@ -86,6 +86,15 @@ TEST(EnumeratorTest, Rule3ReducesEvaluatedPaths) {
 
   EXPECT_LT(with.stats().paths_evaluated, without.stats().paths_evaluated);
   EXPECT_GT(with.stats().rule3_early_stops, 0u);
+  // Path-pruning accounting: early stops leave the remaining paths of the
+  // FT plan unanalyzed, and those skipped paths are counted separately
+  // from the evaluated ones.
+  EXPECT_GT(with.stats().rule3_paths_skipped, 0u);
+  EXPECT_EQ(without.stats().rule3_paths_skipped, 0u);
+  // Every memo probe is either a hit or a miss.
+  EXPECT_GT(with.stats().rule3_memo_misses, 0u);
+  EXPECT_EQ(without.stats().rule3_memo_hits, 0u);
+  EXPECT_EQ(without.stats().rule3_memo_misses, 0u);
 }
 
 TEST(EnumeratorTest, PruningPreservesOptimumOnFig3) {

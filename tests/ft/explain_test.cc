@@ -95,5 +95,47 @@ TEST(ExplainTest, RejectsInvalidInputs) {
   EXPECT_FALSE(AnalyzeMarginals(p, bad, Ctx()).ok());
 }
 
+TEST(ExplainTest, AccuracyReportPredictsPerCollapsedOperator) {
+  const Plan p = ChainPlan();
+  const auto config = MaterializationConfig::AllMat(p);
+  auto report = BuildAccuracyReport(p, config, Ctx(200.0));
+  ASSERT_TRUE(report.ok()) << report.status();
+  // All-mat on the 4-op chain: every free op anchors its own collapsed op.
+  EXPECT_EQ(report->operators.size(), 3u);
+  for (const auto& op : report->operators) {
+    EXPECT_GT(op.t, 0.0) << op.label;
+    EXPECT_GT(op.gamma, 0.0);
+    EXPECT_LT(op.gamma, 1.0);
+    EXPECT_GE(op.attempts, 0.0);
+    EXPECT_GT(op.wasted, 0.0);
+    // T(c) = t + a w + a MTTR >= t.
+    EXPECT_GE(op.total, op.t);
+  }
+  EXPECT_GT(report->predicted_runtime, 0.0);
+  EXPECT_GT(report->predicted_attempts, 0.0);
+}
+
+TEST(ExplainTest, AccuracyReportRendersObservedNextToPredicted) {
+  const Plan p = ChainPlan();
+  auto report =
+      BuildAccuracyReport(p, MaterializationConfig::AllMat(p), Ctx());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("(no instrumented run)"),
+            std::string::npos);
+
+  ObservedExecution observed;
+  observed.source = "ft_executor";
+  observed.failures = 2;
+  observed.recovery_executions = 2;
+  observed.task_executions = 23;
+  observed.runtime_seconds = 0.5;
+  report->observed.push_back(observed);
+  const std::string s = report->ToString();
+  EXPECT_NE(s.find("observed [ft_executor]"), std::string::npos);
+  EXPECT_NE(s.find("2 failures"), std::string::npos);
+  EXPECT_NE(s.find("a(c)"), std::string::npos);
+  EXPECT_NE(s.find("T(c)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xdbft::ft

@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace xdbft::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAccumulate) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0 (inclusive upper bound)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(5.0);  // overflow bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y"), a);
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreNotLost) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("shared")->Increment();
+        registry.GetGauge("accum")->Add(1.0);
+        registry.GetHistogram("lat", {1.0})->Observe(0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("shared"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(snap.gauge("accum"), 1.0 * kThreads * kIncrements);
+  EXPECT_EQ(snap.histograms.at("lat").count,
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(RegistryTest, SnapshotJsonIsValid) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs")->Add(3);
+  registry.GetGauge("seconds")->Set(1.25);
+  registry.GetHistogram("lat", {0.1, 1.0})->Observe(0.05);
+  auto doc = ParseJson(registry.Snapshot().ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* runs = doc->FindPath("counters.runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_DOUBLE_EQ(runs->number_value, 3.0);
+  const JsonValue* seconds = doc->FindPath("gauges.seconds");
+  ASSERT_NE(seconds, nullptr);
+  EXPECT_DOUBLE_EQ(seconds->number_value, 1.25);
+  const JsonValue* lat = doc->FindPath("histograms.lat");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(lat->Find("counts"), nullptr);
+  EXPECT_EQ(lat->Find("counts")->array.size(), 3u);
+  ASSERT_NE(lat->Find("bounds"), nullptr);
+  EXPECT_EQ(lat->Find("bounds")->array.size(), 2u);
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsObjects) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  c->Add(7);
+  registry.GetGauge("g")->Set(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(c, registry.GetCounter("c"));
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 0.0);
+}
+
+TEST(ScopedTimerTest, ObservesElapsedIntoHistogramAndGauge) {
+  Histogram h({10.0});
+  Gauge g;
+  {
+    ScopedTimer timer(&h, &g);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(g.value(), 0.0);
+}
+
+#if !defined(XDBFT_DISABLE_METRICS)
+TEST(MacroTest, MacrosWriteToDefaultRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const uint64_t before = reg.Snapshot().counter("macro.test.counter");
+  XDBFT_COUNTER_INC("macro.test.counter");
+  XDBFT_COUNTER_ADD("macro.test.counter", 2);
+  EXPECT_EQ(reg.Snapshot().counter("macro.test.counter"), before + 3);
+  XDBFT_GAUGE_SET("macro.test.gauge", 4.5);
+  EXPECT_DOUBLE_EQ(reg.Snapshot().gauge("macro.test.gauge"), 4.5);
+}
+#endif
+
+}  // namespace
+}  // namespace xdbft::obs

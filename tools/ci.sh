@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: configure + build + test the two configurations that matter —
+#   1. Release (what the benchmarks and paper-reproduction harnesses use)
+#   2. Debug + AddressSanitizer (XDBFT_SANITIZE=address)
+# Usage: tools/ci.sh [JOBS]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"; shift
+  echo "=== configuring ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== building ${dir} (-j${JOBS}) ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== testing ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+run_config build-ci-asan -DCMAKE_BUILD_TYPE=Debug -DXDBFT_SANITIZE=address
+
+echo "=== CI passed (Release + ASan) ==="

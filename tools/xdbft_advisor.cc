@@ -11,9 +11,25 @@
 //                 [--mttr SECONDS] [--success-target S]
 //                 [--pipe-constant C] [--scale-success-with-cluster]
 //                 [--simulate TRACES] [--emit-q5 SF]
+//                 [--metrics-json PATH] [--trace-out PATH]
 //
 // --emit-q5 SF prints the built-in TPC-H Q5 plan at the given scale factor
-// in plan-text format (a quick way to get a realistic input file).
+// in plan-text format (a quick way to get a realistic input file);
+// --storage-mibps overrides the emitted plan's materialization-store
+// bandwidth (slower stores raise tm relative to tr, which is what pruning
+// rules 1/2 key on — see bench/fig13_pruning.cc for the calibration).
+//
+// Observability (see DESIGN.md "Observability"):
+//   --metrics-json PATH  write a RunReport (params + metrics snapshot) as
+//                        JSON. Also runs a small in-process validation
+//                        execution (tiny TPC-H + Q5 stage plan + scripted
+//                        failures) so executor.* metrics and the
+//                        predicted-vs-observed accuracy report are
+//                        populated.
+//   --trace-out PATH     write a Chrome trace-event JSON timeline (load in
+//                        chrome://tracing or https://ui.perfetto.dev):
+//                        wall-clock spans from the validation execution and
+//                        virtual-time spans from one simulated run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +38,10 @@
 #include <sstream>
 
 #include "api/xdbft.h"
+#include "engine/ft_executor.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "plan/plan_text.h"
 
 using namespace xdbft;
@@ -39,6 +59,9 @@ struct Args {
   bool greedy = false;
   int simulate_traces = 0;
   double emit_q5_sf = 0.0;
+  double storage_mibps = 0.0;  // 0 = TpchPlanConfig default
+  std::string metrics_json;
+  std::string trace_out;
 };
 
 void Usage(const char* argv0) {
@@ -48,7 +71,8 @@ void Usage(const char* argv0) {
       "          [--success-target S] [--pipe-constant C]\n"
       "          [--scale-success-with-cluster] [--greedy]\n"
       "          [--simulate TRACES]\n"
-      "       %s --emit-q5 SF\n",
+      "          [--metrics-json PATH] [--trace-out PATH]\n"
+      "       %s --emit-q5 SF [--storage-mibps MIB]\n",
       argv0, argv0);
 }
 
@@ -81,6 +105,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->simulate_traces = static_cast<int>(v);
     } else if (a == "--emit-q5" && next(&v)) {
       args->emit_q5_sf = v;
+    } else if (a == "--storage-mibps" && next(&v)) {
+      args->storage_mibps = v;
+    } else if (a == "--metrics-json" && i + 1 < argc) {
+      args->metrics_json = argv[++i];
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      args->trace_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n",
                    a.c_str());
@@ -88,6 +118,43 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   return true;
+}
+
+// Runs the built-in Q5 stage plan over a tiny generated TPC-H database
+// with scripted failures on the first two partition-parallel stages. This
+// populates the executor.* metrics behind `--metrics-json` with real
+// recovery work and yields an observed row for the accuracy report.
+// Wall-clock spans go into `trace` when non-null.
+Result<ft::ObservedExecution> RunValidationExecution(
+    obs::TraceRecorder* trace) {
+  datagen::TpchGenOptions opts;
+  opts.scale_factor = 0.002;
+  opts.seed = 7;
+  XDBFT_ASSIGN_OR_RETURN(datagen::TpchDatabase db,
+                         datagen::GenerateTpch(opts));
+  XDBFT_ASSIGN_OR_RETURN(engine::PartitionedDatabase pd,
+                         engine::DistributeTpch(db, 3));
+  const engine::StagePlan q5 = engine::MakeQ5StagePlan(pd);
+  const ft::MaterializationConfig config =
+      ft::MaterializationConfig::AllMat(q5.ToPlanSkeleton());
+  std::vector<std::pair<int, int>> victims;
+  for (int s = 0; s < q5.num_stages() && victims.size() < 2; ++s) {
+    if (!q5.stage(s).global) {
+      victims.emplace_back(s, static_cast<int>(victims.size()));
+    }
+  }
+  engine::ScriptedInjector injector(std::move(victims));
+  engine::FaultTolerantExecutor executor(&q5, &pd);
+  executor.set_trace(trace);
+  XDBFT_ASSIGN_OR_RETURN(engine::FtExecutionResult r,
+                         executor.Execute(config, &injector));
+  ft::ObservedExecution observed;
+  observed.source = "ft_executor (validation: tiny TPC-H Q5)";
+  observed.failures = r.failures_injected;
+  observed.recovery_executions = r.recovery_executions;
+  observed.task_executions = r.task_executions;
+  observed.runtime_seconds = r.wall_seconds;
+  return observed;
 }
 
 }  // namespace
@@ -102,6 +169,9 @@ int main(int argc, char** argv) {
   if (args.emit_q5_sf > 0.0) {
     tpch::TpchPlanConfig cfg;
     cfg.scale_factor = args.emit_q5_sf;
+    if (args.storage_mibps > 0.0) {
+      cfg.storage_bandwidth_bps = args.storage_mibps * 1024 * 1024;
+    }
     auto plan = tpch::BuildQuery(tpch::TpchQuery::kQ5, cfg);
     if (!plan.ok()) {
       std::fprintf(stderr, "error: %s\n",
@@ -159,6 +229,25 @@ int main(int argc, char** argv) {
   }
   std::cout << advisor.Explain(*chosen);
 
+  obs::TraceRecorder trace;
+  obs::TraceRecorder* trace_ptr =
+      args.trace_out.empty() ? nullptr : &trace;
+  const bool observability = !args.metrics_json.empty() || trace_ptr;
+
+  if (observability) {
+    auto report = ft::BuildAccuracyReport(*plan, chosen->config,
+                                          advisor.context());
+    auto observed = RunValidationExecution(trace_ptr);
+    if (report.ok()) {
+      if (observed.ok()) report->observed.push_back(*observed);
+      std::printf("\n%s", report->ToString().c_str());
+    }
+    if (!observed.ok()) {
+      std::fprintf(stderr, "validation execution failed: %s\n",
+                   observed.status().ToString().c_str());
+    }
+  }
+
   auto comparison = advisor.CompareSchemes(*plan);
   if (comparison.ok()) {
     std::printf("\nScheme comparison (estimated runtime under failures):\n");
@@ -183,6 +272,56 @@ int main(int argc, char** argv) {
           cluster::OverheadPercent(result->runtime, *baseline),
           result->restarts);
     }
+    if (trace_ptr != nullptr) {
+      // One extra single run exports the discrete-event timeline (virtual
+      // time: 1 simulated second = 1 ms) into the trace on its own pid.
+      cluster::SimulationOptions sim_options;
+      sim_options.trace = trace_ptr;
+      sim_options.trace_pid = 1;
+      trace.SetProcessName(1, "simulator (virtual time: 1 sim s = 1 ms)");
+      for (int k = 0; k < stats.num_nodes; ++k) {
+        trace.SetThreadName(1, k, "node " + std::to_string(k));
+      }
+      cluster::ClusterSimulator traced(stats, sim_options);
+      auto single = cluster::GenerateTraceSet(stats, 1, /*base_seed=*/43);
+      auto r = traced.Run(*chosen, single[0]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "traced simulation failed: %s\n",
+                     r.status().ToString().c_str());
+      }
+    }
+  }
+
+  if (trace_ptr != nullptr) {
+    const Status s = trace.WriteFile(args.trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", args.trace_out.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nWrote Chrome trace (%zu events) to %s\n",
+                trace.num_events(), args.trace_out.c_str());
+  }
+  if (!args.metrics_json.empty()) {
+    obs::RunReport report;
+    report.tool = "xdbft_advisor";
+    report.plan_name = plan->name();
+    report.config_summary = chosen->config.ToString();
+    report.params["nodes"] = std::to_string(args.nodes);
+    report.params["mtbf_seconds"] = std::to_string(args.mtbf);
+    report.params["mttr_seconds"] = std::to_string(args.mttr);
+    report.params["success_target"] = std::to_string(args.success_target);
+    report.params["pipe_constant"] = std::to_string(args.pipe_constant);
+    report.params["simulate_traces"] = std::to_string(args.simulate_traces);
+    report.params["greedy"] = args.greedy ? "true" : "false";
+    report.metrics = obs::MetricsRegistry::Default().Snapshot();
+    const Status s = report.WriteFile(args.metrics_json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n",
+                   args.metrics_json.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote metrics report to %s\n", args.metrics_json.c_str());
   }
   return 0;
 }

@@ -43,7 +43,9 @@ int main() {
           optimizer::TreeCost(arena, (*roots)[0], *graph, params);
       ft::FtCostContext ctx;
       ctx.cluster = cost::MakeCluster(cfg.num_nodes, mtbf, 1.0);
-      ft::FtPlanEnumerator enumerator(ctx);
+      ft::EnumerationOptions opts;
+      opts.num_threads = bench::EnvThreads();
+      ft::FtPlanEnumerator enumerator(ctx, opts);
       auto best = enumerator.FindBest(plans);
       if (!best.ok()) continue;
       if (k == 1) k1_cost = best->estimated_cost;
@@ -92,7 +94,9 @@ int main() {
       }
       ft::FtCostContext ctx;
       ctx.cluster = cost::MakeCluster(10, mtbf, 1.0);
-      ft::FtPlanEnumerator enumerator(ctx);
+      ft::EnumerationOptions opts;
+      opts.num_threads = bench::EnvThreads();
+      ft::FtPlanEnumerator enumerator(ctx, opts);
       auto best = enumerator.FindBest(plans);
       if (!best.ok()) continue;
       if (k == 1) k1_cost = best->estimated_cost;

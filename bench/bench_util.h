@@ -150,6 +150,16 @@ class BenchJsonWriter {
   std::ofstream out_;
 };
 
+/// \brief Worker threads for the enumeration harnesses: $XDBFT_THREADS
+/// (0 = hardware concurrency), default 1 so the published sequential
+/// numbers stay the baseline. The chosen plans are identical either way;
+/// only wall-clock changes.
+inline int EnvThreads() {
+  const char* s = std::getenv("XDBFT_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  return std::atoi(s);
+}
+
 /// \brief "123.4" style or "Aborted" for incomplete runs.
 inline std::string OverheadCell(bool completed, double overhead_percent) {
   if (!completed) return "Aborted";

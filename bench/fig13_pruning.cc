@@ -28,6 +28,7 @@ double PrunedPercent(const std::vector<plan::Plan>& plans,
   opts.pruning.rule2 = rules.rule2;
   opts.pruning.rule3 = rules.rule3;
   opts.pruning.memoize_dominant_paths = rules.rule3;
+  opts.num_threads = bench::EnvThreads();
   ft::FtPlanEnumerator enumerator(ctx, opts);
   auto best = enumerator.FindBest(plans);
   if (!best.ok()) {

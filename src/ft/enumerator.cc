@@ -1,20 +1,55 @@
 #include "ft/enumerator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <mutex>
+#include <thread>
+#include <tuple>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xdbft::ft {
 
 using plan::Plan;
 
+namespace {
+
+/// Lower an atomic double to `v` if `v` is smaller (lock-free min).
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void EnumerationStats::MergeFrom(const EnumerationStats& other) {
+  candidate_plans += other.candidate_plans;
+  total_ft_plans_unpruned += other.total_ft_plans_unpruned;
+  ft_plans_enumerated += other.ft_plans_enumerated;
+  rule1_ops_marked += other.rule1_ops_marked;
+  rule2_ops_marked += other.rule2_ops_marked;
+  rule3_early_stops += other.rule3_early_stops;
+  rule3_rejections += other.rule3_rejections;
+  rule3_rpt_hits += other.rule3_rpt_hits;
+  rule3_tpt_hits += other.rule3_tpt_hits;
+  rule3_memo_hits += other.rule3_memo_hits;
+  rule3_memo_misses += other.rule3_memo_misses;
+  paths_evaluated += other.paths_evaluated;
+  rule3_paths_skipped += other.rule3_paths_skipped;
+  tasks_executed += other.tasks_executed;
+  tasks_stolen += other.tasks_stolen;
+}
+
 std::string EnumerationStats::ToString() const {
   return StrFormat(
       "EnumerationStats(plans=%llu, ft_plans=%llu/%llu, rule1_marked=%llu, "
       "rule2_marked=%llu, rule3_stops=%llu [RPt=%llu TPt=%llu memo=%llu/%llu], "
-      "paths=%llu evaluated, %llu skipped)",
+      "paths=%llu evaluated, %llu skipped, tasks=%llu (%llu stolen))",
       static_cast<unsigned long long>(candidate_plans),
       static_cast<unsigned long long>(ft_plans_enumerated),
       static_cast<unsigned long long>(total_ft_plans_unpruned),
@@ -26,7 +61,225 @@ std::string EnumerationStats::ToString() const {
       static_cast<unsigned long long>(rule3_memo_hits),
       static_cast<unsigned long long>(rule3_memo_misses),
       static_cast<unsigned long long>(paths_evaluated),
-      static_cast<unsigned long long>(rule3_paths_skipped));
+      static_cast<unsigned long long>(rule3_paths_skipped),
+      static_cast<unsigned long long>(tasks_executed),
+      static_cast<unsigned long long>(tasks_stolen));
+}
+
+int FtPlanEnumerator::ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+/// One candidate after the rules-1/2 pre-pass. The deterministic counters
+/// (space sizes, per-rule marks) are computed here, per plan, so their
+/// totals are exact regardless of how the evaluation work is scheduled.
+struct FtPlanEnumerator::PreparedPlan {
+  Plan plan;
+  std::vector<plan::OpId> free_ops;
+  uint64_t num_configs = 0;
+  uint64_t unpruned = 0;
+  uint64_t rule1_marked = 0;
+  uint64_t rule2_marked = 0;
+  Status status;  // OK unless this candidate is rejected
+};
+
+/// State shared by every enumeration task of one FindBest call.
+struct FtPlanEnumerator::SearchState {
+  /// Rule-3 cost bound (bestT). Monotonically non-increasing; stale reads
+  /// only weaken pruning, never correctness. Pruning tests are strict
+  /// (cost > bound), so a configuration tying the final best always
+  /// survives to the deterministic tie-break below.
+  std::atomic<double> bound{std::numeric_limits<double>::infinity()};
+  ConcurrentDominantPathMemo memo;
+  std::atomic<bool> failed{false};
+  const FailureParams fparams;
+  const bool use_memo;
+
+  std::mutex mu;  // guards the candidate + error fields
+  bool found = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+  size_t best_plan = 0;
+  uint64_t best_mask = 0;
+  bool has_error = false;
+  size_t error_plan = 0;
+  uint64_t error_mask = 0;
+  Status error;
+
+  SearchState(FailureParams fp, bool memoize)
+      : fparams(fp), use_memo(memoize) {}
+
+  /// Keep the error with the smallest (plan, mask) key so the reported
+  /// failure does not depend on task interleaving.
+  void RecordError(size_t plan_index, uint64_t mask, Status s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!has_error || std::tie(plan_index, mask) <
+                          std::tie(error_plan, error_mask)) {
+      has_error = true;
+      error_plan = plan_index;
+      error_mask = mask;
+      error = std::move(s);
+    }
+    failed.store(true, std::memory_order_relaxed);
+  }
+};
+
+FtPlanEnumerator::PreparedPlan FtPlanEnumerator::Prepare(
+    const Plan& candidate, size_t plan_index) const {
+  PreparedPlan out;
+  out.plan = candidate;  // copy: rules 1-2 mutate constraints
+  out.status = out.plan.Validate();
+  if (!out.status.ok()) return out;
+
+  const size_t free_before = EnumerableOperators(out.plan).size();
+  if (free_before > 62) {
+    out.status = Status::InvalidArgument("plan has too many free operators");
+    return out;
+  }
+  out.unpruned = uint64_t{1} << free_before;
+
+  {
+    XDBFT_SCOPED_TIMER_GAUGE("enumerator.seconds.prepass");
+    // Rule 2 runs first: it only consults the operator's own collapsed
+    // runtime, while rule 1 quantifies over a parent's *still-free*
+    // children — operators rule 2 already marked drop out of that
+    // quantifier, so this order marks a superset of (never fewer ops
+    // than) the reverse order. Both rules only add kNeverMaterialize
+    // constraints that are provably cost-safe, so more is better.
+    if (options_.pruning.rule2) {
+      out.rule2_marked = static_cast<uint64_t>(
+          ApplyPruningRule2(&out.plan, model_.context()));
+    }
+    if (options_.pruning.rule1) {
+      out.rule1_marked = static_cast<uint64_t>(ApplyPruningRule1(
+          &out.plan, model_.context().model.pipe_constant));
+    }
+  }
+
+  out.free_ops = EnumerableOperators(out.plan);
+  if (static_cast<int>(out.free_ops.size()) > options_.max_free_operators) {
+    out.status = Status::InvalidArgument(StrFormat(
+        "plan %zu has %zu free operators after pruning (max %d); raise "
+        "EnumerationOptions::max_free_operators or add constraints",
+        plan_index, out.free_ops.size(), options_.max_free_operators));
+    return out;
+  }
+  out.num_configs = uint64_t{1} << out.free_ops.size();
+  return out;
+}
+
+void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
+                                         const MaskRange& range,
+                                         SearchState* state,
+                                         EnumerationStats* local) const {
+  const double pipe = model_.context().model.pipe_constant;
+  const bool rule3 = options_.pruning.rule3;
+  for (uint64_t mask = range.lo; mask < range.hi; ++mask) {
+    if (state->failed.load(std::memory_order_relaxed)) return;
+    const MaterializationConfig config =
+        MaterializationConfig::FromFreeMask(prepared.plan, mask);
+    auto collapsed = CollapsedPlan::Create(prepared.plan, config, pipe);
+    if (!collapsed.ok()) {
+      state->RecordError(range.plan_index, mask, collapsed.status());
+      return;
+    }
+    const CollapsedPlan& cp = *collapsed;
+
+    // Path enumeration with rule-3 early stopping (Listing 1 lines 9-13
+    // plus §4.3). Every test is strict (> bound, strict Eq. 9 dominance):
+    // a pruned configuration provably costs more than bestT, so a
+    // configuration tying the final best is never eliminated and the
+    // (cost, plan, mask) tie-break stays exact at any thread count.
+    double dom_cost = 0.0;
+    CollapsedPath dom_path;
+    bool pruned = false;
+    const size_t total_paths = rule3 ? cp.CountPaths() : 0;
+    const size_t visited = cp.ForEachPath([&](const CollapsedPath& path) {
+      const double bound = state->bound.load(std::memory_order_relaxed);
+      if (rule3) {
+        // Test 1: RPt > bestT — no cost-model call needed.
+        const double rpt = cp.PathRuntimeNoFailure(path);
+        if (rpt > bound) {
+          ++local->rule3_rpt_hits;
+          pruned = true;
+          return false;
+        }
+        // Extension: Eq. 9 dominance over a memoized dominant path.
+        if (state->use_memo && !state->memo.empty()) {
+          std::vector<double> costs;
+          costs.reserve(path.size());
+          for (CollapsedId id : path) costs.push_back(cp.op(id).total_cost());
+          if (state->memo.Dominates(std::move(costs))) {
+            ++local->rule3_memo_hits;
+            pruned = true;
+            return false;
+          }
+          ++local->rule3_memo_misses;
+        }
+      }
+      ++local->paths_evaluated;
+      double tpt = 0.0;
+      for (CollapsedId id : path) {
+        tpt += OperatorTotalRuntime(cp.op(id).total_cost(), state->fparams);
+      }
+      if (rule3 && tpt > bound) {
+        // Test 2: TPt > bestT.
+        ++local->rule3_tpt_hits;
+        pruned = true;
+        return false;
+      }
+      if (tpt > dom_cost) {
+        dom_cost = tpt;
+        dom_path = path;
+      }
+      return true;
+    });
+    if (pruned) {
+      ++local->rule3_rejections;
+      // Only count as an early stop if remaining paths were actually
+      // skipped; firing on the last path saves nothing (§5.5).
+      if (visited < total_paths) {
+        ++local->rule3_early_stops;
+        local->rule3_paths_skipped +=
+            static_cast<uint64_t>(total_paths - visited);
+      }
+      continue;
+    }
+    if (dom_path.empty()) {
+      state->RecordError(range.plan_index, mask,
+                         Status::Internal("collapsed plan produced no paths"));
+      return;
+    }
+
+    // Deterministic acceptance: strictly smaller (cost, plan, mask) wins.
+    const size_t plan_index = range.plan_index;
+    bool accepted = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->found ||
+          std::tie(dom_cost, plan_index, mask) <
+              std::tie(state->best_cost, state->best_plan,
+                       state->best_mask)) {
+        state->found = true;
+        state->best_cost = dom_cost;
+        state->best_plan = plan_index;
+        state->best_mask = mask;
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      AtomicMin(&state->bound, dom_cost);
+      if (rule3 && state->use_memo) {
+        std::vector<double> costs;
+        costs.reserve(dom_path.size());
+        for (CollapsedId id : dom_path) {
+          costs.push_back(cp.op(id).total_cost());
+        }
+        state->memo.Record(std::move(costs), dom_cost);
+      }
+    }
+  }
 }
 
 Result<FtPlanChoice> FtPlanEnumerator::FindBest(
@@ -39,140 +292,100 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
   stats_ = EnumerationStats{};
   stats_.candidate_plans = candidates.size();
 
-  const double pipe = model_.context().model.pipe_constant;
-  const FailureParams fparams = model_.context().MakeFailureParams();
-
-  double best_cost = std::numeric_limits<double>::infinity();
-  FtPlanChoice best;
-  bool found = false;
-  DominantPathMemo memo;
-
-  for (size_t pi = 0; pi < candidates.size(); ++pi) {
-    Plan plan = candidates[pi];  // copy: rules 1-2 mutate constraints
-    XDBFT_RETURN_NOT_OK(plan.Validate());
-
-    const size_t free_before = EnumerableOperators(plan).size();
-    if (free_before > 62) {
-      return Status::InvalidArgument("plan has too many free operators");
+  const int threads = ResolveThreads(options_.num_threads);
+  const bool parallel = threads > 1;
+  if (parallel && (pool_ == nullptr || pool_->num_threads() != threads)) {
+    pool_ = std::make_unique<TaskPool>(threads);
+  }
+  const TaskPoolStats pool_before =
+      pool_ != nullptr ? pool_->stats() : TaskPoolStats{};
+  obs::TraceRecorder* trace = options_.trace;
+  if (trace != nullptr) {
+    for (int t = 0; t < threads; ++t) {
+      trace->SetThreadName(options_.trace_pid, t,
+                           "enum worker " + std::to_string(t));
     }
-    stats_.total_ft_plans_unpruned += uint64_t{1} << free_before;
+    trace->SetThreadName(options_.trace_pid, threads, "enum caller");
+  }
 
-    {
-      XDBFT_SCOPED_TIMER_GAUGE("enumerator.seconds.prepass");
-      // Rule 2 runs first: it only consults the operator's own collapsed
-      // runtime, while rule 1 quantifies over a parent's *still-free*
-      // children — operators rule 2 already marked drop out of that
-      // quantifier, so this order marks a superset of (never fewer ops
-      // than) the reverse order. Both rules only add kNeverMaterialize
-      // constraints that are provably cost-safe, so more is better.
-      if (options_.pruning.rule2) {
-        stats_.rule2_ops_marked += static_cast<uint64_t>(
-            ApplyPruningRule2(&plan, model_.context()));
-      }
-      if (options_.pruning.rule1) {
-        stats_.rule1_ops_marked +=
-            static_cast<uint64_t>(ApplyPruningRule1(&plan, pipe));
-      }
-    }
-
-    const std::vector<plan::OpId> free_ops = EnumerableOperators(plan);
-    if (static_cast<int>(free_ops.size()) > options_.max_free_operators) {
-      return Status::InvalidArgument(StrFormat(
-          "plan %zu has %zu free operators after pruning (max %d); raise "
-          "EnumerationOptions::max_free_operators or add constraints",
-          pi, free_ops.size(), options_.max_free_operators));
-    }
-    const uint64_t num_configs = uint64_t{1} << free_ops.size();
-    stats_.ft_plans_enumerated += num_configs;
-
-    for (uint64_t mask = 0; mask < num_configs; ++mask) {
-      const MaterializationConfig config =
-          MaterializationConfig::FromFreeMask(plan, mask);
-      XDBFT_ASSIGN_OR_RETURN(CollapsedPlan cp,
-                             CollapsedPlan::Create(plan, config, pipe));
-
-      // Path enumeration with rule-3 early stopping (Listing 1 lines 9-13
-      // plus §4.3). If any path's cost reaches bestT, this FT plan's
-      // dominant path cannot beat bestT and the remaining paths are
-      // skipped.
-      double dom_cost = 0.0;
-      CollapsedPath dom_path;
-      bool pruned = false;
-      const size_t total_paths =
-          options_.pruning.rule3 ? cp.CountPaths() : 0;
-      const size_t visited = cp.ForEachPath([&](const CollapsedPath& path) {
-        if (options_.pruning.rule3) {
-          // Test 1: RPt >= bestT — no cost-model call needed.
-          const double rpt = cp.PathRuntimeNoFailure(path);
-          if (rpt >= best_cost) {
-            ++stats_.rule3_rpt_hits;
-            pruned = true;
-            return false;
-          }
-          // Extension: Eq. 9 dominance over a memoized dominant path.
-          if (options_.pruning.memoize_dominant_paths && !memo.empty()) {
-            std::vector<double> costs;
-            costs.reserve(path.size());
-            for (CollapsedId id : path) costs.push_back(cp.op(id).total_cost());
-            if (memo.Dominates(std::move(costs))) {
-              ++stats_.rule3_memo_hits;
-              pruned = true;
-              return false;
-            }
-            ++stats_.rule3_memo_misses;
-          }
-        }
-        ++stats_.paths_evaluated;
-        double tpt = 0.0;
-        for (CollapsedId id : path) {
-          tpt += OperatorTotalRuntime(cp.op(id).total_cost(), fparams);
-        }
-        if (options_.pruning.rule3 && tpt >= best_cost) {
-          // Test 2: TPt >= bestT.
-          ++stats_.rule3_tpt_hits;
-          pruned = true;
-          return false;
-        }
-        if (tpt > dom_cost) {
-          dom_cost = tpt;
-          dom_path = path;
-        }
-        return true;
-      });
-      if (pruned) {
-        ++stats_.rule3_rejections;
-        // Only count as an early stop if remaining paths were actually
-        // skipped; firing on the last path saves nothing (§5.5).
-        if (visited < total_paths) {
-          ++stats_.rule3_early_stops;
-          stats_.rule3_paths_skipped +=
-              static_cast<uint64_t>(total_paths - visited);
-        }
-        continue;
-      }
-      if (dom_path.empty()) {
-        return Status::Internal("collapsed plan produced no paths");
-      }
-      if (dom_cost < best_cost) {
-        best_cost = dom_cost;
-        best.plan_index = pi;
-        best.plan = plan;
-        best.config = config;
-        best.estimated_cost = dom_cost;
-        best.dominant_path = dom_path;
-        found = true;
-        if (options_.pruning.rule3 &&
-            options_.pruning.memoize_dominant_paths) {
-          std::vector<double> costs;
-          costs.reserve(dom_path.size());
-          for (CollapsedId id : dom_path) {
-            costs.push_back(cp.op(id).total_cost());
-          }
-          memo.Record(std::move(costs), dom_cost);
-        }
-      }
+  // Phase 1: rules-1/2 pre-pass, one independent task per candidate.
+  const size_t num_plans = candidates.size();
+  std::vector<PreparedPlan> prepared(num_plans);
+  if (parallel) {
+    pool_->ParallelForEach(num_plans, [&](size_t i) {
+      prepared[i] = Prepare(candidates[i], i);
+    });
+  } else {
+    for (size_t i = 0; i < num_plans; ++i) {
+      prepared[i] = Prepare(candidates[i], i);
     }
   }
+  // Accumulate the deterministic counters in plan order; report the first
+  // rejected candidate exactly like the sequential walk would.
+  for (size_t i = 0; i < num_plans; ++i) {
+    if (!prepared[i].status.ok()) return prepared[i].status;
+    stats_.total_ft_plans_unpruned += prepared[i].unpruned;
+    stats_.rule1_ops_marked += prepared[i].rule1_marked;
+    stats_.rule2_ops_marked += prepared[i].rule2_marked;
+    stats_.ft_plans_enumerated += prepared[i].num_configs;
+  }
+
+  // Phase 2: carve the configuration space into contiguous mask ranges —
+  // within-plan subtrees of the enumeration — sized for ~8 tasks per
+  // worker so stealing can rebalance skew from pruning.
+  uint64_t total_configs = 0;
+  for (const PreparedPlan& pp : prepared) total_configs += pp.num_configs;
+  const uint64_t target_tasks =
+      parallel ? static_cast<uint64_t>(threads) * 8 : 1;
+  const uint64_t masks_per_task =
+      std::max<uint64_t>(1, total_configs / std::max<uint64_t>(
+                                                1, target_tasks));
+  std::vector<MaskRange> tasks;
+  for (size_t pi = 0; pi < num_plans; ++pi) {
+    for (uint64_t lo = 0; lo < prepared[pi].num_configs;
+         lo += masks_per_task) {
+      tasks.push_back(MaskRange{
+          pi, lo, std::min(prepared[pi].num_configs, lo + masks_per_task)});
+    }
+  }
+
+  // Phase 3: evaluate. Each worker slot owns one stats accumulator
+  // (single-writer); the slots are merged below — the per-thread snapshot
+  // merge that keeps the totals exact under concurrency.
+  SearchState state(model_.context().MakeFailureParams(),
+                    options_.pruning.memoize_dominant_paths);
+  std::vector<EnumerationStats> per_slot(static_cast<size_t>(threads) + 1);
+  if (parallel) {
+    pool_->ParallelForEach(tasks.size(), [&](size_t i) {
+      const int worker = pool_->CurrentWorkerId();
+      const size_t slot =
+          worker >= 0 ? static_cast<size_t>(worker)
+                      : static_cast<size_t>(threads);  // helping caller
+      const double ts = trace != nullptr ? trace->NowMicros() : 0.0;
+      EvaluateMaskRange(prepared[tasks[i].plan_index], tasks[i], &state,
+                        &per_slot[slot]);
+      if (trace != nullptr) {
+        trace->AddComplete(
+            "enum.chunk", "enumerator", ts, trace->NowMicros() - ts,
+            options_.trace_pid, static_cast<int>(slot),
+            {obs::IntArg("plan", static_cast<int64_t>(tasks[i].plan_index)),
+             obs::IntArg("mask_lo", static_cast<int64_t>(tasks[i].lo)),
+             obs::IntArg("mask_hi", static_cast<int64_t>(tasks[i].hi))});
+      }
+    });
+  } else {
+    for (const MaskRange& task : tasks) {
+      EvaluateMaskRange(prepared[task.plan_index], task, &state,
+                        &per_slot[0]);
+    }
+  }
+  for (const EnumerationStats& slot : per_slot) stats_.MergeFrom(slot);
+  stats_.tasks_executed += tasks.size();
+  if (pool_ != nullptr) {
+    stats_.tasks_stolen +=
+        pool_->stats().tasks_stolen - pool_before.tasks_stolen;
+  }
+
   // Publish this run's counters (rules 1/2 are published at the marking
   // site in pruning.cc; everything else is accounted here).
   XDBFT_COUNTER_ADD("enumerator.plans", stats_.candidate_plans);
@@ -186,9 +399,40 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
   XDBFT_COUNTER_ADD("enumerator.memo_hits", stats_.rule3_memo_hits);
   XDBFT_COUNTER_ADD("enumerator.memo_misses", stats_.rule3_memo_misses);
   XDBFT_COUNTER_ADD("enumerator.paths_evaluated", stats_.paths_evaluated);
-  if (!found) {
+  XDBFT_COUNTER_ADD("enumerator.tasks", stats_.tasks_executed);
+  XDBFT_COUNTER_ADD("enumerator.tasks_stolen", stats_.tasks_stolen);
+  XDBFT_GAUGE_SET("enumerator.threads", threads);
+
+  if (state.has_error) return state.error;
+  if (!state.found) {
     return Status::Internal("enumeration found no fault-tolerant plan");
   }
+
+  // Reconstruct the winner from its (plan, mask) id — cheaper than
+  // copying plan + path under the candidate lock on every improvement,
+  // and exactly reproducible.
+  const PreparedPlan& wp = prepared[state.best_plan];
+  FtPlanChoice best;
+  best.plan_index = state.best_plan;
+  best.plan = wp.plan;
+  best.config = MaterializationConfig::FromFreeMask(wp.plan, state.best_mask);
+  best.estimated_cost = state.best_cost;
+  XDBFT_ASSIGN_OR_RETURN(
+      CollapsedPlan cp,
+      CollapsedPlan::Create(wp.plan, best.config,
+                            model_.context().model.pipe_constant));
+  double dom_cost = 0.0;
+  cp.ForEachPath([&](const CollapsedPath& path) {
+    double tpt = 0.0;
+    for (CollapsedId id : path) {
+      tpt += OperatorTotalRuntime(cp.op(id).total_cost(), state.fparams);
+    }
+    if (tpt > dom_cost) {
+      dom_cost = tpt;
+      best.dominant_path = path;
+    }
+    return true;
+  });
   return best;
 }
 

@@ -4,15 +4,29 @@
 // free operators, estimates every [P, M_P] via the collapsed-plan cost
 // model, applies pruning rules 1-3, and returns the fault-tolerant plan
 // with the shortest dominant path.
+//
+// The search runs on a work-stealing TaskPool when num_threads > 1:
+// candidate plans and, within a plan, contiguous mask ranges of the
+// configuration space become tasks; rule-3 state is shared through an
+// atomic cost bound plus a sharded, mutex-striped dominant-path memo; and
+// the winner is selected by the total order (cost, plan index, mask), so
+// the result is bit-identical to the sequential search at any thread
+// count (see DESIGN.md "Concurrency model").
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/task_pool.h"
 #include "ft/ft_cost.h"
 #include "ft/pruning.h"
+
+namespace xdbft::obs {
+class TraceRecorder;
+}  // namespace xdbft::obs
 
 namespace xdbft::ft {
 
@@ -22,6 +36,14 @@ struct EnumerationOptions {
   /// Guard against runaway 2^f enumeration; FindBest fails if a candidate
   /// plan still has more free operators after rules 1-2.
   int max_free_operators = 24;
+  /// Worker threads for FindBest: 1 = sequential (default), 0 = use
+  /// std::thread::hardware_concurrency(), N > 1 = that many workers. The
+  /// selected [P, M_P] and cost are identical at every setting.
+  int num_threads = 1;
+  /// Optional: record one span per enumeration task on lane
+  /// (trace_pid, worker id) — the per-thread timeline of the search.
+  obs::TraceRecorder* trace = nullptr;
+  int trace_pid = 0;
 };
 
 /// \brief Counters describing one FindBest run (feeds Fig. 13).
@@ -43,8 +65,8 @@ struct EnumerationStats {
   uint64_t rule3_early_stops = 0;
   /// FT plans rejected by rule 3 (regardless of whether paths remained).
   uint64_t rule3_rejections = 0;
-  uint64_t rule3_rpt_hits = 0;   // RPt >= bestT (no cost-model call needed)
-  uint64_t rule3_tpt_hits = 0;   // TPt >= bestT
+  uint64_t rule3_rpt_hits = 0;   // RPt > bestT (no cost-model call needed)
+  uint64_t rule3_tpt_hits = 0;   // TPt > bestT
   uint64_t rule3_memo_hits = 0;  // Eq. 9 dominance over a memoized path
   /// Memo lookups that did not prune (the complement of rule3_memo_hits;
   /// hits/(hits+misses) is the memo's effectiveness).
@@ -55,6 +77,15 @@ struct EnumerationStats {
   /// share of the search space pruned by rule 3; the aggregate
   /// ft_plans_enumerated count cannot distinguish these).
   uint64_t rule3_paths_skipped = 0;
+  /// Parallel-execution accounting (informational; not search counters):
+  /// enumeration tasks run and how many a worker stole from a sibling.
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_stolen = 0;
+
+  /// \brief Add every counter of `other` into this (the join step of the
+  /// per-thread stats merge; exact under concurrency because each worker
+  /// slot is written by one thread only).
+  void MergeFrom(const EnumerationStats& other);
 
   std::string ToString() const;
 };
@@ -81,6 +112,8 @@ class FtPlanEnumerator {
   /// \brief Enumerate [P, M_P] over all candidate plans and return the one
   /// with the shortest dominant path. Memoized rule-3 state (bestT and
   /// dominant paths) is shared across all candidates, as §4.3 recommends.
+  /// Deterministic at any options_.num_threads: ties on cost are broken by
+  /// the canonical plan id (plan index, then configuration mask).
   Result<FtPlanChoice> FindBest(const std::vector<plan::Plan>& candidates);
 
   /// \brief Convenience: single-plan form.
@@ -95,10 +128,30 @@ class FtPlanEnumerator {
   const EnumerationStats& stats() const { return stats_; }
   const FtCostModel& cost_model() const { return model_; }
 
+  /// \brief Worker count `num_threads` resolves to (0 -> hardware
+  /// concurrency, minimum 1).
+  static int ResolveThreads(int num_threads);
+
  private:
+  struct PreparedPlan;
+  struct SearchState;
+  struct MaskRange {
+    size_t plan_index = 0;
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+  };
+
+  /// \brief Rules 1-2 pre-pass over one candidate (plan copy + marking).
+  PreparedPlan Prepare(const plan::Plan& candidate, size_t plan_index) const;
+  /// \brief Evaluate configurations [lo, hi) of one prepared plan against
+  /// the shared search state, accumulating into `local` (single-writer).
+  void EvaluateMaskRange(const PreparedPlan& prepared, const MaskRange& range,
+                         SearchState* state, EnumerationStats* local) const;
+
   FtCostModel model_;
   EnumerationOptions options_;
   EnumerationStats stats_;
+  std::unique_ptr<TaskPool> pool_;  // lazily created, reused across calls
 };
 
 }  // namespace xdbft::ft

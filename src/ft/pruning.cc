@@ -107,12 +107,26 @@ int ApplyPruningRule2(Plan* plan, const FtCostContext& context) {
   return marked;
 }
 
+bool PairwiseDominates(const std::vector<double>& sorted_path,
+                       const DominantPathEntry& entry, bool strict) {
+  // Shorter memos are implicitly padded with zero-cost operators
+  // (paper §4.3).
+  bool any_strict = false;
+  for (size_t i = 0; i < sorted_path.size(); ++i) {
+    const double memo_cost =
+        i < entry.sorted_costs.size() ? entry.sorted_costs[i] : 0.0;
+    if (sorted_path[i] < memo_cost) return false;
+    if (sorted_path[i] > memo_cost) any_strict = true;
+  }
+  return !strict || any_strict;
+}
+
 void DominantPathMemo::Record(std::vector<double> costs, double total) {
   std::sort(costs.begin(), costs.end(), std::greater<double>());
   const size_t count = costs.size();
   auto it = by_count_.find(count);
   if (it == by_count_.end() || total < it->second.total) {
-    by_count_[count] = Entry{std::move(costs), total};
+    by_count_[count] = DominantPathEntry{std::move(costs), total};
   }
 }
 
@@ -120,22 +134,51 @@ bool DominantPathMemo::Dominates(std::vector<double> path_costs) const {
   if (by_count_.empty()) return false;
   std::sort(path_costs.begin(), path_costs.end(), std::greater<double>());
   // Compare against every memoized path with at most as many collapsed
-  // operators; shorter memos are implicitly padded with zero-cost
-  // operators (paper §4.3).
+  // operators.
   for (const auto& [count, entry] : by_count_) {
     if (count > path_costs.size()) break;  // map is ordered by count
-    bool dominates = true;
-    for (size_t i = 0; i < path_costs.size(); ++i) {
-      const double memo_cost =
-          i < entry.sorted_costs.size() ? entry.sorted_costs[i] : 0.0;
-      if (path_costs[i] < memo_cost) {
-        dominates = false;
-        break;
-      }
-    }
-    if (dominates) return true;
+    if (PairwiseDominates(path_costs, entry, /*strict=*/false)) return true;
   }
   return false;
+}
+
+void ConcurrentDominantPathMemo::Record(std::vector<double> costs,
+                                        double total) {
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  const size_t count = costs.size();
+  Shard& shard = shards_[count % kNumShards];
+  std::unique_lock lock(shard.mu);
+  auto it = shard.by_count.find(count);
+  if (it == shard.by_count.end()) {
+    shard.by_count.emplace(count,
+                           DominantPathEntry{std::move(costs), total});
+    num_entries_.fetch_add(1, std::memory_order_release);
+  } else if (total < it->second.total) {
+    it->second = DominantPathEntry{std::move(costs), total};
+  }
+}
+
+bool ConcurrentDominantPathMemo::Dominates(
+    std::vector<double> path_costs) const {
+  if (empty()) return false;
+  std::sort(path_costs.begin(), path_costs.end(), std::greater<double>());
+  const size_t len = path_costs.size();
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [count, entry] : shard.by_count) {
+      if (count > len) break;  // map is ordered by count
+      if (PairwiseDominates(path_costs, entry, /*strict=*/true)) return true;
+    }
+  }
+  return false;
+}
+
+void ConcurrentDominantPathMemo::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.by_count.clear();
+  }
+  num_entries_.store(0, std::memory_order_release);
 }
 
 }  // namespace xdbft::ft

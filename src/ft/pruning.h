@@ -13,8 +13,10 @@
 // strict guarantees (see FullPruningNearOptimal in enumerator_test.cc).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
 #include "ft/ft_cost.h"
@@ -53,9 +55,26 @@ int ApplyPruningRule1(plan::Plan* plan, double pipe_constant);
 /// number of operators marked.
 int ApplyPruningRule2(plan::Plan* plan, const FtCostContext& context);
 
+/// \brief One memoized dominant path: its t(c) multiset sorted descending
+/// and its total TPt.
+struct DominantPathEntry {
+  std::vector<double> sorted_costs;  // descending
+  double total = 0.0;
+};
+
+/// \brief Eq. 9 pairwise comparison: true iff `sorted_path` (descending)
+/// is >= `entry.sorted_costs` position by position, padding the shorter
+/// memo with zero-cost operators. With `strict`, additionally requires one
+/// position to be strictly greater — that guarantees TPt(path) >
+/// entry.total (the per-operator runtime is strictly increasing in t(c)),
+/// so exact cost ties are *not* pruned and survive to deterministic
+/// tie-breaking (see FtPlanEnumerator).
+bool PairwiseDominates(const std::vector<double>& sorted_path,
+                       const DominantPathEntry& entry, bool strict);
+
 /// \brief Memo store for rule 3's dominant-path comparison (Eq. 9): for
 /// each collapsed-operator count, the t(c) multiset (sorted descending) of
-/// the cheapest dominant path seen so far.
+/// the cheapest dominant path seen so far. Single-threaded.
 class DominantPathMemo {
  public:
   /// \brief Record the dominant path of a newly accepted best plan.
@@ -72,11 +91,39 @@ class DominantPathMemo {
   void Clear() { by_count_.clear(); }
 
  private:
-  struct Entry {
-    std::vector<double> sorted_costs;  // descending
-    double total = 0.0;
+  std::map<size_t, DominantPathEntry> by_count_;
+};
+
+/// \brief Thread-safe DominantPathMemo used by the parallel enumerator.
+/// Entries are sharded by collapsed-operator count (mutex striping: one
+/// shared_mutex per shard, so concurrent probes of paths with different
+/// lengths never contend and same-length probes share a read lock).
+/// Dominates() is always strict (see PairwiseDominates): a pruned
+/// configuration provably costs *more* than a memoized total, never the
+/// same, which keeps the parallel search's winner identical to the
+/// sequential one under exact cost ties.
+class ConcurrentDominantPathMemo {
+ public:
+  void Record(std::vector<double> costs, double total);
+
+  /// \brief Strict Eq. 9 dominance over any memoized path with at most as
+  /// many collapsed operators.
+  bool Dominates(std::vector<double> path_costs) const;
+
+  /// \brief Cheap pre-check (relaxed; may briefly lag Record calls).
+  bool empty() const {
+    return num_entries_.load(std::memory_order_acquire) == 0;
+  }
+  void Clear();
+
+ private:
+  static constexpr size_t kNumShards = 8;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<size_t, DominantPathEntry> by_count;
   };
-  std::map<size_t, Entry> by_count_;
+  Shard shards_[kNumShards];
+  std::atomic<size_t> num_entries_{0};
 };
 
 }  // namespace xdbft::ft

@@ -1,12 +1,32 @@
 #!/usr/bin/env bash
-# Local CI: configure + build + test the two configurations that matter —
-#   1. Release (what the benchmarks and paper-reproduction harnesses use)
-#   2. Debug + AddressSanitizer (XDBFT_SANITIZE=address)
-# Usage: tools/ci.sh [JOBS]   (default: nproc)
+# Local CI: configure + build + test the configurations that matter —
+#   release  Release (what the benchmarks and reproduction harnesses use)
+#   asan     Debug + AddressSanitizer  (XDBFT_SANITIZE=address)
+#   tsan     Debug + ThreadSanitizer   (XDBFT_SANITIZE=thread; exercises
+#            the parallel enumerator / task-pool tests for data races)
+#
+# Usage: tools/ci.sh [JOBS] [--config release|asan|tsan] [--quick] [--jobs N]
+#   no --config     run release + asan + tsan in sequence (full matrix)
+#   --quick         run only the tier1-labelled tests (skips bench-smoke)
+#   JOBS / --jobs   parallelism (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+
+JOBS="$(nproc)"
+CONFIG="all"
+CTEST_ARGS=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --config) CONFIG="$2"; shift 2 ;;
+    --quick)  CTEST_ARGS+=(-L tier1); shift ;;
+    --jobs)   JOBS="$2"; shift 2 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    [0-9]*)   JOBS="$1"; shift ;;   # positional JOBS, kept for compat
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
 
 run_config() {
   local dir="$1"; shift
@@ -15,10 +35,21 @@ run_config() {
   echo "=== building ${dir} (-j${JOBS}) ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== testing ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
 }
 
-run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
-run_config build-ci-asan -DCMAKE_BUILD_TYPE=Debug -DXDBFT_SANITIZE=address
+case "${CONFIG}" in
+  release|all)
+    run_config build-ci-release -DCMAKE_BUILD_TYPE=Release ;;&
+  asan|all)
+    run_config build-ci-asan -DCMAKE_BUILD_TYPE=Debug \
+      -DXDBFT_SANITIZE=address ;;&
+  tsan|all)
+    run_config build-ci-tsan -DCMAKE_BUILD_TYPE=Debug \
+      -DXDBFT_SANITIZE=thread ;;&
+  release|asan|tsan|all) ;;
+  *) echo "unknown --config '${CONFIG}' (release|asan|tsan)" >&2; exit 2 ;;
+esac
 
-echo "=== CI passed (Release + ASan) ==="
+echo "=== CI passed (${CONFIG}) ==="

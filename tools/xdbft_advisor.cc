@@ -10,8 +10,11 @@
 //   xdbft_advisor --plan plan.txt [--nodes N] [--mtbf SECONDS]
 //                 [--mttr SECONDS] [--success-target S]
 //                 [--pipe-constant C] [--scale-success-with-cluster]
-//                 [--simulate TRACES] [--emit-q5 SF]
+//                 [--threads N] [--simulate TRACES] [--emit-q5 SF]
 //                 [--metrics-json PATH] [--trace-out PATH]
+//
+// --threads N runs the FT-plan enumeration on N worker threads (default 0
+// = one per hardware thread; the chosen plan is identical at any value).
 //
 // --emit-q5 SF prints the built-in TPC-H Q5 plan at the given scale factor
 // in plan-text format (a quick way to get a realistic input file);
@@ -57,6 +60,7 @@ struct Args {
   double pipe_constant = 1.0;
   bool scale_success = false;
   bool greedy = false;
+  int threads = 0;  // 0 = hardware concurrency
   int simulate_traces = 0;
   double emit_q5_sf = 0.0;
   double storage_mibps = 0.0;  // 0 = TpchPlanConfig default
@@ -70,7 +74,7 @@ void Usage(const char* argv0) {
       "usage: %s --plan FILE [--nodes N] [--mtbf S] [--mttr S]\n"
       "          [--success-target S] [--pipe-constant C]\n"
       "          [--scale-success-with-cluster] [--greedy]\n"
-      "          [--simulate TRACES]\n"
+      "          [--threads N] [--simulate TRACES]\n"
       "          [--metrics-json PATH] [--trace-out PATH]\n"
       "       %s --emit-q5 SF [--storage-mibps MIB]\n",
       argv0, argv0);
@@ -101,6 +105,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->scale_success = true;
     } else if (a == "--greedy") {
       args->greedy = true;
+    } else if (a == "--threads" && next(&v)) {
+      args->threads = static_cast<int>(v);
     } else if (a == "--simulate" && next(&v)) {
       args->simulate_traces = static_cast<int>(v);
     } else if (a == "--emit-q5" && next(&v)) {
@@ -207,7 +213,18 @@ int main(int argc, char** argv) {
   model.pipe_constant = args.pipe_constant;
   model.scale_success_target_with_cluster = args.scale_success;
 
-  api::FaultToleranceAdvisor advisor(stats, model);
+  obs::TraceRecorder trace;
+  obs::TraceRecorder* trace_ptr =
+      args.trace_out.empty() ? nullptr : &trace;
+
+  ft::EnumerationOptions eopts;
+  eopts.num_threads = args.threads;
+  eopts.trace = trace_ptr;  // pid 2: per-worker lanes of the enumeration
+  eopts.trace_pid = 2;
+  if (trace_ptr != nullptr) {
+    trace.SetProcessName(2, "ft-plan enumeration (wall clock)");
+  }
+  api::FaultToleranceAdvisor advisor(stats, model, eopts);
   Result<ft::SchemePlan> chosen = [&]() -> Result<ft::SchemePlan> {
     if (!args.greedy) return advisor.ChooseBestPlan(*plan);
     // Greedy hill climbing for plans too wide to enumerate.
@@ -229,9 +246,6 @@ int main(int argc, char** argv) {
   }
   std::cout << advisor.Explain(*chosen);
 
-  obs::TraceRecorder trace;
-  obs::TraceRecorder* trace_ptr =
-      args.trace_out.empty() ? nullptr : &trace;
   const bool observability = !args.metrics_json.empty() || trace_ptr;
 
   if (observability) {
@@ -314,6 +328,8 @@ int main(int argc, char** argv) {
     report.params["pipe_constant"] = std::to_string(args.pipe_constant);
     report.params["simulate_traces"] = std::to_string(args.simulate_traces);
     report.params["greedy"] = args.greedy ? "true" : "false";
+    report.params["threads"] =
+        std::to_string(ft::FtPlanEnumerator::ResolveThreads(args.threads));
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     const Status s = report.WriteFile(args.metrics_json);
     if (!s.ok()) {

@@ -1,6 +1,8 @@
 #include "engine/ft_executor.h"
 
 #include <chrono>
+#include <thread>
+#include <utility>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -19,25 +21,36 @@ uint64_t ApproxTableBytes(const Table& t) {
          static_cast<uint64_t>(t.schema.num_columns()) * sizeof(exec::Value);
 }
 
-Table Concatenate(const std::vector<std::optional<Table>>& parts) {
+// Completed output of one (stage, slot) task, with the accounting the
+// coordinator needs when a failure later destroys it.
+struct SlotState {
+  std::optional<Table> output;
+  double seconds = 0.0;  // wall time of the attempt that produced `output`
+  size_t rows = 0;
+  uint64_t bytes = 0;
+  int attempts = 0;
+};
+
+Table Concatenate(const std::vector<SlotState>& parts) {
   Table out;
   for (const auto& p : parts) {
-    if (!p.has_value()) continue;
-    if (out.schema.num_columns() == 0) out.schema = p->schema;
-    out.rows.insert(out.rows.end(), p->rows.begin(), p->rows.end());
+    if (!p.output.has_value()) continue;
+    if (out.schema.num_columns() == 0) out.schema = p.output->schema;
+    out.rows.insert(out.rows.end(), p.output->rows.begin(),
+                    p.output->rows.end());
   }
   return out;
 }
 
 // Rows (from every producer partition) whose shuffle-key column hashes to
 // the consumer partition.
-Table ShuffleSlice(const std::vector<std::optional<Table>>& parts, int key,
+Table ShuffleSlice(const std::vector<SlotState>& parts, int key,
                    int partition, int n) {
   Table out;
   for (const auto& part : parts) {
-    if (!part.has_value()) continue;
-    if (out.schema.num_columns() == 0) out.schema = part->schema;
-    for (const auto& row : part->rows) {
+    if (!part.output.has_value()) continue;
+    if (out.schema.num_columns() == 0) out.schema = part.output->schema;
+    for (const auto& row : part.output->rows) {
       if (row[static_cast<size_t>(key)].Hash() % static_cast<size_t>(n) ==
           static_cast<size_t>(partition)) {
         out.rows.push_back(row);
@@ -47,7 +60,25 @@ Table ShuffleSlice(const std::vector<std::optional<Table>>& parts, int key,
   return out;
 }
 
+// One task attempt of the current wave. Built by the coordinator in
+// ascending (stage, slot) order; filled in by the executing thread.
+struct WaveTask {
+  int stage = 0;
+  int slot = 0;
+  int attempt = 0;
+  bool killed = false;
+  Status status;
+  std::optional<Table> table;
+  double seconds = 0.0;
+};
+
 }  // namespace
+
+int FaultTolerantExecutor::ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
 
 Result<FtExecutionResult> FaultTolerantExecutor::Execute(
     const ft::MaterializationConfig& config, StageFailureInjector* injector,
@@ -60,162 +91,269 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
   const int n = db_->num_nodes;
   const int num_stages = plan_->num_stages();
 
-  // outputs[s] has one slot per partition (one slot for global stages).
-  std::vector<std::vector<std::optional<Table>>> outputs(
-      static_cast<size_t>(num_stages));
-  std::vector<std::vector<int>> attempts(static_cast<size_t>(num_stages));
+  TaskPool* pool = external_pool_;
+  std::unique_ptr<TaskPool> local_pool;
+  if (pool == nullptr) {
+    const int threads = ResolveThreads(num_threads_);
+    // One worker is pointless (the coordinator would idle); run inline.
+    local_pool = std::make_unique<TaskPool>(threads <= 1 ? 0 : threads);
+    pool = local_pool.get();
+  }
+
+  // state[s] has one slot per partition (one slot for global stages).
+  std::vector<std::vector<SlotState>> state(static_cast<size_t>(num_stages));
+  auto slots_of = [&](int s) {
+    return plan_->stage(s).global ? size_t{1} : static_cast<size_t>(n);
+  };
   for (int s = 0; s < num_stages; ++s) {
-    const size_t slots = plan_->stage(s).global ? 1 : static_cast<size_t>(n);
-    outputs[static_cast<size_t>(s)].resize(slots);
-    attempts[static_cast<size_t>(s)].assign(slots, 0);
+    state[static_cast<size_t>(s)].resize(slots_of(s));
   }
 
   FtExecutionResult result;
   result.stage_seconds.assign(static_cast<size_t>(num_stages), 0.0);
-  // Trace lanes: tid = partition index, coordinator on its own lane after
-  // the partitions.
-  const int coordinator_tid = n;
+  // Trace lanes: tid = pool worker executing the task; the coordinator
+  // (global stages, inline helping, killed-attempt markers) on the lane
+  // after the workers.
+  const int coordinator_tid = pool->num_threads();
   if (trace_ != nullptr) {
     trace_->SetProcessName(0, "ft_executor: " + plan_->name());
-    for (int k = 0; k < n; ++k) {
-      trace_->SetThreadName(0, k, StrFormat("node %d", k));
-    }
-    trace_->SetThreadName(0, coordinator_tid, "coordinator");
+    obs::NameWorkerLanes(trace_, 0, pool->num_threads());
   }
 
-  // Ensures the output of (stage, slot) exists, recovering lost inputs
-  // recursively. slot is the partition index, or 0 for global stages.
-  std::function<Status(int, int)> ensure = [&](int s, int slot) -> Status {
-    auto& out_slot = outputs[static_cast<size_t>(s)][static_cast<size_t>(
-        slot)];
-    if (out_slot.has_value()) return Status::OK();
-    const Stage& stage = plan_->stage(s);
+  const auto start = std::chrono::steady_clock::now();
+  const int last = num_stages - 1;
 
-    // Make sure all inputs exist (they may have been lost to a failure).
-    // Broadcast and shuffle consumers need every producer partition.
-    for (const StageInput& in : stage.inputs) {
-      const Stage& producer = plan_->stage(in.stage);
-      if (producer.global) {
-        XDBFT_RETURN_NOT_OK(ensure(in.stage, 0));
-      } else if (stage.global || in.mode != EdgeMode::kSamePartition) {
-        for (int q = 0; q < n; ++q) XDBFT_RETURN_NOT_OK(ensure(in.stage, q));
-      } else {
-        XDBFT_RETURN_NOT_OK(ensure(in.stage, slot));
-      }
-    }
-
-    const int attempt =
-        attempts[static_cast<size_t>(s)][static_cast<size_t>(slot)]++;
-    if (attempt >= max_attempts) {
-      return Status::Aborted(StrFormat(
-          "stage %d partition %d exceeded %d attempts", s, slot,
-          max_attempts));
-    }
-    const int injector_partition = stage.global ? -1 : slot;
-    const int tid = stage.global ? coordinator_tid : slot;
-    // Every attempt consumes work, including attempts killed mid-flight.
-    ++result.task_executions;
-    XDBFT_COUNTER_INC("executor.task_attempts");
-    if (injector != nullptr &&
-        injector->InjectFailure(s, injector_partition, attempt)) {
-      ++result.failures_injected;
-      XDBFT_COUNTER_INC("executor.failures_injected");
-      if (trace_ != nullptr) {
-        trace_->AddInstant(
-            "failure", "failure", trace_->NowMicros(), 0, tid,
-            {obs::IntArg("stage", s),
-             obs::IntArg("partition", injector_partition),
-             obs::IntArg("attempt", attempt)});
-      }
-      if (!stage.global) {
-        // Node `slot` dies: every non-materialized output it holds is
-        // lost; materialized outputs live on fault-tolerant storage and
-        // survive (§2.2).
-        for (int s2 = 0; s2 < num_stages; ++s2) {
-          if (plan_->stage(s2).global) continue;
-          if (config.materialized(static_cast<plan::OpId>(s2))) continue;
-          outputs[static_cast<size_t>(s2)][static_cast<size_t>(slot)]
-              .reset();
-        }
-      }
-      // The coordinator detects the failure and re-drives this task; the
-      // recursive call recomputes whatever the node lost.
-      return ensure(s, slot);
-    }
-
-    // Resolve input tables per edge mode.
+  // Runs one attempt: resolves inputs per edge mode from the current
+  // state (read-only during a wave), executes the stage, records the
+  // span on the executing worker's lane. Accounting is applied later by
+  // the coordinator, in deterministic order, at the wave barrier.
+  auto run_attempt = [&](WaveTask& t) {
+    const Stage& stage = plan_->stage(t.stage);
     std::vector<Table> edge_storage;
     std::vector<const Table*> input_ptrs;
     edge_storage.reserve(stage.inputs.size());
     for (const StageInput& in : stage.inputs) {
+      const auto& producer_state = state[static_cast<size_t>(in.stage)];
       const Stage& producer = plan_->stage(in.stage);
       if (producer.global) {
-        input_ptrs.push_back(&*outputs[static_cast<size_t>(in.stage)][0]);
+        input_ptrs.push_back(&*producer_state[0].output);
       } else if (stage.global || in.mode == EdgeMode::kBroadcast) {
-        edge_storage.push_back(
-            Concatenate(outputs[static_cast<size_t>(in.stage)]));
+        edge_storage.push_back(Concatenate(producer_state));
         input_ptrs.push_back(&edge_storage.back());
       } else if (in.mode == EdgeMode::kShuffle) {
-        edge_storage.push_back(ShuffleSlice(
-            outputs[static_cast<size_t>(in.stage)], in.shuffle_key, slot,
-            n));
+        edge_storage.push_back(
+            ShuffleSlice(producer_state, in.shuffle_key, t.slot, n));
         input_ptrs.push_back(&edge_storage.back());
       } else {
-        input_ptrs.push_back(&*outputs[static_cast<size_t>(in.stage)]
-                                  [static_cast<size_t>(slot)]);
+        input_ptrs.push_back(
+            &*producer_state[static_cast<size_t>(t.slot)].output);
       }
     }
 
-    const double span_start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
+    const double span_start_us =
+        trace_ != nullptr ? trace_->NowMicros() : 0.0;
     const auto task_start = std::chrono::steady_clock::now();
-    XDBFT_ASSIGN_OR_RETURN(Table out,
-                           stage.run(injector_partition == -1 ? -1 : slot,
-                                     input_ptrs));
-    const double task_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      task_start)
-            .count();
-    result.stage_seconds[static_cast<size_t>(s)] += task_seconds;
-    XDBFT_HISTOGRAM_OBSERVE("executor.task_seconds", task_seconds);
-
-    // Materialized-vs-recomputed accounting: an attempt beyond a task's
-    // first is recovery work a failure-free run would not have done.
-    const bool is_recovery = attempt > 0;
-    const size_t rows = out.num_rows();
-    const uint64_t bytes = ApproxTableBytes(out);
-    if (stage.global || config.materialized(static_cast<plan::OpId>(s))) {
-      result.rows_materialized += rows;
-      result.bytes_materialized += bytes;
-      XDBFT_COUNTER_ADD("executor.rows_materialized", rows);
-      XDBFT_COUNTER_ADD("executor.bytes_materialized", bytes);
-    }
-    if (is_recovery) {
-      result.rows_recomputed += rows;
-      result.bytes_recomputed += bytes;
-      XDBFT_COUNTER_ADD("executor.rows_recomputed", rows);
-      XDBFT_COUNTER_ADD("executor.bytes_recomputed", bytes);
+    Result<Table> out =
+        stage.run(stage.global ? -1 : t.slot, input_ptrs);
+    t.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - task_start)
+                    .count();
+    if (!out.ok()) {
+      t.status = out.status();
+      return;
     }
     if (trace_ != nullptr) {
+      const int worker = pool->CurrentWorkerId();
       trace_->AddComplete(
-          stage.label, is_recovery ? "recovery" : "task", span_start_us,
-          trace_->NowMicros() - span_start_us, 0, tid,
-          {obs::IntArg("stage", s),
-           obs::IntArg("partition", injector_partition),
-           obs::IntArg("attempt", attempt),
-           obs::IntArg("rows", static_cast<int64_t>(rows))});
+          stage.label, t.attempt > 0 ? "recovery" : "task", span_start_us,
+          trace_->NowMicros() - span_start_us, 0,
+          worker >= 0 ? worker : coordinator_tid,
+          {obs::IntArg("stage", t.stage),
+           obs::IntArg("partition", stage.global ? -1 : t.slot),
+           obs::IntArg("attempt", t.attempt),
+           obs::IntArg("rows", static_cast<int64_t>(out->num_rows()))});
     }
-    out_slot = std::move(out);
-    return Status::OK();
+    t.table = std::move(*out);
   };
 
-  const auto start = std::chrono::steady_clock::now();
-  const int last = num_stages - 1;
+  // Wave loop. Each iteration: (1) demand closure of missing outputs from
+  // the final stage, (2) the ready frontier (missing output, all inputs
+  // present) in ascending (stage, slot) order, (3) coordinator-side
+  // injection decisions, (4) parallel execution of surviving partition
+  // tasks + coordinator execution of global tasks, (5) deterministic
+  // completion accounting, then (6) failure invalidation at the barrier.
+  // Iterative by construction: recovery depth never touches the C++
+  // stack, however adversarial the injector.
+  while (true) {
+    // (1) Demand closure: a task is required iff its output is missing
+    // and it is the final stage or feeds a required task.
+    std::vector<std::vector<char>> required(
+        static_cast<size_t>(num_stages));
+    for (int s = 0; s < num_stages; ++s) {
+      required[static_cast<size_t>(s)].assign(slots_of(s), 0);
+    }
+    std::vector<std::pair<int, int>> frontier;
+    auto demand = [&](int s, int slot) {
+      if (state[static_cast<size_t>(s)][static_cast<size_t>(slot)]
+              .output.has_value()) {
+        return;
+      }
+      char& mark =
+          required[static_cast<size_t>(s)][static_cast<size_t>(slot)];
+      if (mark) return;
+      mark = 1;
+      frontier.emplace_back(s, slot);
+    };
+    for (size_t slot = 0; slot < slots_of(last); ++slot) {
+      demand(last, static_cast<int>(slot));
+    }
+    size_t scan = 0;
+    while (scan < frontier.size()) {
+      const auto [s, slot] = frontier[scan++];
+      for (const auto& [ps, pslot] : plan_->TaskInputs(s, slot, n)) {
+        demand(ps, pslot);
+      }
+    }
+    if (frontier.empty()) break;  // every final output present
+
+    // (2) Ready frontier in ascending (stage, slot) order.
+    std::vector<WaveTask> wave;
+    for (int s = 0; s < num_stages; ++s) {
+      for (size_t slot = 0; slot < slots_of(s); ++slot) {
+        if (!required[static_cast<size_t>(s)][slot]) continue;
+        bool runnable = true;
+        for (const auto& [ps, pslot] :
+             plan_->TaskInputs(s, static_cast<int>(slot), n)) {
+          if (!state[static_cast<size_t>(ps)][static_cast<size_t>(pslot)]
+                   .output.has_value()) {
+            runnable = false;
+            break;
+          }
+        }
+        if (!runnable) continue;
+        WaveTask t;
+        t.stage = s;
+        t.slot = static_cast<int>(slot);
+        wave.push_back(t);
+      }
+    }
+    // A DAG always has a minimal missing element with all inputs present.
+    if (wave.empty()) {
+      return Status::Internal("executor wave deadlock: no runnable task");
+    }
+
+    // (3) Attempt charging + injection, coordinator-side, in order.
+    for (WaveTask& t : wave) {
+      SlotState& slot_state =
+          state[static_cast<size_t>(t.stage)][static_cast<size_t>(t.slot)];
+      if (slot_state.attempts >= max_attempts) {
+        return Status::Aborted(StrFormat(
+            "stage %d partition %d exceeded %d attempts", t.stage, t.slot,
+            max_attempts));
+      }
+      t.attempt = slot_state.attempts++;
+      const Stage& stage = plan_->stage(t.stage);
+      const int injector_partition = stage.global ? -1 : t.slot;
+      // A killed attempt is charged as a dispatch but does no work: the
+      // failure strikes before the operator starts (see the accounting
+      // contract in ft_executor.h). The work failures waste is what
+      // invalidation destroys, charged to *_lost in step (6).
+      ++result.task_executions;
+      XDBFT_COUNTER_INC("executor.task_attempts");
+      if (injector != nullptr &&
+          injector->InjectFailure(t.stage, injector_partition, t.attempt)) {
+        t.killed = true;
+        ++result.failures_injected;
+        XDBFT_COUNTER_INC("executor.failures_injected");
+      }
+    }
+
+    // (4) Execute survivors: partition tasks fan out onto the pool (the
+    // coordinator helps drain while it waits); global tasks then run on
+    // the coordinator lane.
+    std::vector<size_t> parallel_idx;
+    std::vector<size_t> global_idx;
+    for (size_t i = 0; i < wave.size(); ++i) {
+      if (wave[i].killed) continue;
+      (plan_->stage(wave[i].stage).global ? global_idx : parallel_idx)
+          .push_back(i);
+    }
+    pool->ParallelForEach(parallel_idx.size(), [&](size_t k) {
+      run_attempt(wave[parallel_idx[k]]);
+    });
+    for (size_t i : global_idx) run_attempt(wave[i]);
+
+    // (5) Completion accounting in ascending (stage, slot) order, so
+    // float accumulation and counters are reproducible.
+    for (WaveTask& t : wave) {
+      if (t.killed) continue;
+      XDBFT_RETURN_NOT_OK(t.status);
+      const Stage& stage = plan_->stage(t.stage);
+      result.stage_seconds[static_cast<size_t>(t.stage)] += t.seconds;
+      XDBFT_HISTOGRAM_OBSERVE("executor.task_seconds", t.seconds);
+      const size_t rows = t.table->num_rows();
+      const uint64_t bytes = ApproxTableBytes(*t.table);
+      // An attempt beyond a task's first is recovery work a failure-free
+      // run would not have done.
+      if (stage.global ||
+          config.materialized(static_cast<plan::OpId>(t.stage))) {
+        result.rows_materialized += rows;
+        result.bytes_materialized += bytes;
+        XDBFT_COUNTER_ADD("executor.rows_materialized", rows);
+        XDBFT_COUNTER_ADD("executor.bytes_materialized", bytes);
+      }
+      if (t.attempt > 0) {
+        result.rows_recomputed += rows;
+        result.bytes_recomputed += bytes;
+        XDBFT_COUNTER_ADD("executor.rows_recomputed", rows);
+        XDBFT_COUNTER_ADD("executor.bytes_recomputed", bytes);
+      }
+      SlotState& slot_state =
+          state[static_cast<size_t>(t.stage)][static_cast<size_t>(t.slot)];
+      slot_state.output = std::move(t.table);
+      slot_state.seconds = t.seconds;
+      slot_state.rows = rows;
+      slot_state.bytes = bytes;
+    }
+
+    // (6) Failures take effect at the wave barrier: node `slot` died, so
+    // every non-materialized output it holds — including any produced in
+    // this wave — is lost; materialized outputs live on fault-tolerant
+    // storage and survive (§2.2). Global (coordinator) failures lose
+    // nothing. Processed in (stage, slot) order for determinism; the
+    // demand closure of the next wave re-schedules whatever is still
+    // needed.
+    for (const WaveTask& t : wave) {
+      if (!t.killed) continue;
+      const Stage& stage = plan_->stage(t.stage);
+      if (trace_ != nullptr) {
+        trace_->AddInstant(
+            "failure", "failure", trace_->NowMicros(), 0, coordinator_tid,
+            {obs::IntArg("stage", t.stage),
+             obs::IntArg("partition", stage.global ? -1 : t.slot),
+             obs::IntArg("attempt", t.attempt)});
+      }
+      if (stage.global) continue;
+      for (int s2 = 0; s2 < num_stages; ++s2) {
+        if (plan_->stage(s2).global) continue;
+        if (config.materialized(static_cast<plan::OpId>(s2))) continue;
+        SlotState& lost =
+            state[static_cast<size_t>(s2)][static_cast<size_t>(t.slot)];
+        if (!lost.output.has_value()) continue;
+        result.rows_lost += lost.rows;
+        result.bytes_lost += lost.bytes;
+        result.seconds_lost += lost.seconds;
+        XDBFT_COUNTER_ADD("executor.rows_lost", lost.rows);
+        XDBFT_COUNTER_ADD("executor.bytes_lost", lost.bytes);
+        lost.output.reset();
+      }
+    }
+  }
+
   if (plan_->stage(last).global) {
-    XDBFT_RETURN_NOT_OK(ensure(last, 0));
-    result.result = *outputs[static_cast<size_t>(last)][0];
+    result.result = *state[static_cast<size_t>(last)][0].output;
   } else {
-    for (int p = 0; p < n; ++p) XDBFT_RETURN_NOT_OK(ensure(last, p));
-    result.result = Concatenate(outputs[static_cast<size_t>(last)]);
+    result.result = Concatenate(state[static_cast<size_t>(last)]);
   }
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();

@@ -9,16 +9,34 @@
 //    stages write to fault-tolerant storage: their outputs survive any
 //    failure (the §2.2 assumption). Outputs of non-materialized stages
 //    live in the producing node's memory.
-//  - An injected failure of node p while it executes a task destroys the
-//    in-flight work AND every non-materialized output that node holds; the
-//    coordinator then recovers by recomputing p's lost chain from the last
-//    materialized ancestors — exactly the fine-grained scheme.
+//  - An injected failure of node p destroys every non-materialized output
+//    that node holds; the coordinator then recovers by recomputing p's
+//    lost chain from the last materialized ancestors — exactly the
+//    fine-grained scheme.
 //  - Global stages run on the coordinator and are treated as materialized.
+//
+// Execution model (see DESIGN.md "Execution concurrency"): an iterative,
+// dependency-driven scheduler runs in *waves*. Each wave the coordinator
+// computes the demand closure of missing outputs from the final stage,
+// dispatches every runnable partition task onto a work-stealing TaskPool
+// (global stages run on the coordinator itself), and applies failures at
+// the wave barrier. All injector calls happen on the coordinator in
+// ascending (stage, partition) order, so the injected failure schedule,
+// every attempt count, and the final table are bit-identical at any
+// thread count; only wall-clock timings vary.
+//
+// Failure accounting contract: an injected failure strikes *at dispatch*,
+// before the attempt's operator starts — a killed attempt therefore
+// consumes an attempt slot (task_executions) but contributes zero
+// stage_seconds and produces no rows. The real work a failure wastes is
+// the completed outputs it destroys (§3.5); that is measured exactly and
+// charged to rows_lost / bytes_lost / seconds_lost when the failed node's
+// non-materialized outputs are invalidated.
 //
 // The injected failures are logical (no real machines die); what is real
 // is the recovery path: recomputation re-runs the actual operators over
 // the actual data, and tests assert the final result is identical to a
-// failure-free run under every configuration.
+// failure-free run under every configuration and thread count.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +45,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/task_pool.h"
 #include "engine/query_runner.h"
 #include "engine/stage_plan.h"
 #include "ft/mat_config.h"
@@ -34,8 +53,11 @@
 
 namespace xdbft::engine {
 
-/// \brief Decides which task attempts fail. Implementations must be
-/// thread-compatible (the executor calls it from one thread at a time).
+/// \brief Decides which task attempts fail. The executor makes every call
+/// from the coordinator thread in a deterministic order (ascending
+/// (stage, partition) per scheduling wave), so implementations may keep
+/// unsynchronized internal state (e.g. an RNG) and still produce the same
+/// failure schedule at any executor thread count.
 class StageFailureInjector {
  public:
   virtual ~StageFailureInjector() = default;
@@ -83,15 +105,17 @@ class RandomInjector final : public StageFailureInjector {
 
 /// \brief Outcome of a fault-tolerant execution.
 struct FtExecutionResult {
-  /// Output of the plan's last stage.
+  /// Output of the plan's last stage (partitions concatenated in stable
+  /// partition order — bit-identical at any thread count).
   exec::Table result;
-  /// Failures injected (task attempts killed).
+  /// Failures injected (task attempts killed at dispatch).
   int failures_injected = 0;
   /// Task attempts beyond the failure-free minimum: killed attempts plus
   /// recomputations of lost outputs (the recovery work).
   int recovery_executions = 0;
-  /// Total task attempts (killed attempts included — their in-flight work
-  /// was consumed).
+  /// Total task attempts. Killed attempts are included (each consumed a
+  /// dispatch) but, per the accounting contract above, they add no stage
+  /// seconds — the failure struck before the operator ran.
   int task_executions = 0;
   /// Wall-clock seconds of the whole execution.
   double wall_seconds = 0.0;
@@ -104,12 +128,23 @@ struct FtExecutionResult {
   /// first of a task — work that a failure-free run would not have done).
   size_t rows_recomputed = 0;
   uint64_t bytes_recomputed = 0;
-  /// Wall-clock seconds spent in each stage's tasks (indexed by stage;
-  /// killed attempts contribute their aborted time).
+  /// Completed work destroyed by failures (the paper's §3.5 wasted work):
+  /// rows/bytes of non-materialized outputs a dying node held, and the
+  /// task seconds originally spent producing them. Deterministic for a
+  /// fixed injector schedule; disjoint from the killed attempts, which
+  /// never produced anything.
+  size_t rows_lost = 0;
+  uint64_t bytes_lost = 0;
+  double seconds_lost = 0.0;
+  /// Wall-clock seconds spent in each stage's successful task attempts
+  /// (indexed by stage). Killed attempts contribute nothing here; work
+  /// later destroyed by a failure stays charged (it really ran) and is
+  /// additionally reported in seconds_lost.
   std::vector<double> stage_seconds;
 };
 
-/// \brief Executes stage plans with failures and recovery.
+/// \brief Executes stage plans with failures and recovery, partition tasks
+/// running concurrently on a work-stealing TaskPool.
 class FaultTolerantExecutor {
  public:
   FaultTolerantExecutor(const StagePlan* plan,
@@ -117,9 +152,24 @@ class FaultTolerantExecutor {
       : plan_(plan), db_(db) {}
 
   /// \brief Record per-attempt spans and failure markers into `trace`
-  /// (wall-clock timeline; lane = partition, coordinator last). Null
-  /// disables tracing. The recorder must outlive Execute calls.
+  /// (wall-clock timeline; lane = executing pool worker, coordinator
+  /// last). Null disables tracing. The recorder must outlive Execute.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// \brief Worker threads for partition tasks (0 = one per hardware
+  /// thread, 1 = everything on the calling thread). The query result and
+  /// all deterministic counters are identical at any value. Ignored when
+  /// an external pool is set.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+
+  /// \brief Run partition tasks on an externally owned pool (shared with
+  /// other executors/the enumerator) instead of a per-Execute pool. The
+  /// pool must outlive Execute calls; null reverts to set_num_threads.
+  void set_task_pool(TaskPool* pool) { external_pool_ = pool; }
+
+  /// \brief `num_threads` resolved as for set_num_threads (0 -> hardware
+  /// concurrency, never less than 1).
+  static int ResolveThreads(int num_threads);
 
   /// \brief Execute under `config` (indexed by stage, as produced from
   /// StagePlan::ToPlanSkeleton()). `injector` may be null (no failures).
@@ -132,6 +182,8 @@ class FaultTolerantExecutor {
   const StagePlan* plan_;
   const PartitionedDatabase* db_;
   obs::TraceRecorder* trace_ = nullptr;
+  TaskPool* external_pool_ = nullptr;
+  int num_threads_ = 1;
 };
 
 }  // namespace xdbft::engine

@@ -1,9 +1,11 @@
 #include "engine/query_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <thread>
 
+#include "common/task_pool.h"
 #include "datagen/tpch_gen.h"
 
 namespace xdbft::engine {
@@ -24,8 +26,10 @@ using exec::Value;
 
 namespace {
 
-// Runs `work(p)` for every partition concurrently; each callback fills
-// outputs[p]. Returns the slowest partition's wall time.
+// Runs `work(p)` for every partition concurrently on a work-stealing
+// TaskPool bounded by the hardware (no thread-per-partition blowup when
+// partitions outnumber cores); each callback fills outputs[p]. Returns
+// the slowest partition's wall time.
 Result<double> RunPartitionsParallel(
     int num_partitions,
     const std::function<Result<Table>(int)>& work,
@@ -33,23 +37,25 @@ Result<double> RunPartitionsParallel(
   outputs->assign(static_cast<size_t>(num_partitions), Table{});
   std::vector<Status> statuses(static_cast<size_t>(num_partitions));
   std::vector<double> times(static_cast<size_t>(num_partitions), 0.0);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_partitions));
-  for (int p = 0; p < num_partitions; ++p) {
-    threads.emplace_back([&, p]() {
-      const auto start = std::chrono::steady_clock::now();
-      Result<Table> r = work(p);
-      const auto end = std::chrono::steady_clock::now();
-      times[static_cast<size_t>(p)] =
-          std::chrono::duration<double>(end - start).count();
-      if (r.ok()) {
-        (*outputs)[static_cast<size_t>(p)] = std::move(*r);
-      } else {
-        statuses[static_cast<size_t>(p)] = r.status();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int workers =
+      std::min(num_partitions, hc == 0 ? 1 : static_cast<int>(hc));
+  // The calling thread helps drain the queue, so one pool worker fewer.
+  TaskPool pool(workers > 1 ? workers - 1 : 0);
+  pool.ParallelForEach(
+      static_cast<size_t>(num_partitions), [&](size_t i) {
+        const int p = static_cast<int>(i);
+        const auto start = std::chrono::steady_clock::now();
+        Result<Table> r = work(p);
+        const auto end = std::chrono::steady_clock::now();
+        times[static_cast<size_t>(p)] =
+            std::chrono::duration<double>(end - start).count();
+        if (r.ok()) {
+          (*outputs)[static_cast<size_t>(p)] = std::move(*r);
+        } else {
+          statuses[static_cast<size_t>(p)] = r.status();
+        }
+      });
   double slowest = 0.0;
   for (int p = 0; p < num_partitions; ++p) {
     XDBFT_RETURN_NOT_OK(statuses[static_cast<size_t>(p)]);

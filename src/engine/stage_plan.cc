@@ -45,6 +45,23 @@ Status StagePlan::Validate() const {
   return Status::OK();
 }
 
+std::vector<std::pair<int, int>> StagePlan::TaskInputs(
+    int stage, int slot, int num_partitions) const {
+  std::vector<std::pair<int, int>> deps;
+  const Stage& s = stages_[static_cast<size_t>(stage)];
+  for (const StageInput& in : s.inputs) {
+    const Stage& producer = stages_[static_cast<size_t>(in.stage)];
+    if (producer.global) {
+      deps.emplace_back(in.stage, 0);
+    } else if (s.global || in.mode != EdgeMode::kSamePartition) {
+      for (int q = 0; q < num_partitions; ++q) deps.emplace_back(in.stage, q);
+    } else {
+      deps.emplace_back(in.stage, slot);
+    }
+  }
+  return deps;
+}
+
 plan::Plan StagePlan::ToPlanSkeleton() const {
   plan::Plan p(name_);
   for (const auto& s : stages_) {

@@ -79,6 +79,15 @@ class StagePlan {
   /// set, at least one stage).
   Status Validate() const;
 
+  /// \brief The producer tasks whose outputs task (stage, slot) reads,
+  /// given `num_partitions` partitions, as (producer stage, producer slot)
+  /// pairs: global producers contribute slot 0, broadcast/shuffle edges
+  /// (and any edge into a global consumer) every partition, and
+  /// same-partition edges the consumer's own slot. This is the dependency
+  /// relation the FaultTolerantExecutor schedules (and recovers) by.
+  std::vector<std::pair<int, int>> TaskInputs(int stage, int slot,
+                                              int num_partitions) const;
+
   /// \brief A cost-less plan::Plan mirror of the stage structure, used to
   /// build MaterializationConfigs for execution (stage index == operator
   /// id). Global stages are bound kAlwaysMaterialize: they run on the

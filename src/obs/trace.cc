@@ -133,4 +133,13 @@ Status TraceRecorder::WriteFile(const std::string& path) const {
   return Status::OK();
 }
 
+void NameWorkerLanes(TraceRecorder* trace, int pid, int num_workers,
+                     const std::string& coordinator_name) {
+  if (trace == nullptr) return;
+  for (int k = 0; k < num_workers; ++k) {
+    trace->SetThreadName(pid, k, "worker " + std::to_string(k));
+  }
+  trace->SetThreadName(pid, num_workers, coordinator_name);
+}
+
 }  // namespace xdbft::obs

@@ -81,6 +81,14 @@ class TraceRecorder {
   std::chrono::steady_clock::time_point epoch_;
 };
 
+/// \brief Labels the per-worker lanes of a task-pool client: tid k in
+/// [0, num_workers) becomes "worker k" and tid num_workers becomes
+/// `coordinator_name` (the submitting/orchestrating thread — the
+/// convention the parallel executor and enumerator share). A null
+/// recorder disables it.
+void NameWorkerLanes(TraceRecorder* trace, int pid, int num_workers,
+                     const std::string& coordinator_name = "coordinator");
+
 /// \brief RAII wall-clock span: records a complete event over the scope's
 /// lifetime. A null recorder disables it.
 class ScopedTraceSpan {

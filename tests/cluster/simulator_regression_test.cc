@@ -1,0 +1,183 @@
+// Regression tests for two simulator accounting bugs:
+//  1. RunMany over a trace set where *every* run aborted reported
+//     runtime 0.0 — an impossible workload looked like an instant
+//     success. It now reports the time the aborted runs burned.
+//  2. RunFullRestart ignored options_.monitoring_interval: fine-grained
+//     recovery paid the failure-detection delay (RunPartition ceils the
+//     failure time to the next monitoring tick before MTTR) while the
+//     full-restart baseline restarted instantly, biasing every
+//     fine-vs-full comparison against fine-grained recovery.
+#include "cluster/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ft/scheme.h"
+
+namespace xdbft::cluster {
+namespace {
+
+using ft::MaterializationConfig;
+using ft::RecoveryMode;
+using plan::OpId;
+using plan::OpType;
+using plan::Plan;
+using plan::PlanBuilder;
+
+Plan ChainPlan(double op_seconds = 10.0, double mat_seconds = 1.0,
+               int length = 4) {
+  PlanBuilder b("chain");
+  OpId prev = b.Scan("R", 1e6, 64, op_seconds);
+  b.plan().mutable_node(prev).materialize_cost = mat_seconds;
+  for (int i = 1; i < length; ++i) {
+    prev = b.Unary(OpType::kFilter, "op" + std::to_string(i), prev,
+                   op_seconds, mat_seconds);
+  }
+  return std::move(b).Build();
+}
+
+TEST(SimulatorRegressionTest, AbortedRunReportsTimeSpent) {
+  // A 4001s query on a cluster failing every ~60s never finishes; the
+  // aborted result must carry the burned time, not pretend to be free.
+  Plan p = ChainPlan(1000.0, 1.0, 4);
+  cost::ClusterStats stats = cost::MakeCluster(10, 600.0, 1.0);
+  SimulationOptions opts;
+  opts.max_restarts = 5;
+  ClusterSimulator sim(stats, opts);
+  ClusterTrace trace = ClusterTrace::Generate(stats, 3);
+  auto r = sim.Run(p, MaterializationConfig::NoMat(p),
+                   RecoveryMode::kFullRestart, trace);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->completed);
+  EXPECT_EQ(r->restarts, 5);
+  EXPECT_EQ(r->aborted, 1);
+  EXPECT_GT(r->runtime, 0.0);
+  EXPECT_DOUBLE_EQ(r->aborted_seconds, r->runtime);
+  EXPECT_NE(r->ToString().find("aborted=1"), std::string::npos);
+}
+
+TEST(SimulatorRegressionTest, AllAbortedRunManyReportsNonZeroRuntime) {
+  Plan p = ChainPlan(1000.0, 1.0, 4);
+  cost::ClusterStats stats = cost::MakeCluster(10, 600.0, 1.0);
+  SimulationOptions opts;
+  opts.max_restarts = 5;
+  ClusterSimulator sim(stats, opts);
+  ft::SchemePlan sp;
+  sp.plan = p;
+  sp.config = MaterializationConfig::NoMat(p);
+  sp.recovery = RecoveryMode::kFullRestart;
+  auto traces = GenerateTraceSet(stats, 8, 17);
+  auto r = sim.RunMany(sp, traces);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_FALSE(r->completed);  // the scenario: every trace aborts
+  EXPECT_EQ(r->aborted, 8);
+  // The old behavior averaged zero completed runtimes to 0.0.
+  EXPECT_GT(r->runtime, 0.0);
+  EXPECT_GT(r->runtime_p50, 0.0);
+  EXPECT_GT(r->runtime_p95, 0.0);
+  EXPECT_LE(r->runtime_p50, r->runtime_p95);
+  // Mean over aborted runs is consistent with the summed time-spent.
+  EXPECT_NEAR(r->runtime, r->aborted_seconds / 8.0,
+              1e-9 * r->aborted_seconds);
+}
+
+TEST(SimulatorRegressionTest, MixedAbortsStillAverageCompletedRuns) {
+  // With some traces completing, runtime keeps its meaning (mean over the
+  // completed runs) and the aborted ones are surfaced separately.
+  Plan p = ChainPlan(100.0, 1.0, 4);  // 401s query
+  cost::ClusterStats stats = cost::MakeCluster(4, 900.0, 1.0);
+  SimulationOptions opts;
+  opts.max_restarts = 3;
+  ClusterSimulator sim(stats, opts);
+  ft::SchemePlan sp;
+  sp.plan = p;
+  sp.config = MaterializationConfig::NoMat(p);
+  sp.recovery = RecoveryMode::kFullRestart;
+  auto traces = GenerateTraceSet(stats, 30, 11);
+  auto r = sim.RunMany(sp, traces);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->aborted, 0);           // some abort...
+  ASSERT_LT(r->aborted, 30);          // ...but not all
+  EXPECT_FALSE(r->completed);
+  EXPECT_GE(r->runtime, 401.0);       // mean of completed runs only
+  EXPECT_GT(r->aborted_seconds, 0.0);
+}
+
+// Reference replay of full-restart semantics: a failure at time f is
+// detected at the next monitoring tick (ceil to the interval), then MTTR
+// passes before the query restarts from scratch.
+double ReplayFullRestart(ClusterTrace& trace, double makespan,
+                         double interval, double mttr) {
+  double start = 0.0;
+  while (true) {
+    const double fail = trace.NextFailureAfter(start);
+    if (fail >= start + makespan) return start + makespan;
+    double detected = fail;
+    if (interval > 0.0) {
+      detected = std::ceil(fail / interval) * interval;
+    }
+    start = detected + mttr;
+  }
+}
+
+TEST(SimulatorRegressionTest, FullRestartPaysDetectionDelay) {
+  // The simulated runtime must match the tick-quantized replay exactly;
+  // before the fix it matched the interval=0 replay instead (full restart
+  // redeployed instantly while fine-grained recovery waited for the
+  // coordinator's next poll). Note runtimes are not monotone in the
+  // interval: a delayed restart lands on a different stretch of the
+  // failure trace and may dodge a failure entirely.
+  Plan p = ChainPlan(10.0, 1.0, 2);  // 21s no-mat query
+  cost::ClusterStats stats = cost::MakeCluster(1, 15.0, 1.0);
+  SimulationOptions monitored;
+  monitored.monitoring_interval = 7.0;
+  ClusterSimulator sim(stats, monitored);
+  int delayed_runs = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    ClusterTrace t_sim = ClusterTrace::Generate(stats, seed);
+    ClusterTrace t_monitored = ClusterTrace::Generate(stats, seed);
+    ClusterTrace t_immediate = ClusterTrace::Generate(stats, seed);
+    auto r = sim.Run(p, MaterializationConfig::NoMat(p),
+                     RecoveryMode::kFullRestart, t_sim);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(r->completed);
+    const double expected = ReplayFullRestart(
+        t_monitored, 21.0, monitored.monitoring_interval,
+        stats.mttr_seconds);
+    const double immediate =
+        ReplayFullRestart(t_immediate, 21.0, 0.0, stats.mttr_seconds);
+    EXPECT_DOUBLE_EQ(r->runtime, expected) << "seed=" << seed;
+    if (expected != immediate) ++delayed_runs;
+  }
+  EXPECT_GT(delayed_runs, 0);  // the delay actually changed outcomes
+}
+
+TEST(SimulatorRegressionTest, DetectionDelayParityWithFineGrained) {
+  // On a single-node, single-collapsed-op chain, fine-grained and full
+  // restart recover the identical unit, so their runtimes must agree —
+  // including the detection delay. Before the fix, full restart skipped
+  // the delay and came out cheaper whenever a failure hit.
+  Plan p = ChainPlan(10.0, 1.0, 2);
+  cost::ClusterStats stats = cost::MakeCluster(1, 15.0, 1.0);
+  SimulationOptions opts;
+  opts.monitoring_interval = 2.0;
+  ClusterSimulator sim(stats, opts);
+  int failed_runs = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    ClusterTrace t1 = ClusterTrace::Generate(stats, seed);
+    ClusterTrace t2 = ClusterTrace::Generate(stats, seed);
+    auto fine = sim.Run(p, MaterializationConfig::NoMat(p),
+                        RecoveryMode::kFineGrained, t1);
+    auto full = sim.Run(p, MaterializationConfig::NoMat(p),
+                        RecoveryMode::kFullRestart, t2);
+    ASSERT_TRUE(fine.ok());
+    ASSERT_TRUE(full.ok());
+    EXPECT_DOUBLE_EQ(fine->runtime, full->runtime) << "seed=" << seed;
+    if (fine->restarts > 0) ++failed_runs;
+  }
+  EXPECT_GT(failed_runs, 0);  // the parity claim was actually exercised
+}
+
+}  // namespace
+}  // namespace xdbft::cluster

@@ -10,11 +10,15 @@
 //   xdbft_advisor --plan plan.txt [--nodes N] [--mtbf SECONDS]
 //                 [--mttr SECONDS] [--success-target S]
 //                 [--pipe-constant C] [--scale-success-with-cluster]
-//                 [--threads N] [--simulate TRACES] [--emit-q5 SF]
-//                 [--metrics-json PATH] [--trace-out PATH]
+//                 [--threads N] [--exec-threads N] [--simulate TRACES]
+//                 [--emit-q5 SF] [--metrics-json PATH] [--trace-out PATH]
 //
 // --threads N runs the FT-plan enumeration on N worker threads (default 0
 // = one per hardware thread; the chosen plan is identical at any value).
+//
+// --exec-threads N runs the validation execution's partition tasks on N
+// TaskPool workers (default 0 = one per hardware thread; the query result
+// and failure/recovery counts are identical at any value).
 //
 // --emit-q5 SF prints the built-in TPC-H Q5 plan at the given scale factor
 // in plan-text format (a quick way to get a realistic input file);
@@ -60,7 +64,8 @@ struct Args {
   double pipe_constant = 1.0;
   bool scale_success = false;
   bool greedy = false;
-  int threads = 0;  // 0 = hardware concurrency
+  int threads = 0;       // 0 = hardware concurrency
+  int exec_threads = 0;  // 0 = hardware concurrency
   int simulate_traces = 0;
   double emit_q5_sf = 0.0;
   double storage_mibps = 0.0;  // 0 = TpchPlanConfig default
@@ -74,7 +79,7 @@ void Usage(const char* argv0) {
       "usage: %s --plan FILE [--nodes N] [--mtbf S] [--mttr S]\n"
       "          [--success-target S] [--pipe-constant C]\n"
       "          [--scale-success-with-cluster] [--greedy]\n"
-      "          [--threads N] [--simulate TRACES]\n"
+      "          [--threads N] [--exec-threads N] [--simulate TRACES]\n"
       "          [--metrics-json PATH] [--trace-out PATH]\n"
       "       %s --emit-q5 SF [--storage-mibps MIB]\n",
       argv0, argv0);
@@ -107,6 +112,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->greedy = true;
     } else if (a == "--threads" && next(&v)) {
       args->threads = static_cast<int>(v);
+    } else if (a == "--exec-threads" && next(&v)) {
+      args->exec_threads = static_cast<int>(v);
     } else if (a == "--simulate" && next(&v)) {
       args->simulate_traces = static_cast<int>(v);
     } else if (a == "--emit-q5" && next(&v)) {
@@ -132,7 +139,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 // recovery work and yields an observed row for the accuracy report.
 // Wall-clock spans go into `trace` when non-null.
 Result<ft::ObservedExecution> RunValidationExecution(
-    obs::TraceRecorder* trace) {
+    obs::TraceRecorder* trace, int exec_threads) {
   datagen::TpchGenOptions opts;
   opts.scale_factor = 0.002;
   opts.seed = 7;
@@ -152,6 +159,7 @@ Result<ft::ObservedExecution> RunValidationExecution(
   engine::ScriptedInjector injector(std::move(victims));
   engine::FaultTolerantExecutor executor(&q5, &pd);
   executor.set_trace(trace);
+  executor.set_num_threads(exec_threads);
   XDBFT_ASSIGN_OR_RETURN(engine::FtExecutionResult r,
                          executor.Execute(config, &injector));
   ft::ObservedExecution observed;
@@ -251,7 +259,7 @@ int main(int argc, char** argv) {
   if (observability) {
     auto report = ft::BuildAccuracyReport(*plan, chosen->config,
                                           advisor.context());
-    auto observed = RunValidationExecution(trace_ptr);
+    auto observed = RunValidationExecution(trace_ptr, args.exec_threads);
     if (report.ok()) {
       if (observed.ok()) report->observed.push_back(*observed);
       std::printf("\n%s", report->ToString().c_str());
@@ -330,6 +338,8 @@ int main(int argc, char** argv) {
     report.params["greedy"] = args.greedy ? "true" : "false";
     report.params["threads"] =
         std::to_string(ft::FtPlanEnumerator::ResolveThreads(args.threads));
+    report.params["exec_threads"] = std::to_string(
+        engine::FaultTolerantExecutor::ResolveThreads(args.exec_threads));
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     const Status s = report.WriteFile(args.metrics_json);
     if (!s.ok()) {

@@ -4,6 +4,15 @@
 
 namespace xdbft::cluster {
 
+FailureTrace::FailureTrace(double mtbf_seconds, uint64_t seed,
+                           std::vector<double> scheduled)
+    : mtbf_(mtbf_seconds), rng_(seed), scheduled_(std::move(scheduled)) {
+  scheduled_.erase(std::remove_if(scheduled_.begin(), scheduled_.end(),
+                                  [](double t) { return t <= 0.0; }),
+                   scheduled_.end());
+  std::sort(scheduled_.begin(), scheduled_.end());
+}
+
 void FailureTrace::ExtendPast(double t) {
   if (mtbf_ == kNeverFails) return;
   // Generate in chunks comfortably past t so repeated queries are cheap.
@@ -16,18 +25,28 @@ void FailureTrace::ExtendPast(double t) {
 }
 
 double FailureTrace::NextFailureAfter(double t) {
-  if (mtbf_ == kNeverFails) return kNeverFails;
-  ExtendPast(t);
-  auto it = std::upper_bound(times_.begin(), times_.end(), t);
-  // ExtendPast guarantees times_.back() > t.
-  return *it;
+  double next = kNeverFails;
+  if (mtbf_ != kNeverFails) {
+    ExtendPast(t);
+    // ExtendPast guarantees times_.back() > t.
+    next = *std::upper_bound(times_.begin(), times_.end(), t);
+  }
+  auto it = std::upper_bound(scheduled_.begin(), scheduled_.end(), t);
+  if (it != scheduled_.end()) next = std::min(next, *it);
+  return next;
 }
 
 size_t FailureTrace::CountFailuresUntil(double t) {
-  if (mtbf_ == kNeverFails || t <= 0.0) return 0;
-  ExtendPast(t);
-  return static_cast<size_t>(
-      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+  if (t <= 0.0) return 0;
+  size_t count = static_cast<size_t>(
+      std::upper_bound(scheduled_.begin(), scheduled_.end(), t) -
+      scheduled_.begin());
+  if (mtbf_ != kNeverFails) {
+    ExtendPast(t);
+    count += static_cast<size_t>(
+        std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+  }
+  return count;
 }
 
 ClusterTrace ClusterTrace::Generate(const cost::ClusterStats& stats,
@@ -40,6 +59,67 @@ ClusterTrace ClusterTrace::Generate(const cost::ClusterStats& stats,
     s ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1);
     uint64_t state = s;
     ct.nodes_.emplace_back(stats.mtbf_seconds, SplitMix64(state));
+  }
+  return ct;
+}
+
+Status BurstOptions::Validate() const {
+  if (!(mean_interval > 0.0)) {
+    return Status::InvalidArgument("burst mean_interval must be > 0");
+  }
+  if (!(horizon > 0.0)) {
+    return Status::InvalidArgument("burst horizon must be > 0");
+  }
+  if (width < 0.0) {
+    return Status::InvalidArgument("burst width must be >= 0");
+  }
+  if (min_nodes < 1 || max_nodes < min_nodes) {
+    return Status::InvalidArgument(
+        "burst victim range requires 1 <= min_nodes <= max_nodes");
+  }
+  if (!(background_mtbf > 0.0)) {
+    return Status::InvalidArgument("burst background_mtbf must be > 0");
+  }
+  return Status::OK();
+}
+
+ClusterTrace ClusterTrace::GenerateWithBursts(const cost::ClusterStats& stats,
+                                              uint64_t seed,
+                                              const BurstOptions& burst) {
+  // The burst process draws from its own stream (decorrelated from the
+  // per-node background seeds below) so adding bursts never perturbs the
+  // background Poisson times of the plain Generate() trace for `seed`.
+  uint64_t burst_state = seed ^ 0xd1b54a32d192ed03ULL;
+  Rng rng(SplitMix64(burst_state));
+  std::vector<std::vector<double>> scheduled(
+      static_cast<size_t>(stats.num_nodes));
+  std::vector<int> victims(static_cast<size_t>(stats.num_nodes));
+  for (int i = 0; i < stats.num_nodes; ++i) {
+    victims[static_cast<size_t>(i)] = i;
+  }
+  const int lo = std::min(burst.min_nodes, stats.num_nodes);
+  const int hi = std::min(burst.max_nodes, stats.num_nodes);
+  for (double t = rng.NextExponential(burst.mean_interval);
+       t <= burst.horizon; t += rng.NextExponential(burst.mean_interval)) {
+    rng.Shuffle(victims);
+    const int count =
+        lo + static_cast<int>(rng.NextBounded(
+                 static_cast<uint64_t>(hi - lo) + 1));
+    for (int v = 0; v < count; ++v) {
+      scheduled[static_cast<size_t>(victims[static_cast<size_t>(v)])]
+          .push_back(t + rng.NextDouble() * burst.width);
+    }
+  }
+  ClusterTrace ct;
+  ct.nodes_.reserve(static_cast<size_t>(stats.num_nodes));
+  for (int i = 0; i < stats.num_nodes; ++i) {
+    // Same per-node seed derivation as Generate() so the background
+    // process is the plain trace for `seed` when background_mtbf matches.
+    uint64_t s = seed;
+    s ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1);
+    uint64_t state = s;
+    ct.nodes_.emplace_back(burst.background_mtbf, SplitMix64(state),
+                           std::move(scheduled[static_cast<size_t>(i)]));
   }
   return ct;
 }
@@ -65,6 +145,20 @@ std::vector<ClusterTrace> GenerateTraceSet(const cost::ClusterStats& stats,
   for (int i = 0; i < count; ++i) {
     out.push_back(ClusterTrace::Generate(
         stats, base_seed + 0x517cc1b727220a95ULL * static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+std::vector<ClusterTrace> GenerateBurstTraceSet(
+    const cost::ClusterStats& stats, const BurstOptions& burst, int count,
+    uint64_t base_seed) {
+  std::vector<ClusterTrace> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(ClusterTrace::GenerateWithBursts(
+        stats,
+        base_seed + 0x517cc1b727220a95ULL * static_cast<uint64_t>(i),
+        burst));
   }
   return out;
 }

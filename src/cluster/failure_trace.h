@@ -26,6 +26,13 @@ class FailureTrace {
   FailureTrace(double mtbf_seconds, uint64_t seed)
       : mtbf_(mtbf_seconds), rng_(seed) {}
 
+  /// \brief Like above, plus a fixed list of `scheduled` failure times
+  /// superimposed on the Poisson process (used for correlated burst
+  /// injection, where one event strikes several nodes at once). The list
+  /// is sorted internally; non-positive entries are ignored.
+  FailureTrace(double mtbf_seconds, uint64_t seed,
+               std::vector<double> scheduled);
+
   /// \brief Earliest failure time strictly greater than `t`.
   double NextFailureAfter(double t);
 
@@ -40,7 +47,34 @@ class FailureTrace {
   double mtbf_;
   Rng rng_;
   std::vector<double> times_;
+  /// Deterministic extra failures merged into the process at query time.
+  std::vector<double> scheduled_;
   double generated_until_ = 0.0;
+};
+
+/// \brief Correlated multi-node failure bursts: realistic traces (rack
+/// power events, switch failures, cascading OOM) are not independent
+/// per-node Poisson processes — several nodes die inside one short
+/// window. A burst process with exponential inter-arrival `mean_interval`
+/// picks `min_nodes..max_nodes` distinct victims per burst and schedules
+/// one failure for each inside `[burst_time, burst_time + width]`.
+struct BurstOptions {
+  /// Mean seconds between bursts (exponential inter-arrivals).
+  double mean_interval = 600.0;
+  /// Bursts are generated on (0, horizon]; beyond it only the background
+  /// per-node Poisson process fires.
+  double horizon = 1.0e5;
+  /// Width of the kill window: victims fail at burst_time + U*[0, width].
+  double width = 2.0;
+  /// Victims per burst, uniform in [min_nodes, max_nodes], capped at the
+  /// cluster size.
+  int min_nodes = 2;
+  int max_nodes = 4;
+  /// Per-node MTBF of the background Poisson process superimposed under
+  /// the bursts; kNeverFails disables it (bursts only).
+  double background_mtbf = kNeverFails;
+
+  Status Validate() const;
 };
 
 /// \brief One failure trace per cluster node.
@@ -51,6 +85,14 @@ class ClusterTrace {
   /// sets (the "10 traces per MTBF" of §5.1 are seeds 0..9).
   static ClusterTrace Generate(const cost::ClusterStats& stats,
                                uint64_t seed);
+
+  /// \brief Burst traces per `burst` (correlated multi-node failures) on
+  /// top of the background Poisson process burst.background_mtbf (NOT
+  /// stats.mtbf_seconds, which describes the independent model the
+  /// analytic layers assume). Deterministic in `seed`.
+  static ClusterTrace GenerateWithBursts(const cost::ClusterStats& stats,
+                                         uint64_t seed,
+                                         const BurstOptions& burst);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   FailureTrace& node(int i) { return nodes_[static_cast<size_t>(i)]; }
@@ -66,5 +108,10 @@ class ClusterTrace {
 /// \brief The standard experiment setup: `count` independent trace sets.
 std::vector<ClusterTrace> GenerateTraceSet(const cost::ClusterStats& stats,
                                            int count, uint64_t base_seed);
+
+/// \brief `count` independent burst trace sets (see GenerateWithBursts).
+std::vector<ClusterTrace> GenerateBurstTraceSet(
+    const cost::ClusterStats& stats, const BurstOptions& burst, int count,
+    uint64_t base_seed);
 
 }  // namespace xdbft::cluster

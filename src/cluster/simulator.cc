@@ -61,10 +61,11 @@ void ClusterSimulator::TraceInstant(const std::string& name,
 
 double ClusterSimulator::RunPartition(double ready, double duration,
                                       FailureTrace& node, int* restarts,
-                                      const std::string& label,
+                                      bool* aborted, const std::string& label,
                                       int node_idx) const {
   if (duration <= 0.0) return ready;
   double start = ready;
+  int unit_restarts = 0;
   while (true) {
     const double fail = node.NextFailureAfter(start);
     if (fail >= start + duration) {
@@ -76,6 +77,7 @@ double ClusterSimulator::RunPartition(double ready, double duration,
     // lost. The coordinator notices at the next monitoring tick, then
     // redeploys (MTTR) and starts over from the materialized inputs.
     ++(*restarts);
+    ++unit_restarts;
     XDBFT_COUNTER_INC("simulator.failures");
     TraceSpan(label + " (killed)", "killed", start, fail - start, node_idx);
     TraceInstant("failure", "failure", fail, node_idx);
@@ -86,9 +88,18 @@ double ClusterSimulator::RunPartition(double ready, double duration,
       detected = ticks * options_.monitoring_interval;
       TraceSpan("detect", "wait", fail, detected - fail, node_idx);
     }
-    TraceSpan("mttr", "wait", detected, stats_.mttr_seconds, node_idx);
     XDBFT_GAUGE_ADD("simulator.mttr_wait_seconds",
                     (detected - fail) + stats_.mttr_seconds);
+    if (unit_restarts >= options_.max_restarts) {
+      // This retry unit keeps dying: give up after max_restarts attempts,
+      // like RunFullRestart does for whole-query restarts (and like the
+      // executor's per-task max_attempts), so fine-grained and full
+      // restart are compared under the same abort semantics.
+      XDBFT_COUNTER_INC("simulator.aborts");
+      *aborted = true;
+      return detected + stats_.mttr_seconds;
+    }
+    TraceSpan("mttr", "wait", detected, stats_.mttr_seconds, node_idx);
     start = detected + stats_.mttr_seconds;
   }
 }
@@ -97,6 +108,7 @@ Result<SimulationResult> ClusterSimulator::RunFineGrained(
     const CollapsedPlan& cp, const std::vector<std::string>& op_labels,
     ClusterTrace& trace, double start_time) const {
   SimulationResult result;
+  bool aborted = false;
   std::vector<double> finish(cp.num_ops(), start_time);
   for (const auto& c : cp.ops()) {  // ascending id = topological
     const std::string& label =
@@ -116,18 +128,28 @@ Result<SimulationResult> ClusterSimulator::RunFineGrained(
       double completion = ready;
       if (segments == 1) {
         completion = RunPartition(ready, duration, trace.node(k),
-                                  &result.restarts, label, k);
+                                  &result.restarts, &aborted, label, k);
       } else {
         // Intra-operator checkpointing: each segment is its own retry
         // unit; all but the last also write a state checkpoint.
         const double work = duration / static_cast<double>(segments);
-        for (int s = 0; s < segments; ++s) {
+        for (int s = 0; s < segments && !aborted; ++s) {
           const double seg =
               work + (s + 1 < segments ? options_.checkpoint_cost : 0.0);
           completion = RunPartition(
-              completion, seg, trace.node(k), &result.restarts,
+              completion, seg, trace.node(k), &result.restarts, &aborted,
               StrFormat("%s [seg %d/%d]", label.c_str(), s + 1, segments), k);
         }
+      }
+      if (aborted) {
+        // A retry unit hit max_restarts: the query gives up, reporting the
+        // cluster time it burned (like RunFullRestart's abort path).
+        result.runtime = completion - start_time;
+        result.completed = false;
+        result.aborted = 1;
+        result.aborted_seconds = result.runtime;
+        result.failures_hit = result.restarts;
+        return result;
       }
       done = std::max(done, completion);
     }
@@ -248,13 +270,16 @@ Result<SimulationResult> ClusterSimulator::RunMany(
     } else {
       agg.completed = false;
       ++agg.aborted;
-      agg.aborted_seconds += r.runtime;
       aborted_runtimes.push_back(r.runtime);
     }
   }
-  // When every trace aborts there is no completed runtime to average;
-  // report the time the aborted runs burned before giving up rather than
-  // a 0.0 that would make the workload look like an instant success.
+  // Contract (see SimulationResult): runtime stats on a completed-trace
+  // basis, aborted traces reported separately as a count plus the mean
+  // time they burned. When every trace aborts there is no completed
+  // runtime to average; report the time the aborted runs burned before
+  // giving up rather than a 0.0 that would make the workload look like an
+  // instant success.
+  agg.aborted_seconds = Mean(aborted_runtimes);
   const std::vector<double>& basis =
       runtimes.empty() ? aborted_runtimes : runtimes;
   agg.runtime = Mean(basis);

@@ -33,7 +33,12 @@ namespace xdbft::cluster {
 struct SimulationOptions {
   /// CONST_pipe used when collapsing the plan for execution.
   double pipe_constant = 1.0;
-  /// Abort a full-restart query after this many restarts (paper: 100).
+  /// Abort the query after this many restarts (paper: 100). Full restart
+  /// counts query restarts; fine-grained recovery counts the restarts of
+  /// each retry unit (collapsed op x node, or checkpoint segment)
+  /// separately — the same per-task cap the FaultTolerantExecutor's
+  /// max_attempts enforces — so both recovery schemes share one abort
+  /// semantics and can be compared fairly under extreme failure rates.
   int max_restarts = 100;
   /// Per-partition execution-time skew: node k's duration for a collapsed
   /// op is t(c) * (1 + skew * u_k) with u_k deterministic in [-1, 1].
@@ -67,22 +72,29 @@ struct SimulationOptions {
 /// \brief Outcome of one simulated execution (or, for RunMany, the
 /// aggregate over a trace set).
 struct SimulationResult {
-  /// True unless a full-restart query hit max_restarts.
+  /// True unless the run (any trace, for RunMany) hit max_restarts.
   bool completed = false;
-  /// Wall-clock runtime of the query under the injected failures (the
-  /// mean over completed traces for RunMany).
+  /// Wall-clock runtime of the query under the injected failures. For a
+  /// single aborted run this is the time burned before giving up.
+  ///
+  /// RunMany contract: `runtime`/`runtime_p50`/`runtime_p95` are computed
+  /// on a *completed-trace basis* — the mean/percentiles over the traces
+  /// that finished. Aborted traces are reported separately: `aborted` is
+  /// their count and `aborted_seconds` the *mean* time they burned before
+  /// giving up, so no cluster time ever silently vanishes from the
+  /// aggregate. Only when every trace aborts do the runtime fields fall
+  /// back to the time-spent basis of the aborted runs (an impossible
+  /// workload must not look like an instant success).
   double runtime = 0.0;
   /// Number of sub-plan restarts (fine-grained) or query restarts (full).
   int restarts = 0;
   /// Failures that actually interrupted running work.
   int failures_hit = 0;
-  /// Aborted executions: 1 for a single full-restart run that hit
-  /// max_restarts, the aborted-trace count for RunMany. An aborted run is
-  /// not free — the cluster time it consumed before giving up is summed
-  /// in `aborted_seconds` (and, when *every* trace aborts, reported as
-  /// `runtime` so an aborted workload never masquerades as an instant
-  /// success).
+  /// Aborted executions: 1 for a single run that hit max_restarts, the
+  /// aborted-trace count for RunMany.
   int aborted = 0;
+  /// Time an aborted run burned before giving up (mean over the aborted
+  /// traces for RunMany; equal to `runtime` for a single aborted run).
   double aborted_seconds = 0.0;
   /// RunMany only: median and 95th-percentile runtimes over the
   /// completed traces (equal to `runtime` for single runs; over the
@@ -116,11 +128,11 @@ class ClusterSimulator {
                                double start_time = 0.0) const;
 
   /// \brief Mean runtime over `traces` (the paper averages 10 traces).
-  /// `runtime`/percentiles aggregate the completed traces; aborted runs
-  /// (full restarts that hit max_restarts) are surfaced via `aborted` and
-  /// `aborted_seconds`, and when every trace aborts the runtime fields
-  /// report the mean/percentiles of the time the aborted runs consumed
-  /// instead of a meaningless 0.
+  /// See the SimulationResult contract: `runtime`/percentiles aggregate
+  /// the completed traces, aborted runs are surfaced via `aborted` (count)
+  /// and `aborted_seconds` (mean time burned), and when every trace aborts
+  /// the runtime fields report the mean/percentiles of the time the
+  /// aborted runs consumed instead of a meaningless 0.
   Result<SimulationResult> RunMany(const ft::SchemePlan& scheme,
                                    std::vector<ClusterTrace>& traces) const;
 
@@ -135,9 +147,11 @@ class ClusterSimulator {
  private:
   /// Completion time of one collapsed op on one node, starting at `ready`.
   /// `label`/`node_idx` identify the sub-plan and trace lane for the
-  /// exported timeline.
+  /// exported timeline. One call is one retry unit: if the unit fails
+  /// options_.max_restarts times, `*aborted` is set and the returned time
+  /// is when the query gave up (the last failure's detection + MTTR).
   double RunPartition(double ready, double duration, FailureTrace& node,
-                      int* restarts, const std::string& label,
+                      int* restarts, bool* aborted, const std::string& label,
                       int node_idx) const;
 
   /// Virtual-time trace emission helpers (no-ops when options_.trace is

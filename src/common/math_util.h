@@ -36,7 +36,9 @@ double PearsonCorrelation(const std::vector<double>& xs,
 double SpearmanCorrelation(const std::vector<double>& xs,
                            const std::vector<double>& ys);
 
-/// \brief n-th harmonic number H_n (used by Zipf-like generators).
+/// \brief n-th harmonic number H_n (used by Zipf-like generators). Exact
+/// summation for small n, O(1) Euler-Maclaurin expansion (accurate to < 1
+/// ulp) above a small-n cutoff.
 double HarmonicNumber(uint64_t n);
 
 }  // namespace xdbft

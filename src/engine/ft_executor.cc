@@ -358,9 +358,34 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
 
+  // Failure-free minimum: the demand closure over an empty state — a task
+  // counts iff it is a final-stage task or transitively feeds one. Stages
+  // the final stage never consumes are not executed (step 1), so counting
+  // them here would deflate (even negate) the recovery tally.
   int minimal = 0;
-  for (int s = 0; s < num_stages; ++s) {
-    minimal += plan_->stage(s).global ? 1 : n;
+  {
+    std::vector<std::vector<char>> needed(static_cast<size_t>(num_stages));
+    for (int s = 0; s < num_stages; ++s) {
+      needed[static_cast<size_t>(s)].assign(slots_of(s), 0);
+    }
+    std::vector<std::pair<int, int>> work;
+    auto need = [&](int s, int slot) {
+      char& mark = needed[static_cast<size_t>(s)][static_cast<size_t>(slot)];
+      if (mark) return;
+      mark = 1;
+      work.emplace_back(s, slot);
+    };
+    for (size_t slot = 0; slot < slots_of(last); ++slot) {
+      need(last, static_cast<int>(slot));
+    }
+    size_t scan = 0;
+    while (scan < work.size()) {
+      const auto [s, slot] = work[scan++];
+      for (const auto& [ps, pslot] : plan_->TaskInputs(s, slot, n)) {
+        need(ps, pslot);
+      }
+    }
+    minimal = static_cast<int>(work.size());
   }
   result.recovery_executions = result.task_executions - minimal;
   XDBFT_COUNTER_ADD("executor.recoveries", result.recovery_executions);

@@ -48,10 +48,18 @@ double WastedTime(double t, const FailureParams& params) {
 }
 
 double ExpectedAttempts(double t, double mtbf_cost, double success_target) {
-  const double eta = FailureProbability(t, mtbf_cost);
-  if (eta <= 0.0) return 0.0;
-  if (eta >= 1.0) return std::numeric_limits<double>::infinity();
-  const double a = std::log(1.0 - success_target) / std::log(eta) - 1.0;
+  if (t <= 0.0) return 0.0;
+  const double x = t / mtbf_cost;
+  // log(eta) = log(1 - e^{-x}) without forming eta: for x > ~36 the
+  // subtraction rounds eta to exactly 1 and log(eta) to 0, turning a(c)
+  // into a spurious infinity while the true value (~ -log(1-S) e^x) is
+  // still comfortably representable up to x ~ 700.
+  const double log_eta = std::log1p(-std::exp(-x));
+  if (!(log_eta < 0.0)) {
+    // e^{-x} underflowed: the true a(c) overflows double anyway.
+    return std::numeric_limits<double>::infinity();
+  }
+  const double a = std::log1p(-success_target) / log_eta - 1.0;
   return std::max(a, 0.0);
 }
 

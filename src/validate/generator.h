@@ -1,0 +1,102 @@
+// Seeded random generators for the differential validation harness
+// (tools/xdbft_crosscheck): plan DAGs with random shapes/costs, cluster
+// statistics, materialization configurations, failure-trace specs
+// (independent Poisson or correlated bursts), and synthetic executable
+// StagePlans for the real-executor differential leg. Everything is a pure
+// function of the Rng state, so a crosscheck case is reproducible from its
+// seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/failure_trace.h"
+#include "common/rng.h"
+#include "cost/cost_params.h"
+#include "engine/partitioned_table.h"
+#include "engine/stage_plan.h"
+#include "ft/mat_config.h"
+#include "plan/plan.h"
+
+namespace xdbft::validate {
+
+/// \brief Knobs of the random plan generator.
+struct PlanGenOptions {
+  int min_ops = 3;
+  int max_ops = 10;
+  /// tr(o) is log-uniform in [min_runtime, max_runtime] seconds.
+  double min_runtime = 1.0;
+  double max_runtime = 600.0;
+  /// tm(o) = tr(o) * uniform[0.05, max_mat_fraction].
+  double max_mat_fraction = 0.6;
+  /// Probability a non-source operator consumes two inputs.
+  double p_binary = 0.35;
+  /// Probability a free operator is instead bound (never/always split
+  /// evenly), exercising the constraint handling of the enumerator.
+  double p_bound = 0.15;
+};
+
+/// \brief Random DAG-structured plan: node 0 (and with two-source shapes
+/// node 1) is a scan, every later node consumes one or two earlier nodes,
+/// costs are log-uniform. The result always passes Plan::Validate().
+plan::Plan RandomPlan(Rng& rng, const PlanGenOptions& opts = {});
+
+/// \brief Random cluster: 2..8 nodes, per-node MTBF log-uniform in
+/// [20 min, 12 days], MTTR log-uniform in [1 s, 60 s].
+cost::ClusterStats RandomCluster(Rng& rng);
+
+/// \brief Uniformly random materialization configuration (a random bitmask
+/// over the plan's free operators; bound/sink operators forced as always).
+ft::MaterializationConfig RandomConfig(Rng& rng, const plan::Plan& plan);
+
+/// \brief Which failure process a crosscheck case injects.
+enum class TraceKind : int { kIndependent, kBurst };
+
+/// \brief Fully describes the trace set of a case; materialized on demand
+/// so a reproducer file only needs these scalars.
+struct TraceSpec {
+  TraceKind kind = TraceKind::kIndependent;
+  int count = 8;
+  uint64_t base_seed = 0;
+  /// kBurst only.
+  cluster::BurstOptions burst;
+
+  std::vector<cluster::ClusterTrace> Materialize(
+      const cost::ClusterStats& stats) const;
+};
+
+/// \brief Random trace spec: mostly independent Poisson sets, with a
+/// correlated-burst set (several nodes killed inside one short window)
+/// roughly every fourth case.
+TraceSpec RandomTraceSpec(Rng& rng, int count);
+
+/// \brief Knobs of the random executable stage-plan generator.
+struct StageGenOptions {
+  int min_stages = 3;
+  int max_stages = 6;
+  /// Rows each source stage produces per partition.
+  int rows_per_partition = 24;
+  double p_global = 0.15;
+  double p_broadcast = 0.2;
+  double p_shuffle = 0.25;
+};
+
+/// \brief Random executable stage DAG over an (empty) dummy database:
+/// source stages synthesize deterministic rows from (stage, partition),
+/// downstream stages apply deterministic integer transforms, edges draw
+/// random modes (same-partition / broadcast / shuffle) and stages are
+/// occasionally global. Every task is a pure function of its inputs, so
+/// the final table is bit-identical across thread counts and any
+/// recovery schedule — exactly what the executor differential asserts.
+engine::StagePlan RandomStagePlan(Rng& rng,
+                                  const StageGenOptions& opts = {});
+
+/// \brief A database with no tables: the synthetic stage plans read
+/// nothing from storage, only `num_nodes` (the partition count).
+engine::PartitionedDatabase MakeDummyDatabase(int num_nodes);
+
+/// \brief Log-uniform draw in [lo, hi].
+double LogUniform(Rng& rng, double lo, double hi);
+
+}  // namespace xdbft::validate

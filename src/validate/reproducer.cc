@@ -1,0 +1,228 @@
+#include "validate/reproducer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+#include "plan/plan_text.h"
+
+namespace xdbft::validate {
+
+namespace {
+
+const char* TraceKindName(TraceKind kind) {
+  return kind == TraceKind::kBurst ? "burst" : "independent";
+}
+
+Result<TraceKind> TraceKindFromName(const std::string& name) {
+  if (name == "burst") return TraceKind::kBurst;
+  if (name == "independent") return TraceKind::kIndependent;
+  return Status::InvalidArgument("unknown trace kind: " + name);
+}
+
+// `u64` as a JSON-safe decimal string (doubles cannot hold all of them).
+std::string U64(uint64_t v) {
+  return obs::JsonQuote(StrFormat("%llu", static_cast<unsigned long long>(v)));
+}
+
+Result<uint64_t> ParseU64(const obs::JsonValue& v) {
+  if (!v.is_string()) return Status::InvalidArgument("expected u64 string");
+  uint64_t out = 0;
+  for (char ch : v.string_value) {
+    if (ch < '0' || ch > '9') {
+      return Status::InvalidArgument("bad u64 digit");
+    }
+    out = out * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  return out;
+}
+
+Result<double> Num(const obs::JsonValue& obj, const std::string& key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing number field: " + key);
+  }
+  return v->number_value;
+}
+
+Result<std::string> Str(const obs::JsonValue& obj, const std::string& key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("missing string field: " + key);
+  }
+  return v->string_value;
+}
+
+}  // namespace
+
+std::string ReproToJson(const ReproCase& c) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"xdbft_crosscheck\",\n";
+  out << "  \"check\": " << obs::JsonQuote(c.check) << ",\n";
+  out << "  \"detail\": " << obs::JsonQuote(c.detail) << ",\n";
+  out << "  \"seed\": " << U64(c.seed) << ",\n";
+  out << "  \"minimized\": " << (c.minimized ? "true" : "false") << ",\n";
+  out << "  \"kind\": " << obs::JsonQuote(c.kind) << ",\n";
+  out << "  \"plan_text\": " << obs::JsonQuote(plan::PlanToText(c.plan))
+      << ",\n";
+  out << "  \"materialized\": [";
+  bool first = true;
+  for (size_t i = 0; i < c.config.size(); ++i) {
+    if (!c.config.materialized(static_cast<plan::OpId>(i))) continue;
+    if (!first) out << ", ";
+    out << i;
+    first = false;
+  }
+  out << "],\n";
+  out << "  \"cluster\": {\"num_nodes\": " << c.cluster.num_nodes
+      << ", \"mtbf_seconds\": " << obs::JsonNumber(c.cluster.mtbf_seconds)
+      << ", \"mttr_seconds\": " << obs::JsonNumber(c.cluster.mttr_seconds)
+      << "},\n";
+  out << "  \"sim\": {\"pipe_constant\": "
+      << obs::JsonNumber(c.sim.pipe_constant)
+      << ", \"max_restarts\": " << c.sim.max_restarts
+      << ", \"partition_skew\": " << obs::JsonNumber(c.sim.partition_skew)
+      << ", \"monitoring_interval\": "
+      << obs::JsonNumber(c.sim.monitoring_interval)
+      << ", \"checkpoint_interval\": "
+      << obs::JsonNumber(c.sim.checkpoint_interval)
+      << ", \"checkpoint_cost\": " << obs::JsonNumber(c.sim.checkpoint_cost)
+      << "},\n";
+  out << "  \"trace\": {\"kind\": "
+      << obs::JsonQuote(TraceKindName(c.trace.kind))
+      << ", \"count\": " << c.trace.count
+      << ", \"base_seed\": " << U64(c.trace.base_seed);
+  if (c.trace.kind == TraceKind::kBurst) {
+    const cluster::BurstOptions& b = c.trace.burst;
+    out << ", \"burst\": {\"mean_interval\": "
+        << obs::JsonNumber(b.mean_interval)
+        << ", \"horizon\": " << obs::JsonNumber(b.horizon)
+        << ", \"width\": " << obs::JsonNumber(b.width)
+        << ", \"min_nodes\": " << b.min_nodes
+        << ", \"max_nodes\": " << b.max_nodes
+        << ", \"background_mtbf\": " << obs::JsonNumber(b.background_mtbf)
+        << "}";
+  }
+  out << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+Result<ReproCase> ReproFromJson(const std::string& text) {
+  XDBFT_ASSIGN_OR_RETURN(obs::JsonValue root, obs::ParseJson(text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("reproducer: not a JSON object");
+  }
+  ReproCase c;
+  XDBFT_ASSIGN_OR_RETURN(c.check, Str(root, "check"));
+  XDBFT_ASSIGN_OR_RETURN(c.detail, Str(root, "detail"));
+  XDBFT_ASSIGN_OR_RETURN(c.kind, Str(root, "kind"));
+  const obs::JsonValue* seed = root.Find("seed");
+  if (seed == nullptr) return Status::InvalidArgument("missing seed");
+  XDBFT_ASSIGN_OR_RETURN(c.seed, ParseU64(*seed));
+  const obs::JsonValue* minimized = root.Find("minimized");
+  c.minimized = minimized != nullptr && minimized->bool_value;
+
+  XDBFT_ASSIGN_OR_RETURN(std::string plan_text, Str(root, "plan_text"));
+  XDBFT_ASSIGN_OR_RETURN(c.plan, plan::PlanFromText(plan_text));
+  // NoMat establishes the forced bound/sink flags; the listed free
+  // operators are then switched on. Round-trips any valid config.
+  c.config = ft::MaterializationConfig::NoMat(c.plan);
+  const obs::JsonValue* mats = root.Find("materialized");
+  if (mats == nullptr || !mats->is_array()) {
+    return Status::InvalidArgument("missing materialized list");
+  }
+  for (const obs::JsonValue& m : mats->array) {
+    if (!m.is_number()) return Status::InvalidArgument("bad materialized id");
+    const auto id = static_cast<plan::OpId>(m.number_value);
+    if (id < 0 || static_cast<size_t>(id) >= c.plan.num_nodes()) {
+      return Status::InvalidArgument("materialized id out of range");
+    }
+    c.config.set_materialized(id, true);
+  }
+  XDBFT_RETURN_NOT_OK(c.config.Validate(c.plan));
+
+  const obs::JsonValue* cl = root.Find("cluster");
+  if (cl == nullptr) return Status::InvalidArgument("missing cluster");
+  XDBFT_ASSIGN_OR_RETURN(double nodes, Num(*cl, "num_nodes"));
+  c.cluster.num_nodes = static_cast<int>(nodes);
+  XDBFT_ASSIGN_OR_RETURN(c.cluster.mtbf_seconds, Num(*cl, "mtbf_seconds"));
+  XDBFT_ASSIGN_OR_RETURN(c.cluster.mttr_seconds, Num(*cl, "mttr_seconds"));
+
+  const obs::JsonValue* sim = root.Find("sim");
+  if (sim == nullptr) return Status::InvalidArgument("missing sim");
+  XDBFT_ASSIGN_OR_RETURN(c.sim.pipe_constant, Num(*sim, "pipe_constant"));
+  XDBFT_ASSIGN_OR_RETURN(double max_restarts, Num(*sim, "max_restarts"));
+  c.sim.max_restarts = static_cast<int>(max_restarts);
+  XDBFT_ASSIGN_OR_RETURN(c.sim.partition_skew, Num(*sim, "partition_skew"));
+  XDBFT_ASSIGN_OR_RETURN(c.sim.monitoring_interval,
+                         Num(*sim, "monitoring_interval"));
+  XDBFT_ASSIGN_OR_RETURN(c.sim.checkpoint_interval,
+                         Num(*sim, "checkpoint_interval"));
+  XDBFT_ASSIGN_OR_RETURN(c.sim.checkpoint_cost,
+                         Num(*sim, "checkpoint_cost"));
+
+  const obs::JsonValue* trace = root.Find("trace");
+  if (trace == nullptr) return Status::InvalidArgument("missing trace");
+  XDBFT_ASSIGN_OR_RETURN(std::string kind_name, Str(*trace, "kind"));
+  XDBFT_ASSIGN_OR_RETURN(c.trace.kind, TraceKindFromName(kind_name));
+  XDBFT_ASSIGN_OR_RETURN(double count, Num(*trace, "count"));
+  c.trace.count = static_cast<int>(count);
+  const obs::JsonValue* base_seed = trace->Find("base_seed");
+  if (base_seed == nullptr) {
+    return Status::InvalidArgument("missing trace.base_seed");
+  }
+  XDBFT_ASSIGN_OR_RETURN(c.trace.base_seed, ParseU64(*base_seed));
+  if (c.trace.kind == TraceKind::kBurst) {
+    const obs::JsonValue* b = trace->Find("burst");
+    if (b == nullptr) return Status::InvalidArgument("missing trace.burst");
+    cluster::BurstOptions& burst = c.trace.burst;
+    XDBFT_ASSIGN_OR_RETURN(burst.mean_interval, Num(*b, "mean_interval"));
+    XDBFT_ASSIGN_OR_RETURN(burst.horizon, Num(*b, "horizon"));
+    XDBFT_ASSIGN_OR_RETURN(burst.width, Num(*b, "width"));
+    XDBFT_ASSIGN_OR_RETURN(double min_nodes, Num(*b, "min_nodes"));
+    burst.min_nodes = static_cast<int>(min_nodes);
+    XDBFT_ASSIGN_OR_RETURN(double max_nodes, Num(*b, "max_nodes"));
+    burst.max_nodes = static_cast<int>(max_nodes);
+    const obs::JsonValue* bg = b->Find("background_mtbf");
+    // JSON cannot represent infinity (kNeverFails renders as null).
+    burst.background_mtbf =
+        bg != nullptr && bg->is_number() ? bg->number_value
+                                         : cluster::kNeverFails;
+  }
+  return c;
+}
+
+Result<std::string> WriteReproducer(const std::string& dir,
+                                    const ReproCase& c) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create reproducer dir " + dir + ": " +
+                            ec.message());
+  }
+  const std::string path = StrFormat(
+      "%s/repro-%s-%llu.json", dir.c_str(), c.check.c_str(),
+      static_cast<unsigned long long>(c.seed));
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << ReproToJson(c);
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return path;
+}
+
+Result<ReproCase> LoadReproducer(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReproFromJson(buf.str());
+}
+
+}  // namespace xdbft::validate

@@ -1,0 +1,181 @@
+// Correlated burst failure traces (ClusterTrace::GenerateWithBursts):
+// bursts kill several nodes inside one short window on top of an optional
+// background Poisson process. These are the adversarial traces the
+// crosscheck harness uses to stress recovery paths the independent-failure
+// model never exercises.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/failure_trace.h"
+
+namespace xdbft::cluster {
+namespace {
+
+BurstOptions QuickBursts() {
+  BurstOptions b;
+  b.mean_interval = 100.0;
+  b.horizon = 10000.0;
+  b.width = 2.0;
+  b.min_nodes = 2;
+  b.max_nodes = 3;
+  return b;
+}
+
+TEST(FailureTraceScheduledTest, ScheduledFailuresAreReturnedInOrder) {
+  FailureTrace t(kNeverFails, /*seed=*/1, {30.0, 10.0, 20.0, -5.0, 0.0});
+  EXPECT_DOUBLE_EQ(t.NextFailureAfter(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.NextFailureAfter(10.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.NextFailureAfter(25.0), 30.0);
+  EXPECT_EQ(t.NextFailureAfter(30.0), kNeverFails);
+  EXPECT_EQ(t.CountFailuresUntil(25.0), 2u);
+  EXPECT_EQ(t.CountFailuresUntil(1e9), 3u);
+}
+
+TEST(FailureTraceScheduledTest, ScheduledMergesWithPoisson) {
+  // The merged process must contain every Poisson failure and every
+  // scheduled failure; walking it forward recovers both sorted lists.
+  const double mtbf = 50.0;
+  FailureTrace plain(mtbf, /*seed=*/7);
+  FailureTrace merged(mtbf, /*seed=*/7, {123.456, 333.0});
+  std::vector<double> expected;
+  double t = 0.0;
+  while (t < 500.0) {
+    t = plain.NextFailureAfter(t);
+    expected.push_back(t);
+  }
+  expected.push_back(123.456);
+  expected.push_back(333.0);
+  std::sort(expected.begin(), expected.end());
+  double m = 0.0;
+  for (double want : expected) {
+    m = merged.NextFailureAfter(m);
+    EXPECT_DOUBLE_EQ(m, want);
+  }
+  EXPECT_EQ(merged.CountFailuresUntil(500.0),
+            static_cast<size_t>(std::upper_bound(expected.begin(),
+                                                 expected.end(), 500.0) -
+                                expected.begin()));
+}
+
+TEST(BurstOptionsTest, ValidateRejectsBadRanges) {
+  EXPECT_TRUE(QuickBursts().Validate().ok());
+  BurstOptions b = QuickBursts();
+  b.mean_interval = 0.0;
+  EXPECT_FALSE(b.Validate().ok());
+  b = QuickBursts();
+  b.min_nodes = 3;
+  b.max_nodes = 2;
+  EXPECT_FALSE(b.Validate().ok());
+  b = QuickBursts();
+  b.min_nodes = 0;
+  EXPECT_FALSE(b.Validate().ok());
+  b = QuickBursts();
+  b.width = -1.0;
+  EXPECT_FALSE(b.Validate().ok());
+  b = QuickBursts();
+  b.background_mtbf = 0.0;
+  EXPECT_FALSE(b.Validate().ok());
+}
+
+TEST(BurstTraceTest, DeterministicForSeed) {
+  auto stats = cost::MakeCluster(6, 1000.0);
+  ClusterTrace a = ClusterTrace::GenerateWithBursts(stats, 42, QuickBursts());
+  ClusterTrace b = ClusterTrace::GenerateWithBursts(stats, 42, QuickBursts());
+  double ta = 0.0, tb = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    int na = -1, nb = -1;
+    ta = a.NextFailureAfter(ta, &na);
+    tb = b.NextFailureAfter(tb, &nb);
+    ASSERT_DOUBLE_EQ(ta, tb);
+    ASSERT_EQ(na, nb);
+  }
+}
+
+TEST(BurstTraceTest, BurstsKillSeveralNodesInOneWindow) {
+  // Bursts-only trace (no background process): every failure belongs to a
+  // burst, so walking the cluster timeline must encounter clumps of
+  // min_nodes..max_nodes distinct victims inside `width`-wide windows,
+  // separated by gaps that are typically much larger.
+  auto stats = cost::MakeCluster(8, 1000.0);
+  BurstOptions b = QuickBursts();
+  ClusterTrace ct = ClusterTrace::GenerateWithBursts(stats, 9, b);
+
+  // Collect all failures in the horizon, per node.
+  std::vector<std::pair<double, int>> events;  // (time, node)
+  for (int n = 0; n < ct.num_nodes(); ++n) {
+    double t = 0.0;
+    while ((t = ct.node(n).NextFailureAfter(t)) <= b.horizon) {
+      events.emplace_back(t, n);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  ASSERT_FALSE(events.empty());
+
+  // Group into windows of `width`. Two bursts can occasionally land
+  // within one window (exponential gaps shorter than `width` have
+  // probability ~width/mean_interval), merging their victim sets — so
+  // require every window to hold at least min_nodes victims and the
+  // overwhelming majority to be a single clean burst: distinct victims,
+  // count within [min_nodes, max_nodes].
+  size_t i = 0;
+  int windows = 0, clean = 0;
+  while (i < events.size()) {
+    size_t j = i;
+    std::vector<int> victims;
+    while (j < events.size() &&
+           events[j].first - events[i].first <= b.width) {
+      victims.push_back(events[j].second);
+      ++j;
+    }
+    std::sort(victims.begin(), victims.end());
+    EXPECT_GE(static_cast<int>(victims.size()), b.min_nodes);
+    const bool distinct =
+        std::adjacent_find(victims.begin(), victims.end()) == victims.end();
+    if (distinct && static_cast<int>(victims.size()) <= b.max_nodes) {
+      ++clean;
+    }
+    ++windows;
+    i = j;
+  }
+  // ~horizon/mean_interval bursts expected; allow wide slack.
+  EXPECT_GT(windows, 50);
+  EXPECT_LT(windows, 200);
+  EXPECT_GE(clean, windows * 9 / 10);
+}
+
+TEST(BurstTraceTest, BackgroundPoissonIsSuperimposed) {
+  // With a finite background MTBF the per-node failure count is the burst
+  // contribution plus roughly horizon/background_mtbf extra failures.
+  auto stats = cost::MakeCluster(4, 1000.0);
+  BurstOptions bursts_only = QuickBursts();
+  BurstOptions with_bg = QuickBursts();
+  with_bg.background_mtbf = 500.0;
+  ClusterTrace a = ClusterTrace::GenerateWithBursts(stats, 5, bursts_only);
+  ClusterTrace c = ClusterTrace::GenerateWithBursts(stats, 5, with_bg);
+  size_t burst_count = 0, merged_count = 0;
+  for (int n = 0; n < stats.num_nodes; ++n) {
+    burst_count += a.node(n).CountFailuresUntil(bursts_only.horizon);
+    merged_count += c.node(n).CountFailuresUntil(bursts_only.horizon);
+  }
+  const double expected_bg = static_cast<double>(stats.num_nodes) *
+                             bursts_only.horizon / with_bg.background_mtbf;
+  EXPECT_NEAR(static_cast<double>(merged_count - burst_count), expected_bg,
+              expected_bg * 0.25);
+}
+
+TEST(GenerateBurstTraceSetTest, SetsAreIndependentAndDeterministic) {
+  auto stats = cost::MakeCluster(3, 1000.0);
+  auto set1 = GenerateBurstTraceSet(stats, QuickBursts(), 5, 42);
+  auto set2 = GenerateBurstTraceSet(stats, QuickBursts(), 5, 42);
+  ASSERT_EQ(set1.size(), 5u);
+  for (size_t i = 0; i < set1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(set1[i].NextFailureAfter(0.0),
+                     set2[i].NextFailureAfter(0.0));
+  }
+  EXPECT_NE(set1[0].NextFailureAfter(0.0), set1[1].NextFailureAfter(0.0));
+}
+
+}  // namespace
+}  // namespace xdbft::cluster

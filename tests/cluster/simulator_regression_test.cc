@@ -1,4 +1,4 @@
-// Regression tests for two simulator accounting bugs:
+// Regression tests for simulator accounting bugs:
 //  1. RunMany over a trace set where *every* run aborted reported
 //     runtime 0.0 — an impossible workload looked like an instant
 //     success. It now reports the time the aborted runs burned.
@@ -7,6 +7,14 @@
 //     failure time to the next monitoring tick before MTTR) while the
 //     full-restart baseline restarted instantly, biasing every
 //     fine-vs-full comparison against fine-grained recovery.
+//  3. RunFineGrained ignored options_.max_restarts: a retry unit could
+//     spin forever while RunFullRestart aborted after max_restarts, so
+//     the two recovery schemes were compared under different abort
+//     semantics. Fine-grained now aborts when any single retry unit
+//     (collapsed op x node, or checkpoint segment) hits the cap.
+//  4. RunMany with a mixed trace set (some completed, some aborted)
+//     dropped the aborted runs' burned time entirely; aborted_seconds is
+//     now the mean over aborted traces and runtime stays completed-basis.
 #include "cluster/simulator.h"
 
 #include <gtest/gtest.h>
@@ -77,9 +85,9 @@ TEST(SimulatorRegressionTest, AllAbortedRunManyReportsNonZeroRuntime) {
   EXPECT_GT(r->runtime_p50, 0.0);
   EXPECT_GT(r->runtime_p95, 0.0);
   EXPECT_LE(r->runtime_p50, r->runtime_p95);
-  // Mean over aborted runs is consistent with the summed time-spent.
-  EXPECT_NEAR(r->runtime, r->aborted_seconds / 8.0,
-              1e-9 * r->aborted_seconds);
+  // aborted_seconds is the mean time burned per aborted run; with every
+  // trace aborted it coincides with the fallback runtime basis.
+  EXPECT_NEAR(r->runtime, r->aborted_seconds, 1e-9 * r->aborted_seconds);
 }
 
 TEST(SimulatorRegressionTest, MixedAbortsStillAverageCompletedRuns) {
@@ -102,6 +110,78 @@ TEST(SimulatorRegressionTest, MixedAbortsStillAverageCompletedRuns) {
   EXPECT_FALSE(r->completed);
   EXPECT_GE(r->runtime, 401.0);       // mean of completed runs only
   EXPECT_GT(r->aborted_seconds, 0.0);
+
+  // Differential check of the aggregation contract: fold the per-trace
+  // results by hand and require exact agreement — the bug this guards
+  // against made aborted runs' burned time vanish from the aggregate.
+  auto traces2 = GenerateTraceSet(stats, 30, 11);
+  std::vector<double> completed_runtimes;
+  double aborted_sum = 0.0;
+  int aborted_count = 0;
+  for (auto& t : traces2) {
+    auto one = sim.Run(sp, t);
+    ASSERT_TRUE(one.ok());
+    if (one->completed) {
+      completed_runtimes.push_back(one->runtime);
+    } else {
+      aborted_sum += one->runtime;
+      ++aborted_count;
+    }
+  }
+  ASSERT_EQ(aborted_count, r->aborted);
+  double mean = 0.0;
+  for (double x : completed_runtimes) mean += x;
+  mean /= static_cast<double>(completed_runtimes.size());
+  EXPECT_NEAR(r->runtime, mean, 1e-9 * mean);
+  EXPECT_NEAR(r->aborted_seconds,
+              aborted_sum / static_cast<double>(aborted_count),
+              1e-9 * aborted_sum);
+}
+
+TEST(SimulatorRegressionTest, FineGrainedRespectsMaxRestarts) {
+  // A 1000s retry unit on nodes failing every ~100s essentially never
+  // completes (P ~ e^-10 per attempt). Before the fix fine-grained
+  // recovery retried unboundedly; now it aborts once a single unit has
+  // burned max_restarts attempts, like full restart and the executor.
+  Plan p = ChainPlan(1000.0, 1.0, 2);
+  cost::ClusterStats stats = cost::MakeCluster(3, 100.0, 1.0);
+  SimulationOptions opts;
+  opts.max_restarts = 10;
+  ClusterSimulator sim(stats, opts);
+  ClusterTrace trace = ClusterTrace::Generate(stats, 7);
+  auto r = sim.Run(p, MaterializationConfig::NoMat(p),
+                   RecoveryMode::kFineGrained, trace);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->completed);
+  EXPECT_EQ(r->aborted, 1);
+  EXPECT_EQ(r->restarts, 10);  // the first unit hit the cap
+  EXPECT_GT(r->runtime, 0.0);
+  EXPECT_DOUBLE_EQ(r->aborted_seconds, r->runtime);
+}
+
+TEST(SimulatorRegressionTest, FineGrainedCapIsPerRetryUnit) {
+  // The cap binds per retry unit, not across the whole query: with ops
+  // short relative to MTBF, total restarts may exceed max_restarts while
+  // every individual unit stays under it and the query completes.
+  Plan p = ChainPlan(40.0, 1.0, 6);
+  cost::ClusterStats stats = cost::MakeCluster(4, 120.0, 1.0);
+  SimulationOptions opts;
+  opts.max_restarts = 12;
+  ClusterSimulator sim(stats, opts);
+  int total_restarts = 0;
+  int completed = 0;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    ClusterTrace trace = ClusterTrace::Generate(stats, seed);
+    auto r = sim.Run(p, MaterializationConfig::AllMat(p),
+                     RecoveryMode::kFineGrained, trace);
+    ASSERT_TRUE(r.ok());
+    if (r->completed) {
+      ++completed;
+      total_restarts += r->restarts;
+    }
+  }
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(total_restarts, opts.max_restarts);  // cap is per unit
 }
 
 // Reference replay of full-restart semantics: a failure at time f is

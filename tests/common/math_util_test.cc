@@ -73,5 +73,27 @@ TEST(MathUtilTest, HarmonicNumber) {
   EXPECT_NEAR(HarmonicNumber(100), std::log(100.0) + 0.5772156649, 0.01);
 }
 
+TEST(MathUtilTest, HarmonicNumberExactVsAsymptoticBoundary) {
+  // The implementation switches from exact summation to the
+  // Euler-Maclaurin expansion at a small-n cutoff. Sweep a window
+  // straddling every plausible cutoff and require the reference sum and
+  // the returned value to agree to near machine precision, so the
+  // exact/approx seam is invisible to callers.
+  double reference = 0.0;
+  uint64_t i = 1;
+  for (uint64_t n = 1; n <= 5000; ++n) {
+    for (; i <= n; ++i) reference += 1.0 / static_cast<double>(i);
+    EXPECT_NEAR(HarmonicNumber(n), reference, 1e-12 * reference)
+        << "n=" << n;
+  }
+}
+
+TEST(MathUtilTest, HarmonicNumberLargeNIsConstantTime) {
+  // The asymptotic branch must serve huge n exactly as well: H_1e9 is
+  // known to 12+ digits and an O(n) loop would be noticeable here.
+  EXPECT_NEAR(HarmonicNumber(1000000000ULL), 21.300481502347944, 1e-9);
+  EXPECT_NEAR(HarmonicNumber(1000000ULL), 14.392726722865724, 1e-10);
+}
+
 }  // namespace
 }  // namespace xdbft

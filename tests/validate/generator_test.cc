@@ -1,0 +1,103 @@
+// The random case generators must produce *valid* inputs for every seed:
+// plans that pass Plan::Validate, configs that pass the materialization
+// invariants, stage plans the executor can run, and trace specs that
+// materialize deterministically. Determinism per seed is what makes a
+// reproducer file replayable at all.
+#include "validate/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/ft_executor.h"
+#include "plan/plan_text.h"
+
+namespace xdbft::validate {
+namespace {
+
+TEST(GeneratorTest, RandomPlansAreValidForManySeeds) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    uint64_t state = seed;
+    Rng rng(SplitMix64(state));
+    plan::Plan plan = RandomPlan(rng);
+    ASSERT_TRUE(plan.Validate().ok()) << "seed " << seed;
+    ASSERT_GE(plan.num_nodes(), 3u);
+    ASSERT_LE(plan.num_nodes(), 10u);
+    ft::MaterializationConfig config = RandomConfig(rng, plan);
+    ASSERT_TRUE(config.Validate(plan).ok()) << "seed " << seed;
+    cost::ClusterStats cluster = RandomCluster(rng);
+    ASSERT_TRUE(cluster.Validate().ok()) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, RandomPlanIsDeterministicPerSeed) {
+  uint64_t s1 = 42, s2 = 42;
+  Rng a(SplitMix64(s1)), b(SplitMix64(s2));
+  EXPECT_EQ(plan::PlanToText(RandomPlan(a)), plan::PlanToText(RandomPlan(b)));
+}
+
+TEST(GeneratorTest, TraceSpecMaterializesDeterministically) {
+  uint64_t state = 7;
+  Rng rng(SplitMix64(state));
+  cost::ClusterStats cluster = RandomCluster(rng);
+  for (int i = 0; i < 20; ++i) {
+    TraceSpec spec = RandomTraceSpec(rng, 4);
+    if (spec.kind == TraceKind::kBurst) {
+      ASSERT_TRUE(spec.burst.Validate().ok());
+    }
+    std::vector<cluster::ClusterTrace> t1 = spec.Materialize(cluster);
+    std::vector<cluster::ClusterTrace> t2 = spec.Materialize(cluster);
+    ASSERT_EQ(t1.size(), 4u);
+    for (size_t k = 0; k < t1.size(); ++k) {
+      for (int node = 0; node < cluster.num_nodes; ++node) {
+        EXPECT_DOUBLE_EQ(t1[k].node(node).NextFailureAfter(0.0),
+                         t2[k].node(node).NextFailureAfter(0.0));
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, RandomStagePlansExecute) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    uint64_t state = seed * 977;
+    Rng rng(SplitMix64(state));
+    engine::StagePlan splan = RandomStagePlan(rng);
+    ASSERT_GE(splan.num_stages(), 3u) << "seed " << seed;
+    const engine::PartitionedDatabase db = MakeDummyDatabase(3);
+    const plan::Plan skeleton = splan.ToPlanSkeleton();
+    ASSERT_TRUE(skeleton.Validate().ok()) << "seed " << seed;
+    engine::FaultTolerantExecutor executor(&splan, &db);
+    executor.set_num_threads(2);
+    auto r = executor.Execute(ft::MaterializationConfig::NoMat(skeleton),
+                              nullptr, 10);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    EXPECT_EQ(r->failures_injected, 0);
+    EXPECT_EQ(r->recovery_executions, 0);
+  }
+}
+
+TEST(GeneratorTest, StagePlanSourcesProduceDistinguishableRows) {
+  uint64_t state = 3;
+  Rng rng(SplitMix64(state));
+  engine::StagePlan splan = RandomStagePlan(rng);
+  const engine::PartitionedDatabase db = MakeDummyDatabase(2);
+  const plan::Plan skeleton = splan.ToPlanSkeleton();
+  engine::FaultTolerantExecutor executor(&splan, &db);
+  auto r = executor.Execute(ft::MaterializationConfig::NoMat(skeleton),
+                            nullptr, 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The synthetic data keys rows by partition (k = p*1000 + r), so any
+  // surviving output rows must carry non-trivial keys.
+  EXPECT_EQ(r->result.schema.num_columns(), 2u);
+}
+
+TEST(GeneratorTest, LogUniformStaysInRange) {
+  uint64_t state = 99;
+  Rng rng(SplitMix64(state));
+  for (int i = 0; i < 1000; ++i) {
+    const double v = LogUniform(rng, 2.0, 512.0);
+    ASSERT_GE(v, 2.0 * (1.0 - 1e-12));
+    ASSERT_LE(v, 512.0 * (1.0 + 1e-12));
+  }
+}
+
+}  // namespace
+}  // namespace xdbft::validate

@@ -11,10 +11,14 @@
 //   --quick       tiny scale factor, thread counts {1, 2, 4}, skip the
 //                 microbenchmarks (the bench-smoke ctest entry)
 //   --sweep-only  full sweep, skip the microbenchmarks (the CI artifact)
+//   --vectorized  run only the row-vs-batch vectorization sweep in quick
+//                 mode (the bench-smoke vectorized ctest entry)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -24,7 +28,9 @@
 #include "engine/ft_executor.h"
 #include "engine/query_runner.h"
 #include "engine/stage_plan.h"
+#include "exec/batch.h"
 #include "exec/operators.h"
+#include "exec/pipeline.h"
 #include "ft/mat_config.h"
 
 using namespace xdbft;
@@ -180,7 +186,7 @@ engine::FtExecutionResult RunOnce(const engine::StagePlan& plan,
 // without injected failures, asserting the result table and every
 // deterministic counter match the single-threaded run. Returns non-zero
 // on a determinism violation.
-int RunExecSweep(bool quick) {
+int RunExecSweep(bench::BenchJsonWriter* json, bool quick) {
   bench::PrintHeader(
       "Parallel fault-tolerant execution: thread scaling (TPC-H Q5)",
       "SIGMOD'15 \"Cost-based Fault-tolerance\" §5.1 execution layer");
@@ -199,7 +205,6 @@ int RunExecSweep(bool quick) {
       quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
   const int repeats = quick ? 1 : 3;
 
-  bench::BenchJsonWriter json("exec");
   bench::Table table({"workload", "threads", "seconds", "speedup",
                       "failures", "recoveries"},
                      {12, 7, 9, 8, 8, 10});
@@ -254,11 +259,136 @@ int RunExecSweep(bool quick) {
           .Set("scale_factor", opts.scale_factor)
           .Set("hardware_concurrency", static_cast<double>(hw))
           .Set("quick", quick);
-      json.Write(row);
+      json->Write(row);
     }
   }
   if (violations == 0) {
     std::printf("\nAll thread counts bit-identical to threads=1.\n");
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+// Row-engine vs morsel-driven vectorized engine on the canonical
+// scan -> filter -> hash-aggregate microbenchmark, across thread counts.
+// Asserts the vectorized result is bit-identical to the row engine at
+// every thread count and reports single-thread batch-vs-row speedup.
+int RunVectorizationSweep(bench::BenchJsonWriter* json, bool quick) {
+  bench::PrintHeader(
+      "Vectorized execution: row vs batch engine (scan+filter+agg)",
+      "morsel-driven pipelines over the Volcano baseline");
+  const int64_t rows = quick ? 1000000 : 4000000;
+  // Q1-shaped input: (key, price, discount); the aggregate argument is the
+  // revenue expression price * (1 - discount), where vectorized evaluation
+  // pays off most against the row engine's per-row expression tree walk.
+  Table t;
+  t.schema = {{"k", exec::ValueType::kInt64},
+              {"price", exec::ValueType::kDouble},
+              {"disc", exec::ValueType::kDouble}};
+  {
+    Rng rng(11);
+    t.rows.reserve(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+      t.rows.push_back({Value(rng.NextInt(0, 99999)),
+                        Value(rng.NextDouble() * 100.0),
+                        Value(rng.NextDouble() * 0.1)});
+    }
+  }
+  const auto revenue =
+      Expr::Col(1) * (Expr::Lit(Value(1.0)) - Expr::Col(2));
+  const auto plan = exec::VHashAggregate(
+      exec::VFilter(exec::VScan(&t),
+                    exec::Lt(Expr::Col(0), Expr::Lit(Value(int64_t{50000})))),
+      {0},
+      {{AggFunc::kSum, revenue, "revenue"},
+       {AggFunc::kCount, nullptr, "c"}});
+  const int repeats = quick ? 4 : 6;
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+
+  const auto time_best = [&](const std::function<Result<Table>()>& run,
+                             Table* result) -> double {
+    double best = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      auto r = run();
+      const auto end = std::chrono::steady_clock::now();
+      if (!r.ok()) {
+        std::fprintf(stderr, "vectorization sweep failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+      const double secs = std::chrono::duration<double>(end - start).count();
+      if (rep == 0 || secs < best) {
+        best = secs;
+        *result = std::move(*r);
+      }
+    }
+    return best;
+  };
+
+  bench::Table table({"engine", "threads", "seconds", "mrows/s", "vs_row"},
+                     {8, 7, 9, 9, 8});
+  table.PrintHeaderRow();
+  Table row_result;
+  const double row_seconds = time_best(
+      [&]() {
+        auto op = exec::ToOperator(plan);
+        return exec::Drain(op.get());
+      },
+      &row_result);
+  const auto emit = [&](const std::string& engine, int threads, double secs,
+                        double speedup) {
+    table.PrintRow({engine, StrFormat("%d", threads),
+                    StrFormat("%.4f", secs),
+                    StrFormat("%.1f",
+                              static_cast<double>(rows) / secs / 1e6),
+                    StrFormat("%.2fx", speedup)});
+    bench::JsonLine line;
+    line.Set("workload", "vec_scan_filter_agg")
+        .Set("engine", engine)
+        .Set("threads", static_cast<double>(threads))
+        .Set("seconds", secs)
+        .Set("rows", static_cast<double>(rows))
+        .Set("rows_per_sec", static_cast<double>(rows) / secs)
+        .Set("speedup_vs_row", speedup)
+        .Set("quick", quick);
+    json->Write(line);
+  };
+  emit("row", 1, row_seconds, 1.0);
+
+  int violations = 0;
+  double single_thread_speedup = 0.0;
+  for (const int threads : thread_counts) {
+    Table vec_result;
+    const double secs = time_best(
+        [&]() {
+          exec::VecExecOptions vopts;
+          vopts.num_threads = threads;
+          return exec::ExecuteVectorized(plan, vopts);
+        },
+        &vec_result);
+    if (!exec::BitIdenticalTables(row_result, vec_result)) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: vectorized at %d threads "
+                   "diverges from the row engine\n",
+                   threads);
+      ++violations;
+    }
+    const double speedup = secs > 0.0 ? row_seconds / secs : 0.0;
+    if (threads == 1) single_thread_speedup = speedup;
+    emit("batch", threads, secs, speedup);
+  }
+  if (violations == 0) {
+    std::printf(
+        "\nBatch engine bit-identical to the row engine at every thread "
+        "count; single-thread speedup %.2fx.\n",
+        single_thread_speedup);
+  }
+  if (single_thread_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "warning: single-thread batch speedup %.2fx below the "
+                 "1.5x target\n",
+                 single_thread_speedup);
   }
   return violations == 0 ? 0 : 1;
 }
@@ -268,6 +398,7 @@ int RunExecSweep(bool quick) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool sweep_only = false;
+  bool vectorized_only = false;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -276,11 +407,18 @@ int main(int argc, char** argv) {
       sweep_only = true;
     } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
       sweep_only = true;
+    } else if (std::strcmp(argv[i], "--vectorized") == 0) {
+      quick = true;
+      sweep_only = true;
+      vectorized_only = true;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  const int rc = RunExecSweep(quick);
+  bench::BenchJsonWriter json("exec");
+  if (vectorized_only) return RunVectorizationSweep(&json, quick);
+  int rc = RunExecSweep(&json, quick);
+  if (rc == 0) rc = RunVectorizationSweep(&json, quick);
   if (rc != 0 || sweep_only) return rc;
   int pargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pargc, passthrough.data());

@@ -1,0 +1,28 @@
+// Engine selection for query/stage execution: the same VecNode plans run
+// on the row-at-a-time Volcano engine or the morsel-driven vectorized
+// engine (exec/pipeline.h), with bit-identical results.
+#pragma once
+
+#include <cstddef>
+
+#include "exec/pipeline.h"
+
+namespace xdbft::engine {
+
+enum class ExecMode : int { kRow, kVectorized };
+
+/// \brief How QueryRunner / stage-plan builders execute their plans.
+struct ExecOptions {
+  ExecMode mode = ExecMode::kRow;
+  /// Worker threads per vectorized pipeline (row mode ignores it). Keep
+  /// at 1 when stage callbacks run inside another pool's tasks (the FT
+  /// executor's partition tasks): ParallelForEach is not reentrant.
+  int num_threads = 1;
+  /// Rows per morsel/batch in vectorized mode.
+  size_t morsel_rows = exec::kDefaultBatchRows;
+  /// Optional per-pipeline trace lanes.
+  obs::TraceRecorder* trace = nullptr;
+  int trace_lane_base = 0;
+};
+
+}  // namespace xdbft::engine

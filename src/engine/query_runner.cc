@@ -1,119 +1,30 @@
 #include "engine/query_runner.h"
 
-#include <algorithm>
 #include <chrono>
 #include <functional>
-#include <thread>
+#include <utility>
 
-#include "common/task_pool.h"
 #include "datagen/tpch_gen.h"
+#include "engine/stage_exec.h"
 
 namespace xdbft::engine {
 
-using catalog::TpchTable;
 using exec::AggFunc;
 using exec::AggSpec;
 using exec::Expr;
-using exec::MakeFilter;
-using exec::MakeHashAggregate;
-using exec::MakeHashJoin;
-using exec::MakeProject;
-using exec::MakeScan;
-using exec::MakeSort;
-using exec::OperatorPtr;
 using exec::Table;
 using exec::Value;
+using exec::VecNodePtr;
+using exec::VFilter;
+using exec::VHashAggregate;
+using exec::VHashJoin;
+using exec::VProject;
+using exec::VScan;
+using exec::VSort;
+
+using catalog::TpchTable;
 
 namespace {
-
-// Runs `work(p)` for every partition concurrently on a work-stealing
-// TaskPool bounded by the hardware (no thread-per-partition blowup when
-// partitions outnumber cores); each callback fills outputs[p]. Returns
-// the slowest partition's wall time.
-Result<double> RunPartitionsParallel(
-    int num_partitions,
-    const std::function<Result<Table>(int)>& work,
-    std::vector<Table>* outputs) {
-  outputs->assign(static_cast<size_t>(num_partitions), Table{});
-  std::vector<Status> statuses(static_cast<size_t>(num_partitions));
-  std::vector<double> times(static_cast<size_t>(num_partitions), 0.0);
-  const unsigned hc = std::thread::hardware_concurrency();
-  const int workers =
-      std::min(num_partitions, hc == 0 ? 1 : static_cast<int>(hc));
-  // The calling thread helps drain the queue, so one pool worker fewer.
-  TaskPool pool(workers > 1 ? workers - 1 : 0);
-  pool.ParallelForEach(
-      static_cast<size_t>(num_partitions), [&](size_t i) {
-        const int p = static_cast<int>(i);
-        const auto start = std::chrono::steady_clock::now();
-        Result<Table> r = work(p);
-        const auto end = std::chrono::steady_clock::now();
-        times[static_cast<size_t>(p)] =
-            std::chrono::duration<double>(end - start).count();
-        if (r.ok()) {
-          (*outputs)[static_cast<size_t>(p)] = std::move(*r);
-        } else {
-          statuses[static_cast<size_t>(p)] = r.status();
-        }
-      });
-  double slowest = 0.0;
-  for (int p = 0; p < num_partitions; ++p) {
-    XDBFT_RETURN_NOT_OK(statuses[static_cast<size_t>(p)]);
-    slowest = std::max(slowest, times[static_cast<size_t>(p)]);
-  }
-  return slowest;
-}
-
-// Rough bytes/row of a table (for materialization costing).
-double EstimateRowWidth(const Table& t) {
-  if (t.rows.empty()) return 16.0 * static_cast<double>(t.schema.num_columns());
-  double bytes = 0.0;
-  const auto& row = t.rows[0];
-  for (const auto& v : row) {
-    bytes += v.type() == exec::ValueType::kString
-                 ? 16.0 + static_cast<double>(v.AsString().size())
-                 : 8.0;
-  }
-  return bytes;
-}
-
-// Records a stage into the execution.
-void RecordStage(QueryExecution* exec_result, const std::string& label,
-                 double seconds, const std::vector<Table>& outputs) {
-  StageTiming st;
-  st.label = label;
-  st.seconds = seconds;
-  for (const auto& t : outputs) st.output_rows += t.num_rows();
-  st.row_width_bytes =
-      outputs.empty() ? 0.0 : EstimateRowWidth(outputs[0]);
-  exec_result->stages.push_back(std::move(st));
-  exec_result->total_seconds += seconds;
-}
-
-Table ConcatTables(const std::vector<Table>& tables) {
-  Table out;
-  if (!tables.empty()) out.schema = tables[0].schema;
-  for (const auto& t : tables) {
-    out.rows.insert(out.rows.end(), t.rows.begin(), t.rows.end());
-  }
-  return out;
-}
-
-// Hash-slice of a replicated table so each partition processes a disjoint
-// share (emulating RREF partial replication).
-Table SliceReplica(const Table& replica, int key_column, int partition,
-                   int num_partitions) {
-  Table out;
-  out.schema = replica.schema;
-  for (const auto& row : replica.rows) {
-    if (row[static_cast<size_t>(key_column)].Hash() %
-            static_cast<size_t>(num_partitions) ==
-        static_cast<size_t>(partition)) {
-      out.rows.push_back(row);
-    }
-  }
-  return out;
-}
 
 using params::kQ1ShipdateCutoff;
 using params::kQ3Date;
@@ -123,6 +34,28 @@ using params::kQ5YearEnd;
 using params::kQ5YearStart;
 
 }  // namespace
+
+QueryRunner::QueryRunner(const PartitionedDatabase* db, ExecOptions opts)
+    : db_(db), opts_(opts) {
+  if (opts_.mode == ExecMode::kVectorized && opts_.num_threads > 1) {
+    // num_threads - 1 workers: the pipeline's calling thread helps.
+    pool_ = std::make_unique<TaskPool>(opts_.num_threads - 1);
+  }
+}
+
+Result<Table> QueryRunner::Run(const exec::VecNodePtr& plan) const {
+  if (opts_.mode == ExecMode::kRow) {
+    const exec::OperatorPtr op = exec::ToOperator(plan);
+    return exec::Drain(op.get());
+  }
+  exec::VecExecOptions vopts;
+  vopts.num_threads = opts_.num_threads;
+  vopts.morsel_rows = opts_.morsel_rows;
+  vopts.pool = pool_.get();
+  vopts.trace = opts_.trace;
+  vopts.trace_lane_base = opts_.trace_lane_base;
+  return exec::ExecuteVectorized(plan, vopts);
+}
 
 Result<QueryExecution> QueryRunner::RunQ1() const {
   if (db_ == nullptr) return Status::InvalidArgument("null database");
@@ -134,8 +67,8 @@ Result<QueryExecution> QueryRunner::RunQ1() const {
   std::vector<Table> partials;
   XDBFT_ASSIGN_OR_RETURN(
       double secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& part = lineitem.partitions[static_cast<size_t>(p)];
             const auto& schema = part.schema;
@@ -149,15 +82,15 @@ Result<QueryExecution> QueryRunner::RunQ1() const {
                                    schema.Find("l_returnflag"));
             XDBFT_ASSIGN_OR_RETURN(const int ls,
                                    schema.Find("l_linestatus"));
-            auto op = MakeFilter(
-                MakeScan(&part),
+            auto plan = VFilter(
+                VScan(&part),
                 exec::Le(shipdate, Expr::Lit(Value(kQ1ShipdateCutoff))));
-            op = MakeHashAggregate(
-                std::move(op), {rf, ls},
+            plan = VHashAggregate(
+                std::move(plan), {rf, ls},
                 {{AggFunc::kSum, qty, "sum_qty"},
                  {AggFunc::kSum, price, "sum_price"},
                  {AggFunc::kCount, nullptr, "count_order"}});
-            return exec::Drain(op.get());
+            return Run(plan);
           },
           &partials));
   RecordStage(&out, "PartialAgg(L)", secs, partials);
@@ -170,13 +103,13 @@ Result<QueryExecution> QueryRunner::RunQ1() const {
     XDBFT_ASSIGN_OR_RETURN(auto sum_qty, Expr::Col(schema, "sum_qty"));
     XDBFT_ASSIGN_OR_RETURN(auto sum_price, Expr::Col(schema, "sum_price"));
     XDBFT_ASSIGN_OR_RETURN(auto cnt, Expr::Col(schema, "count_order"));
-    auto op = MakeHashAggregate(
-        MakeScan(&merged), {0, 1},
+    auto plan = VHashAggregate(
+        VScan(&merged), {0, 1},
         {{AggFunc::kSum, sum_qty, "sum_qty"},
          {AggFunc::kSum, sum_price, "sum_price"},
          {AggFunc::kSum, cnt, "count_order"}});
-    auto sorted = MakeSort(std::move(op), {0, 1}, {true, true});
-    XDBFT_ASSIGN_OR_RETURN(out.result, exec::Drain(sorted.get()));
+    plan = VSort(std::move(plan), {0, 1}, {true, true});
+    XDBFT_ASSIGN_OR_RETURN(out.result, Run(plan));
   }
   const auto end = std::chrono::steady_clock::now();
   RecordStage(&out, "FinalAgg",
@@ -198,8 +131,8 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
   std::vector<Table> co;
   XDBFT_ASSIGN_OR_RETURN(
       double secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& creplica =
                 customer.partitions[static_cast<size_t>(p)];
@@ -209,26 +142,26 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
                                              "c_mktsegment"));
             XDBFT_ASSIGN_OR_RETURN(const int ckey,
                                    creplica.schema.Find("c_custkey"));
-            auto build = MakeFilter(
-                MakeScan(&creplica),
+            auto build = VFilter(
+                VScan(&creplica),
                 exec::Eq(seg, Expr::Lit(Value(kQ3Segment))));
             XDBFT_ASSIGN_OR_RETURN(auto odate,
                                    Expr::Col(opart.schema, "o_orderdate"));
             XDBFT_ASSIGN_OR_RETURN(const int okey_cust,
                                    opart.schema.Find("o_custkey"));
-            auto probe = MakeFilter(
-                MakeScan(&opart),
+            auto probe = VFilter(
+                VScan(&opart),
                 exec::Lt(odate, Expr::Lit(Value(kQ3Date))));
-            auto join = MakeHashJoin(std::move(build), std::move(probe),
-                                     {ckey}, {okey_cust});
+            auto join = VHashJoin(std::move(build), std::move(probe),
+                                  {ckey}, {okey_cust});
             // Keep (o_orderkey, o_orderdate).
-            const auto& js = join->schema();
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto okey, Expr::Col(js, "o_orderkey"));
             XDBFT_ASSIGN_OR_RETURN(auto odate2,
                                    Expr::Col(js, "o_orderdate"));
-            auto proj = MakeProject(std::move(join), {okey, odate2},
-                                    {"o_orderkey", "o_orderdate"});
-            return exec::Drain(proj.get());
+            auto proj = VProject(std::move(join), {okey, odate2},
+                                 {"o_orderkey", "o_orderdate"});
+            return Run(proj);
           },
           &co));
   RecordStage(&out, "Join(C,O)", secs, co);
@@ -237,8 +170,8 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
   std::vector<Table> col;
   XDBFT_ASSIGN_OR_RETURN(
       secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& build_t = co[static_cast<size_t>(p)];
             const Table& lpart =
@@ -249,12 +182,12 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
                                    Expr::Col(lpart.schema, "l_shipdate"));
             XDBFT_ASSIGN_OR_RETURN(const int lokey,
                                    lpart.schema.Find("l_orderkey"));
-            auto probe = MakeFilter(
-                MakeScan(&lpart),
+            auto probe = VFilter(
+                VScan(&lpart),
                 exec::Gt(sdate, Expr::Lit(Value(kQ3Date))));
-            auto join = MakeHashJoin(MakeScan(&build_t), std::move(probe),
-                                     {bokey}, {lokey});
-            const auto& js = join->schema();
+            auto join = VHashJoin(VScan(&build_t), std::move(probe),
+                                  {bokey}, {lokey});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto okey, Expr::Col(js, "l_orderkey"));
             XDBFT_ASSIGN_OR_RETURN(auto odate,
                                    Expr::Col(js, "o_orderdate"));
@@ -263,10 +196,10 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
             XDBFT_ASSIGN_OR_RETURN(auto disc,
                                    Expr::Col(js, "l_discount"));
             auto revenue = price * (Expr::Lit(Value(1.0)) - disc);
-            auto proj = MakeProject(
+            auto proj = VProject(
                 std::move(join), {okey, odate, revenue},
                 {"o_orderkey", "o_orderdate", "revenue"});
-            return exec::Drain(proj.get());
+            return Run(proj);
           },
           &col));
   RecordStage(&out, "Join(CO,L)", secs, col);
@@ -276,16 +209,16 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
   std::vector<Table> aggs;
   XDBFT_ASSIGN_OR_RETURN(
       secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& in = col[static_cast<size_t>(p)];
             XDBFT_ASSIGN_OR_RETURN(auto rev,
                                    Expr::Col(in.schema, "revenue"));
-            auto op = MakeHashAggregate(
-                MakeScan(&in), {0, 1},
+            auto plan = VHashAggregate(
+                VScan(&in), {0, 1},
                 {{AggFunc::kSum, rev, "revenue"}});
-            return exec::Drain(op.get());
+            return Run(plan);
           },
           &aggs));
   RecordStage(&out, "Agg(orderkey)", secs, aggs);
@@ -295,8 +228,8 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
   Table merged = ConcatTables(aggs);
   {
     XDBFT_ASSIGN_OR_RETURN(const int rev, merged.schema.Find("revenue"));
-    auto op = MakeSort(MakeScan(&merged), {rev}, {false}, 10);
-    XDBFT_ASSIGN_OR_RETURN(out.result, exec::Drain(op.get()));
+    auto plan = VSort(VScan(&merged), {rev}, {false}, 10);
+    XDBFT_ASSIGN_OR_RETURN(out.result, Run(plan));
   }
   const auto end = std::chrono::steady_clock::now();
   RecordStage(&out, "TopK(revenue)",
@@ -324,19 +257,18 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
     const Table& nrep = nation.partitions[0];
     XDBFT_ASSIGN_OR_RETURN(auto rkey,
                            Expr::Col(rrep.schema, "r_regionkey"));
-    auto build = MakeFilter(MakeScan(&rrep),
-                            exec::Eq(rkey, Expr::Lit(Value(kQ5Region))));
+    auto build = VFilter(VScan(&rrep),
+                         exec::Eq(rkey, Expr::Lit(Value(kQ5Region))));
     XDBFT_ASSIGN_OR_RETURN(const int rk, rrep.schema.Find("r_regionkey"));
     XDBFT_ASSIGN_OR_RETURN(const int nrk,
                            nrep.schema.Find("n_regionkey"));
-    auto join = MakeHashJoin(std::move(build), MakeScan(&nrep), {rk},
-                             {nrk});
-    const auto& js = join->schema();
+    auto join = VHashJoin(std::move(build), VScan(&nrep), {rk}, {nrk});
+    const auto& js = join->schema;
     XDBFT_ASSIGN_OR_RETURN(auto nkey, Expr::Col(js, "n_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
-    auto proj = MakeProject(std::move(join), {nkey, nname},
-                            {"n_nationkey", "n_name"});
-    XDBFT_ASSIGN_OR_RETURN(rn, exec::Drain(proj.get()));
+    auto proj = VProject(std::move(join), {nkey, nname},
+                         {"n_nationkey", "n_name"});
+    XDBFT_ASSIGN_OR_RETURN(rn, Run(proj));
     const auto end = std::chrono::steady_clock::now();
     RecordStage(&out, "Join1(R,N)",
                 std::chrono::duration<double>(end - start).count(), {rn});
@@ -346,8 +278,8 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
   std::vector<Table> rnc;
   XDBFT_ASSIGN_OR_RETURN(
       double secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& crep = customer.partitions[static_cast<size_t>(p)];
             XDBFT_ASSIGN_OR_RETURN(const int ckey_col,
@@ -357,16 +289,15 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
                                    rn.schema.Find("n_nationkey"));
             XDBFT_ASSIGN_OR_RETURN(const int cnk,
                                    cslice.schema.Find("c_nationkey"));
-            auto join = MakeHashJoin(MakeScan(&rn), MakeScan(&cslice),
-                                     {nk}, {cnk});
-            const auto& js = join->schema();
+            auto join = VHashJoin(VScan(&rn), VScan(&cslice), {nk}, {cnk});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto ckey, Expr::Col(js, "c_custkey"));
             XDBFT_ASSIGN_OR_RETURN(auto cnat,
                                    Expr::Col(js, "c_nationkey"));
             XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
-            auto proj = MakeProject(std::move(join), {ckey, cnat, nname},
-                                    {"c_custkey", "c_nationkey", "n_name"});
-            return exec::Drain(proj.get());
+            auto proj = VProject(std::move(join), {ckey, cnat, nname},
+                                 {"c_custkey", "c_nationkey", "n_name"});
+            return Run(proj);
           },
           &rnc));
   RecordStage(&out, "Join2(RN,C)", secs, rnc);
@@ -377,30 +308,30 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
   std::vector<Table> rnco;
   XDBFT_ASSIGN_OR_RETURN(
       secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& opart = orders.partitions[static_cast<size_t>(p)];
             XDBFT_ASSIGN_OR_RETURN(auto odate,
                                    Expr::Col(opart.schema, "o_orderdate"));
-            auto probe = MakeFilter(
-                MakeScan(&opart),
+            auto probe = VFilter(
+                VScan(&opart),
                 exec::And(exec::Ge(odate, Expr::Lit(Value(kQ5YearStart))),
                           exec::Lt(odate, Expr::Lit(Value(kQ5YearEnd)))));
             XDBFT_ASSIGN_OR_RETURN(const int bkey,
                                    rnc_all.schema.Find("c_custkey"));
             XDBFT_ASSIGN_OR_RETURN(const int pkey,
                                    opart.schema.Find("o_custkey"));
-            auto join = MakeHashJoin(MakeScan(&rnc_all), std::move(probe),
-                                     {bkey}, {pkey});
-            const auto& js = join->schema();
+            auto join = VHashJoin(VScan(&rnc_all), std::move(probe),
+                                  {bkey}, {pkey});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto okey, Expr::Col(js, "o_orderkey"));
             XDBFT_ASSIGN_OR_RETURN(auto cnat,
                                    Expr::Col(js, "c_nationkey"));
             XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
-            auto proj = MakeProject(std::move(join), {okey, cnat, nname},
-                                    {"o_orderkey", "c_nationkey", "n_name"});
-            return exec::Drain(proj.get());
+            auto proj = VProject(std::move(join), {okey, cnat, nname},
+                                 {"o_orderkey", "c_nationkey", "n_name"});
+            return Run(proj);
           },
           &rnco));
   RecordStage(&out, "Join3(RNC,O)", secs, rnco);
@@ -409,8 +340,8 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
   std::vector<Table> rncol;
   XDBFT_ASSIGN_OR_RETURN(
       secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& build_t = rnco[static_cast<size_t>(p)];
             const Table& lpart =
@@ -419,9 +350,9 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
                                    build_t.schema.Find("o_orderkey"));
             XDBFT_ASSIGN_OR_RETURN(const int lokey,
                                    lpart.schema.Find("l_orderkey"));
-            auto join = MakeHashJoin(MakeScan(&build_t), MakeScan(&lpart),
-                                     {bokey}, {lokey});
-            const auto& js = join->schema();
+            auto join = VHashJoin(VScan(&build_t), VScan(&lpart),
+                                  {bokey}, {lokey});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto skey, Expr::Col(js, "l_suppkey"));
             XDBFT_ASSIGN_OR_RETURN(auto price,
                                    Expr::Col(js, "l_extendedprice"));
@@ -430,10 +361,10 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
                                    Expr::Col(js, "c_nationkey"));
             XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
             auto revenue = price * (Expr::Lit(Value(1.0)) - disc);
-            auto proj = MakeProject(
+            auto proj = VProject(
                 std::move(join), {skey, cnat, nname, revenue},
                 {"l_suppkey", "c_nationkey", "n_name", "revenue"});
-            return exec::Drain(proj.get());
+            return Run(proj);
           },
           &rncol));
   RecordStage(&out, "Join4(RNCO,L)", secs, rncol);
@@ -442,8 +373,8 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
   std::vector<Table> rncols;
   XDBFT_ASSIGN_OR_RETURN(
       secs,
-      RunPartitionsParallel(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& srep = supplier.partitions[static_cast<size_t>(p)];
             const Table& probe_t = rncol[static_cast<size_t>(p)];
@@ -451,20 +382,20 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
                                    srep.schema.Find("s_suppkey"));
             XDBFT_ASSIGN_OR_RETURN(const int pkey,
                                    probe_t.schema.Find("l_suppkey"));
-            auto join = MakeHashJoin(MakeScan(&srep), MakeScan(&probe_t),
-                                     {skey}, {pkey});
-            const auto& js = join->schema();
+            auto join = VHashJoin(VScan(&srep), VScan(&probe_t),
+                                  {skey}, {pkey});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto snat,
                                    Expr::Col(js, "s_nationkey"));
             XDBFT_ASSIGN_OR_RETURN(auto cnat,
                                    Expr::Col(js, "c_nationkey"));
-            auto filt = MakeFilter(std::move(join), exec::Eq(snat, cnat));
-            const auto& fs = filt->schema();
+            auto filt = VFilter(std::move(join), exec::Eq(snat, cnat));
+            const auto& fs = filt->schema;
             XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(fs, "n_name"));
             XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(fs, "revenue"));
-            auto proj = MakeProject(std::move(filt), {nname, rev},
-                                    {"n_name", "revenue"});
-            return exec::Drain(proj.get());
+            auto proj = VProject(std::move(filt), {nname, rev},
+                                 {"n_name", "revenue"});
+            return Run(proj);
           },
           &rncols));
   RecordStage(&out, "Join5(RNCOL,S)", secs, rncols);
@@ -474,11 +405,11 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
   Table merged = ConcatTables(rncols);
   {
     XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(merged.schema, "revenue"));
-    auto op = MakeHashAggregate(MakeScan(&merged), {0},
-                                {{AggFunc::kSum, rev, "revenue"}});
-    XDBFT_ASSIGN_OR_RETURN(const int revc, op->schema().Find("revenue"));
-    auto sorted = MakeSort(std::move(op), {revc}, {false});
-    XDBFT_ASSIGN_OR_RETURN(out.result, exec::Drain(sorted.get()));
+    auto plan = VHashAggregate(VScan(&merged), {0},
+                               {{AggFunc::kSum, rev, "revenue"}});
+    XDBFT_ASSIGN_OR_RETURN(const int revc, plan->schema.Find("revenue"));
+    plan = VSort(std::move(plan), {revc}, {false});
+    XDBFT_ASSIGN_OR_RETURN(out.result, Run(plan));
   }
   const auto end = std::chrono::steady_clock::now();
   RecordStage(&out, "Agg(nation)",

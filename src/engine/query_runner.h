@@ -6,10 +6,13 @@
 // calibrator (the paper's "perfect cost estimates", §5.1).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/task_pool.h"
+#include "engine/exec_mode.h"
 #include "engine/partitioned_table.h"
 
 namespace xdbft::engine {
@@ -45,10 +48,12 @@ struct QueryExecution {
 };
 
 /// \brief Runs TPC-H Q1/Q3/Q5 partition-parallel over the distributed
-/// database. Threads execute partitions concurrently within each stage.
+/// database. Row mode executes partitions concurrently within each stage;
+/// vectorized mode runs each partition's plan on the morsel-driven
+/// pipeline engine instead (bit-identical results, any thread count).
 class QueryRunner {
  public:
-  explicit QueryRunner(const PartitionedDatabase* db) : db_(db) {}
+  explicit QueryRunner(const PartitionedDatabase* db, ExecOptions opts = {});
 
   /// \brief Q1: scan+filter LINEITEM, aggregate by (returnflag,
   /// linestatus).
@@ -74,7 +79,15 @@ class QueryRunner {
   Result<QueryExecution> RunQ2C() const;
 
  private:
+  /// \brief Execute one plan on the engine selected by the options (row:
+  /// ToOperator + Drain; vectorized: morsel pipelines on pool_).
+  Result<exec::Table> Run(const exec::VecNodePtr& plan) const;
+
   const PartitionedDatabase* db_;
+  ExecOptions opts_;
+  /// Morsel pool shared by every vectorized pipeline of this runner
+  /// (created only for mode == kVectorized with num_threads > 1).
+  std::unique_ptr<TaskPool> pool_;
 };
 
 }  // namespace xdbft::engine

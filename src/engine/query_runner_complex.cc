@@ -4,105 +4,28 @@
 // two outer queries.
 #include <chrono>
 #include <functional>
-#include <thread>
+#include <string>
+#include <utility>
 
 #include "datagen/tpch_gen.h"
 #include "engine/query_runner.h"
+#include "engine/stage_exec.h"
 
 namespace xdbft::engine {
 
 using catalog::TpchTable;
 using exec::AggFunc;
 using exec::Expr;
-using exec::MakeFilter;
-using exec::MakeHashAggregate;
-using exec::MakeHashJoin;
-using exec::MakeProject;
-using exec::MakeScan;
-using exec::MakeSort;
 using exec::Table;
 using exec::Value;
+using exec::VFilter;
+using exec::VHashAggregate;
+using exec::VHashJoin;
+using exec::VProject;
+using exec::VScan;
+using exec::VSort;
 
 namespace {
-
-// Local copies of the stage helpers (kept file-local to avoid widening the
-// engine's public surface).
-Result<double> ParallelStage(int num_partitions,
-                             const std::function<Result<Table>(int)>& work,
-                             std::vector<Table>* outputs) {
-  outputs->assign(static_cast<size_t>(num_partitions), Table{});
-  std::vector<Status> statuses(static_cast<size_t>(num_partitions));
-  std::vector<double> times(static_cast<size_t>(num_partitions), 0.0);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_partitions));
-  for (int p = 0; p < num_partitions; ++p) {
-    threads.emplace_back([&, p]() {
-      const auto start = std::chrono::steady_clock::now();
-      Result<Table> r = work(p);
-      const auto end = std::chrono::steady_clock::now();
-      times[static_cast<size_t>(p)] =
-          std::chrono::duration<double>(end - start).count();
-      if (r.ok()) {
-        (*outputs)[static_cast<size_t>(p)] = std::move(*r);
-      } else {
-        statuses[static_cast<size_t>(p)] = r.status();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  double slowest = 0.0;
-  for (int p = 0; p < num_partitions; ++p) {
-    XDBFT_RETURN_NOT_OK(statuses[static_cast<size_t>(p)]);
-    slowest = std::max(slowest, times[static_cast<size_t>(p)]);
-  }
-  return slowest;
-}
-
-double EstimateWidth(const Table& t) {
-  if (t.rows.empty()) {
-    return 16.0 * static_cast<double>(t.schema.num_columns());
-  }
-  double bytes = 0.0;
-  for (const auto& v : t.rows[0]) {
-    bytes += v.type() == exec::ValueType::kString
-                 ? 16.0 + static_cast<double>(v.AsString().size())
-                 : 8.0;
-  }
-  return bytes;
-}
-
-void Record(QueryExecution* out, const std::string& label, double seconds,
-            const std::vector<Table>& outputs) {
-  StageTiming st;
-  st.label = label;
-  st.seconds = seconds;
-  for (const auto& t : outputs) st.output_rows += t.num_rows();
-  st.row_width_bytes = outputs.empty() ? 0.0 : EstimateWidth(outputs[0]);
-  out->stages.push_back(std::move(st));
-  out->total_seconds += seconds;
-}
-
-Table Concat(const std::vector<Table>& tables) {
-  Table out;
-  if (!tables.empty()) out.schema = tables[0].schema;
-  for (const auto& t : tables) {
-    out.rows.insert(out.rows.end(), t.rows.begin(), t.rows.end());
-  }
-  return out;
-}
-
-Table Slice(const Table& replica, int key_column, int partition, int n) {
-  Table out;
-  out.schema = replica.schema;
-  for (const auto& row : replica.rows) {
-    if (row[static_cast<size_t>(key_column)].Hash() %
-            static_cast<size_t>(n) ==
-        static_cast<size_t>(partition)) {
-      out.rows.push_back(row);
-    }
-  }
-  return out;
-}
 
 // Q2C part-type prefix filter via a lexicographic range (the generated
 // p_type values start with one of six type words).
@@ -124,8 +47,8 @@ Result<QueryExecution> QueryRunner::RunQ1C() const {
   std::vector<Table> partials;
   XDBFT_ASSIGN_OR_RETURN(
       double secs,
-      ParallelStage(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& part = lineitem.partitions[static_cast<size_t>(p)];
             XDBFT_ASSIGN_OR_RETURN(auto shipdate,
@@ -137,42 +60,42 @@ Result<QueryExecution> QueryRunner::RunQ1C() const {
                                    part.schema.Find("l_returnflag"));
             XDBFT_ASSIGN_OR_RETURN(const int ls,
                                    part.schema.Find("l_linestatus"));
-            auto op = MakeFilter(
-                MakeScan(&part),
+            auto plan = VFilter(
+                VScan(&part),
                 exec::Le(shipdate,
                          Expr::Lit(Value(params::kQ1ShipdateCutoff))));
-            op = MakeHashAggregate(std::move(op), {rf, ls},
-                                   {{AggFunc::kSum, price, "sum_price"},
-                                    {AggFunc::kCount, nullptr, "cnt"}});
-            return exec::Drain(op.get());
+            plan = VHashAggregate(std::move(plan), {rf, ls},
+                                  {{AggFunc::kSum, price, "sum_price"},
+                                   {AggFunc::kCount, nullptr, "cnt"}});
+            return Run(plan);
           },
           &partials));
   Table avg_table;
   {
-    Table merged = Concat(partials);
+    Table merged = ConcatTables(partials);
     XDBFT_ASSIGN_OR_RETURN(auto sum_price,
                            Expr::Col(merged.schema, "sum_price"));
     XDBFT_ASSIGN_OR_RETURN(auto cnt, Expr::Col(merged.schema, "cnt"));
-    auto op = MakeHashAggregate(MakeScan(&merged), {0, 1},
-                                {{AggFunc::kSum, sum_price, "sum_price"},
-                                 {AggFunc::kSum, cnt, "cnt"}});
-    XDBFT_ASSIGN_OR_RETURN(auto sp2, Expr::Col(op->schema(), "sum_price"));
-    XDBFT_ASSIGN_OR_RETURN(auto cnt2, Expr::Col(op->schema(), "cnt"));
-    auto proj = MakeProject(
-        std::move(op),
+    auto agg = VHashAggregate(VScan(&merged), {0, 1},
+                              {{AggFunc::kSum, sum_price, "sum_price"},
+                               {AggFunc::kSum, cnt, "cnt"}});
+    XDBFT_ASSIGN_OR_RETURN(auto sp2, Expr::Col(agg->schema, "sum_price"));
+    XDBFT_ASSIGN_OR_RETURN(auto cnt2, Expr::Col(agg->schema, "cnt"));
+    auto proj = VProject(
+        std::move(agg),
         {Expr::Col(0), Expr::Col(1), sp2 / cnt2},
         {"g_returnflag", "g_linestatus", "avg_price"});
-    XDBFT_ASSIGN_OR_RETURN(avg_table, exec::Drain(proj.get()));
+    XDBFT_ASSIGN_OR_RETURN(avg_table, Run(proj));
   }
-  Record(&out, "InnerAgg(avg_price)", secs, {avg_table});
+  RecordStage(&out, "InnerAgg(avg_price)", secs, {avg_table});
 
   // Stage 2: re-join LINEITEM against the tiny average table and keep
   // items priced above their group's average.
   std::vector<Table> above;
   XDBFT_ASSIGN_OR_RETURN(
       secs,
-      ParallelStage(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& part = lineitem.partitions[static_cast<size_t>(p)];
             XDBFT_ASSIGN_OR_RETURN(auto shipdate,
@@ -185,39 +108,40 @@ Result<QueryExecution> QueryRunner::RunQ1C() const {
                                    avg_table.schema.Find("g_returnflag"));
             XDBFT_ASSIGN_OR_RETURN(const int gls,
                                    avg_table.schema.Find("g_linestatus"));
-            auto probe = MakeFilter(
-                MakeScan(&part),
+            auto probe = VFilter(
+                VScan(&part),
                 exec::Le(shipdate,
                          Expr::Lit(Value(params::kQ1ShipdateCutoff))));
-            auto join = MakeHashJoin(MakeScan(&avg_table), std::move(probe),
-                                     {grf, gls}, {rf, ls});
-            const auto& js = join->schema();
+            auto join = VHashJoin(VScan(&avg_table), std::move(probe),
+                                  {grf, gls}, {rf, ls});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(auto price,
                                    Expr::Col(js, "l_extendedprice"));
             XDBFT_ASSIGN_OR_RETURN(auto avg, Expr::Col(js, "avg_price"));
-            auto filt = MakeFilter(std::move(join), exec::Gt(price, avg));
-            const auto& fs = filt->schema();
+            auto filt = VFilter(std::move(join), exec::Gt(price, avg));
+            const auto& fs = filt->schema;
             XDBFT_ASSIGN_OR_RETURN(auto rf2, Expr::Col(fs, "l_returnflag"));
             XDBFT_ASSIGN_OR_RETURN(auto ls2, Expr::Col(fs, "l_linestatus"));
-            auto proj = MakeProject(std::move(filt), {rf2, ls2},
-                                    {"l_returnflag", "l_linestatus"});
-            return exec::Drain(proj.get());
+            auto proj = VProject(std::move(filt), {rf2, ls2},
+                                 {"l_returnflag", "l_linestatus"});
+            return Run(proj);
           },
           &above));
-  Record(&out, "Join(L,avg)", secs, above);
+  RecordStage(&out, "Join(L,avg)", secs, above);
 
   // Stage 3: count the above-average items per group.
   const auto start = std::chrono::steady_clock::now();
-  Table merged = Concat(above);
+  Table merged = ConcatTables(above);
   {
-    auto op = MakeHashAggregate(MakeScan(&merged), {0, 1},
-                                {{AggFunc::kCount, nullptr, "items"}});
-    auto sorted = MakeSort(std::move(op), {0, 1}, {true, true});
-    XDBFT_ASSIGN_OR_RETURN(out.result, exec::Drain(sorted.get()));
+    auto plan = VHashAggregate(VScan(&merged), {0, 1},
+                               {{AggFunc::kCount, nullptr, "items"}});
+    plan = VSort(std::move(plan), {0, 1}, {true, true});
+    XDBFT_ASSIGN_OR_RETURN(out.result, Run(plan));
   }
   const auto end = std::chrono::steady_clock::now();
-  Record(&out, "Agg(count_by_status)",
-         std::chrono::duration<double>(end - start).count(), {out.result});
+  RecordStage(&out, "Agg(count_by_status)",
+              std::chrono::duration<double>(end - start).count(),
+              {out.result});
   return out;
 }
 
@@ -234,39 +158,39 @@ Result<QueryExecution> QueryRunner::RunQ2C() const {
   std::vector<Table> cte;
   XDBFT_ASSIGN_OR_RETURN(
       double secs,
-      ParallelStage(
-          n,
+      RunStagePartitions(
+          opts_, n,
           [&](int p) -> Result<Table> {
             const Table& prep = part.partitions[static_cast<size_t>(p)];
             const Table& psrep =
                 partsupp.partitions[static_cast<size_t>(p)];
             XDBFT_ASSIGN_OR_RETURN(const int pkey_col,
                                    prep.schema.Find("p_partkey"));
-            const Table pslice = Slice(prep, pkey_col, p, n);
+            const Table pslice = SliceReplica(prep, pkey_col, p, n);
             XDBFT_ASSIGN_OR_RETURN(const int pskey_col,
                                    psrep.schema.Find("ps_partkey"));
-            const Table psslice = Slice(psrep, pskey_col, p, n);
+            const Table psslice = SliceReplica(psrep, pskey_col, p, n);
             XDBFT_ASSIGN_OR_RETURN(auto ptype,
                                    Expr::Col(pslice.schema, "p_type"));
-            auto build = MakeFilter(
-                MakeScan(&pslice),
+            auto build = VFilter(
+                VScan(&pslice),
                 exec::And(
                     exec::Ge(ptype, Expr::Lit(Value(kQ2TypePrefixLo))),
                     exec::Lt(ptype, Expr::Lit(Value(kQ2TypePrefixHi)))));
-            auto join = MakeHashJoin(std::move(build), MakeScan(&psslice),
-                                     {pkey_col}, {pskey_col});
-            const auto& js = join->schema();
+            auto join = VHashJoin(std::move(build), VScan(&psslice),
+                                  {pkey_col}, {pskey_col});
+            const auto& js = join->schema;
             XDBFT_ASSIGN_OR_RETURN(const int jpk,
                                    js.Find("ps_partkey"));
             XDBFT_ASSIGN_OR_RETURN(auto cost,
                                    Expr::Col(js, "ps_supplycost"));
-            auto agg = MakeHashAggregate(
+            auto agg = VHashAggregate(
                 std::move(join), {jpk},
                 {{AggFunc::kMin, cost, "min_cost"}});
-            return exec::Drain(agg.get());
+            return Run(agg);
           },
           &cte));
-  Record(&out, "CTE(min_supplycost)", secs, cte);
+  RecordStage(&out, "CTE(min_supplycost)", secs, cte);
 
   // Stages 2-3: two outer queries with different price filters; each
   // re-joins the CTE with PARTSUPP (to find the min-cost supplier) and
@@ -276,8 +200,8 @@ Result<QueryExecution> QueryRunner::RunQ2C() const {
     std::vector<Table> matches;
     XDBFT_ASSIGN_OR_RETURN(
         secs,
-        ParallelStage(
-            n,
+        RunStagePartitions(
+            opts_, n,
             [&](int p) -> Result<Table> {
               const Table& cte_part = cte[static_cast<size_t>(p)];
               const Table& psrep =
@@ -285,10 +209,10 @@ Result<QueryExecution> QueryRunner::RunQ2C() const {
               const Table& prep = part.partitions[static_cast<size_t>(p)];
               XDBFT_ASSIGN_OR_RETURN(const int pskey_col,
                                      psrep.schema.Find("ps_partkey"));
-              const Table psslice = Slice(psrep, pskey_col, p, n);
+              const Table psslice = SliceReplica(psrep, pskey_col, p, n);
               XDBFT_ASSIGN_OR_RETURN(const int pkey_col,
                                      prep.schema.Find("p_partkey"));
-              const Table pslice = Slice(prep, pkey_col, p, n);
+              const Table pslice = SliceReplica(prep, pkey_col, p, n);
               // (partkey, min_cost) = (ps_partkey, ps_supplycost).
               XDBFT_ASSIGN_OR_RETURN(const int ckey,
                                      cte_part.schema.Find("ps_partkey"));
@@ -296,43 +220,43 @@ Result<QueryExecution> QueryRunner::RunQ2C() const {
                                      cte_part.schema.Find("min_cost"));
               XDBFT_ASSIGN_OR_RETURN(const int pscost,
                                      psslice.schema.Find("ps_supplycost"));
-              auto join = MakeHashJoin(MakeScan(&cte_part),
-                                       MakeScan(&psslice), {ckey, cmin},
-                                       {pskey_col, pscost});
-              const auto& js = join->schema();
+              auto join = VHashJoin(VScan(&cte_part),
+                                    VScan(&psslice), {ckey, cmin},
+                                    {pskey_col, pscost});
+              const auto& js = join->schema;
               XDBFT_ASSIGN_OR_RETURN(const int jpk, js.Find("ps_partkey"));
-              auto pjoin = MakeHashJoin(std::move(join), MakeScan(&pslice),
-                                        {jpk}, {pkey_col});
-              const auto& ps = pjoin->schema();
+              auto pjoin = VHashJoin(std::move(join), VScan(&pslice),
+                                     {jpk}, {pkey_col});
+              const auto& ps = pjoin->schema;
               XDBFT_ASSIGN_OR_RETURN(auto price,
                                      Expr::Col(ps, "p_retailprice"));
               auto pred =
                   outer == 1
                       ? exec::Lt(price, Expr::Lit(Value(kQ2PriceSplit)))
                       : exec::Ge(price, Expr::Lit(Value(kQ2PriceSplit)));
-              auto filt = MakeFilter(std::move(pjoin), pred);
-              const auto& fs = filt->schema();
+              auto filt = VFilter(std::move(pjoin), pred);
+              const auto& fs = filt->schema;
               XDBFT_ASSIGN_OR_RETURN(auto pk2, Expr::Col(fs, "p_partkey"));
               XDBFT_ASSIGN_OR_RETURN(auto sk, Expr::Col(fs, "ps_suppkey"));
               XDBFT_ASSIGN_OR_RETURN(auto mc, Expr::Col(fs, "min_cost"));
-              auto proj = MakeProject(
+              auto proj = VProject(
                   std::move(filt), {pk2, sk, mc},
                   {"p_partkey", "ps_suppkey", "min_cost"});
-              return exec::Drain(proj.get());
+              return Run(proj);
             },
             &matches));
-    Table merged = Concat(matches);
+    Table merged = ConcatTables(matches);
     XDBFT_ASSIGN_OR_RETURN(const int mc, merged.schema.Find("min_cost"));
-    auto sorted = MakeSort(MakeScan(&merged), {mc}, {true}, 100);
-    XDBFT_ASSIGN_OR_RETURN(Table top, exec::Drain(sorted.get()));
-    Record(&out, "Outer" + std::to_string(outer) + "Join+TopK", secs,
-           {top});
+    auto sorted = VSort(VScan(&merged), {mc}, {true}, 100);
+    XDBFT_ASSIGN_OR_RETURN(Table top, Run(sorted));
+    RecordStage(&out, "Outer" + std::to_string(outer) + "Join+TopK", secs,
+                {top});
     outer_results.push_back(std::move(top));
   }
 
   // The query's combined result: both outer results concatenated (tagged
   // by position: the first 100 rows belong to outer 1).
-  out.result = Concat(outer_results);
+  out.result = ConcatTables(outer_results);
   return out;
 }
 

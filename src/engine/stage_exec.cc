@@ -1,0 +1,103 @@
+#include "engine/stage_exec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/task_pool.h"
+
+namespace xdbft::engine {
+
+using exec::Table;
+
+Result<double> RunStagePartitions(
+    const ExecOptions& opts, int num_partitions,
+    const std::function<Result<Table>(int)>& work,
+    std::vector<Table>* outputs) {
+  outputs->assign(static_cast<size_t>(num_partitions), Table{});
+  std::vector<Status> statuses(static_cast<size_t>(num_partitions));
+  std::vector<double> times(static_cast<size_t>(num_partitions), 0.0);
+
+  const auto run_one = [&](int p) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<Table> r = work(p);
+    const auto end = std::chrono::steady_clock::now();
+    times[static_cast<size_t>(p)] =
+        std::chrono::duration<double>(end - start).count();
+    if (r.ok()) {
+      (*outputs)[static_cast<size_t>(p)] = std::move(*r);
+    } else {
+      statuses[static_cast<size_t>(p)] = r.status();
+    }
+  };
+
+  if (opts.mode == ExecMode::kVectorized) {
+    // Sequential partitions; each plan parallelizes its own morsels.
+    for (int p = 0; p < num_partitions; ++p) run_one(p);
+  } else {
+    const unsigned hc = std::thread::hardware_concurrency();
+    const int workers =
+        std::min(num_partitions, hc == 0 ? 1 : static_cast<int>(hc));
+    // The calling thread helps drain the queue, so one pool worker fewer.
+    TaskPool pool(workers > 1 ? workers - 1 : 0);
+    pool.ParallelForEach(
+        static_cast<size_t>(num_partitions),
+        [&](size_t i) { run_one(static_cast<int>(i)); });
+  }
+
+  double slowest = 0.0;
+  for (int p = 0; p < num_partitions; ++p) {
+    XDBFT_RETURN_NOT_OK(statuses[static_cast<size_t>(p)]);
+    slowest = std::max(slowest, times[static_cast<size_t>(p)]);
+  }
+  return slowest;
+}
+
+double EstimateRowWidth(const Table& t) {
+  if (t.rows.empty()) {
+    return 16.0 * static_cast<double>(t.schema.num_columns());
+  }
+  double bytes = 0.0;
+  for (const auto& v : t.rows[0]) {
+    bytes += v.type() == exec::ValueType::kString
+                 ? 16.0 + static_cast<double>(v.AsString().size())
+                 : 8.0;
+  }
+  return bytes;
+}
+
+void RecordStage(QueryExecution* exec_result, const std::string& label,
+                 double seconds, const std::vector<Table>& outputs) {
+  StageTiming st;
+  st.label = label;
+  st.seconds = seconds;
+  for (const auto& t : outputs) st.output_rows += t.num_rows();
+  st.row_width_bytes = outputs.empty() ? 0.0 : EstimateRowWidth(outputs[0]);
+  exec_result->stages.push_back(std::move(st));
+  exec_result->total_seconds += seconds;
+}
+
+Table ConcatTables(const std::vector<Table>& tables) {
+  Table out;
+  if (!tables.empty()) out.schema = tables[0].schema;
+  for (const auto& t : tables) {
+    out.rows.insert(out.rows.end(), t.rows.begin(), t.rows.end());
+  }
+  return out;
+}
+
+Table SliceReplica(const Table& replica, int key_column, int partition,
+                   int num_partitions) {
+  Table out;
+  out.schema = replica.schema;
+  for (const auto& row : replica.rows) {
+    if (row[static_cast<size_t>(key_column)].Hash() %
+            static_cast<size_t>(num_partitions) ==
+        static_cast<size_t>(partition)) {
+      out.rows.push_back(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace xdbft::engine

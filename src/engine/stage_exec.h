@@ -1,0 +1,42 @@
+// Shared stage-execution helpers of the engine layer (previously
+// duplicated file-local in query_runner.cc / query_runner_complex.cc /
+// stage_plan.cc): partition fan-out, stage timing bookkeeping, and the
+// table plumbing used between stages.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/exec_mode.h"
+#include "engine/query_runner.h"
+
+namespace xdbft::engine {
+
+/// \brief Run `work(p)` for every partition, filling outputs[p]; returns
+/// the slowest task's wall time. Row mode runs partitions concurrently on
+/// a work-stealing pool bounded by the hardware. Vectorized mode runs
+/// partitions sequentially — parallelism lives inside each plan's morsel
+/// pipelines instead, and nesting the two would double-subscribe cores.
+Result<double> RunStagePartitions(
+    const ExecOptions& opts, int num_partitions,
+    const std::function<Result<exec::Table>(int)>& work,
+    std::vector<exec::Table>* outputs);
+
+/// \brief Rough bytes/row of a table (for materialization costing).
+double EstimateRowWidth(const exec::Table& t);
+
+/// \brief Append a StageTiming for `outputs` to the execution.
+void RecordStage(QueryExecution* exec_result, const std::string& label,
+                 double seconds, const std::vector<exec::Table>& outputs);
+
+/// \brief Row-wise concatenation (schema of the first input).
+exec::Table ConcatTables(const std::vector<exec::Table>& tables);
+
+/// \brief Hash-slice of a replicated table so each partition processes a
+/// disjoint share (emulating RREF partial replication).
+exec::Table SliceReplica(const exec::Table& replica, int key_column,
+                         int partition, int num_partitions);
+
+}  // namespace xdbft::engine

@@ -3,20 +3,21 @@
 #include "common/string_util.h"
 #include "datagen/tpch_gen.h"
 #include "engine/query_runner.h"
+#include "engine/stage_exec.h"
 
 namespace xdbft::engine {
 
 using catalog::TpchTable;
 using exec::AggFunc;
 using exec::Expr;
-using exec::MakeFilter;
-using exec::MakeHashAggregate;
-using exec::MakeHashJoin;
-using exec::MakeProject;
-using exec::MakeScan;
-using exec::MakeSort;
 using exec::Table;
 using exec::Value;
+using exec::VFilter;
+using exec::VHashAggregate;
+using exec::VHashJoin;
+using exec::VProject;
+using exec::VScan;
+using exec::VSort;
 
 int StagePlan::AddStage(Stage stage) {
   stages_.push_back(std::move(stage));
@@ -81,32 +82,28 @@ plan::Plan StagePlan::ToPlanSkeleton() const {
 
 namespace {
 
-// Hash-slice of a replica so each partition handles a disjoint share.
-Table SliceReplica(const Table& replica, int key_column, int partition,
-                   int n) {
-  Table out;
-  out.schema = replica.schema;
-  for (const auto& row : replica.rows) {
-    if (row[static_cast<size_t>(key_column)].Hash() %
-            static_cast<size_t>(n) ==
-        static_cast<size_t>(partition)) {
-      out.rows.push_back(row);
-    }
-  }
-  return out;
+// Runs one stage task's plan on the engine selected by `opts`. Stage tasks
+// execute inside the FT executor's pool, so morsel execution stays serial
+// regardless of opts.num_threads (ParallelForEach is not reentrant).
+Result<Table> RunStageNode(const ExecOptions& opts,
+                           const exec::VecNodePtr& plan) {
+  exec::VecExecOptions vopts;
+  vopts.num_threads = 1;
+  vopts.morsel_rows = opts.morsel_rows;
+  return exec::RunPlan(plan, opts.mode == ExecMode::kVectorized, vopts);
 }
 
 }  // namespace
 
-StagePlan MakeQ1StagePlan(const PartitionedDatabase& db) {
+StagePlan MakeQ1StagePlan(const PartitionedDatabase& db, ExecOptions opts) {
   StagePlan plan("Q1-stages");
   const auto* lineitem = &db.table(TpchTable::kLineitem);
 
   Stage partial;
   partial.label = "PartialAgg(L)";
   partial.type = plan::OpType::kHashAggregate;
-  partial.run = [lineitem](int partition,
-                           const std::vector<const Table*>&)
+  partial.run = [lineitem, opts](int partition,
+                                 const std::vector<const Table*>&)
       -> Result<Table> {
     const Table& part =
         lineitem->partitions[static_cast<size_t>(partition)];
@@ -117,14 +114,14 @@ StagePlan MakeQ1StagePlan(const PartitionedDatabase& db) {
                            Expr::Col(part.schema, "l_extendedprice"));
     XDBFT_ASSIGN_OR_RETURN(const int rf, part.schema.Find("l_returnflag"));
     XDBFT_ASSIGN_OR_RETURN(const int ls, part.schema.Find("l_linestatus"));
-    auto op = MakeFilter(
-        MakeScan(&part),
+    auto node = VFilter(
+        VScan(&part),
         exec::Le(shipdate, Expr::Lit(Value(params::kQ1ShipdateCutoff))));
-    op = MakeHashAggregate(std::move(op), {rf, ls},
-                           {{AggFunc::kSum, qty, "sum_qty"},
-                            {AggFunc::kSum, price, "sum_price"},
-                            {AggFunc::kCount, nullptr, "count_order"}});
-    return exec::Drain(op.get());
+    node = VHashAggregate(std::move(node), {rf, ls},
+                          {{AggFunc::kSum, qty, "sum_qty"},
+                           {AggFunc::kSum, price, "sum_price"},
+                           {AggFunc::kCount, nullptr, "count_order"}});
+    return RunStageNode(opts, node);
   };
   const int s0 = plan.AddStage(std::move(partial));
 
@@ -133,7 +130,7 @@ StagePlan MakeQ1StagePlan(const PartitionedDatabase& db) {
   merge.type = plan::OpType::kHashAggregate;
   merge.global = true;
   merge.inputs = {s0};
-  merge.run = [](int, const std::vector<const Table*>& inputs)
+  merge.run = [opts](int, const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& merged = *inputs[0];
     XDBFT_ASSIGN_OR_RETURN(auto sum_qty,
@@ -142,18 +139,19 @@ StagePlan MakeQ1StagePlan(const PartitionedDatabase& db) {
                            Expr::Col(merged.schema, "sum_price"));
     XDBFT_ASSIGN_OR_RETURN(auto cnt,
                            Expr::Col(merged.schema, "count_order"));
-    auto op = MakeHashAggregate(MakeScan(&merged), {0, 1},
-                                {{AggFunc::kSum, sum_qty, "sum_qty"},
-                                 {AggFunc::kSum, sum_price, "sum_price"},
-                                 {AggFunc::kSum, cnt, "count_order"}});
-    auto sorted = MakeSort(std::move(op), {0, 1}, {true, true});
-    return exec::Drain(sorted.get());
+    auto node = VHashAggregate(VScan(&merged), {0, 1},
+                               {{AggFunc::kSum, sum_qty, "sum_qty"},
+                                {AggFunc::kSum, sum_price, "sum_price"},
+                                {AggFunc::kSum, cnt, "count_order"}});
+    node = VSort(std::move(node), {0, 1}, {true, true});
+    return RunStageNode(opts, node);
   };
   plan.AddStage(std::move(merge));
   return plan;
 }
 
-StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db) {
+StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db,
+                                       ExecOptions opts) {
   StagePlan plan("customer-revenue");
   const auto* orders = &db.table(TpchTable::kOrders);
   const auto* lineitem = &db.table(TpchTable::kLineitem);
@@ -163,8 +161,8 @@ StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db) {
   Stage join;
   join.label = "Join(L,O)";
   join.type = plan::OpType::kHashJoin;
-  join.run = [orders, lineitem](int partition,
-                                const std::vector<const Table*>&)
+  join.run = [orders, lineitem, opts](int partition,
+                                      const std::vector<const Table*>&)
       -> Result<Table> {
     const Table& opart = orders->partitions[static_cast<size_t>(partition)];
     const Table& lpart =
@@ -172,16 +170,15 @@ StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db) {
     XDBFT_ASSIGN_OR_RETURN(const int okey, opart.schema.Find("o_orderkey"));
     XDBFT_ASSIGN_OR_RETURN(const int lokey,
                            lpart.schema.Find("l_orderkey"));
-    auto j = MakeHashJoin(MakeScan(&opart), MakeScan(&lpart), {okey},
-                          {lokey});
-    const auto& js = j->schema();
+    auto j = VHashJoin(VScan(&opart), VScan(&lpart), {okey}, {lokey});
+    const auto& js = j->schema;
     XDBFT_ASSIGN_OR_RETURN(auto ckey, Expr::Col(js, "o_custkey"));
     XDBFT_ASSIGN_OR_RETURN(auto price, Expr::Col(js, "l_extendedprice"));
     XDBFT_ASSIGN_OR_RETURN(auto disc, Expr::Col(js, "l_discount"));
     auto revenue = price * (Expr::Lit(Value(1.0)) - disc);
-    auto proj = MakeProject(std::move(j), {ckey, revenue},
-                            {"o_custkey", "revenue"});
-    return exec::Drain(proj.get());
+    auto proj = VProject(std::move(j), {ckey, revenue},
+                         {"o_custkey", "revenue"});
+    return RunStageNode(opts, proj);
   };
   const int s_join = plan.AddStage(std::move(join));
 
@@ -192,13 +189,13 @@ StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db) {
   agg.label = "ShuffleAgg(custkey)";
   agg.type = plan::OpType::kHashAggregate;
   agg.inputs = {StageInput(s_join, EdgeMode::kShuffle, /*key=*/0)};
-  agg.run = [](int, const std::vector<const Table*>& inputs)
+  agg.run = [opts](int, const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& in = *inputs[0];
     XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(in.schema, "revenue"));
-    auto op = MakeHashAggregate(MakeScan(&in), {0},
-                                {{AggFunc::kSum, rev, "revenue"}});
-    return exec::Drain(op.get());
+    auto node = VHashAggregate(VScan(&in), {0},
+                               {{AggFunc::kSum, rev, "revenue"}});
+    return RunStageNode(opts, node);
   };
   const int s_agg = plan.AddStage(std::move(agg));
 
@@ -208,18 +205,18 @@ StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db) {
   top.type = plan::OpType::kSort;
   top.global = true;
   top.inputs = {s_agg};
-  top.run = [](int, const std::vector<const Table*>& inputs)
+  top.run = [opts](int, const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& merged = *inputs[0];
     XDBFT_ASSIGN_OR_RETURN(const int rev, merged.schema.Find("revenue"));
-    auto op = MakeSort(MakeScan(&merged), {rev}, {false}, 10);
-    return exec::Drain(op.get());
+    auto node = VSort(VScan(&merged), {rev}, {false}, 10);
+    return RunStageNode(opts, node);
   };
   plan.AddStage(std::move(top));
   return plan;
 }
 
-StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
+StagePlan MakeQ5StagePlan(const PartitionedDatabase& db, ExecOptions opts) {
   StagePlan plan("Q5-stages");
   const int n = db.num_nodes;
   const auto* region = &db.table(TpchTable::kRegion);
@@ -234,25 +231,24 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
   rn.label = "Join1(R,N)";
   rn.type = plan::OpType::kHashJoin;
   rn.global = true;
-  rn.run = [region, nation](int, const std::vector<const Table*>&)
+  rn.run = [region, nation, opts](int, const std::vector<const Table*>&)
       -> Result<Table> {
     const Table& rrep = region->partitions[0];
     const Table& nrep = nation->partitions[0];
     XDBFT_ASSIGN_OR_RETURN(auto rkey, Expr::Col(rrep.schema,
                                                 "r_regionkey"));
-    auto build = MakeFilter(
-        MakeScan(&rrep),
+    auto build = VFilter(
+        VScan(&rrep),
         exec::Eq(rkey, Expr::Lit(Value(params::kQ5Region))));
     XDBFT_ASSIGN_OR_RETURN(const int rk, rrep.schema.Find("r_regionkey"));
     XDBFT_ASSIGN_OR_RETURN(const int nrk, nrep.schema.Find("n_regionkey"));
-    auto join = MakeHashJoin(std::move(build), MakeScan(&nrep), {rk},
-                             {nrk});
-    const auto& js = join->schema();
+    auto join = VHashJoin(std::move(build), VScan(&nrep), {rk}, {nrk});
+    const auto& js = join->schema;
     XDBFT_ASSIGN_OR_RETURN(auto nkey, Expr::Col(js, "n_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
-    auto proj = MakeProject(std::move(join), {nkey, nname},
-                            {"n_nationkey", "n_name"});
-    return exec::Drain(proj.get());
+    auto proj = VProject(std::move(join), {nkey, nname},
+                         {"n_nationkey", "n_name"});
+    return RunStageNode(opts, proj);
   };
   const int s_rn = plan.AddStage(std::move(rn));
 
@@ -261,8 +257,8 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
   rnc.label = "Join2(RN,C)";
   rnc.type = plan::OpType::kHashJoin;
   rnc.inputs = {s_rn};
-  rnc.run = [customer, n](int partition,
-                          const std::vector<const Table*>& inputs)
+  rnc.run = [customer, n, opts](int partition,
+                                const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& rn_table = *inputs[0];
     const Table& crep = customer->partitions[static_cast<size_t>(partition)];
@@ -272,15 +268,14 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
     XDBFT_ASSIGN_OR_RETURN(const int nk,
                            rn_table.schema.Find("n_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(const int cnk, cslice.schema.Find("c_nationkey"));
-    auto join = MakeHashJoin(MakeScan(&rn_table), MakeScan(&cslice), {nk},
-                             {cnk});
-    const auto& js = join->schema();
+    auto join = VHashJoin(VScan(&rn_table), VScan(&cslice), {nk}, {cnk});
+    const auto& js = join->schema;
     XDBFT_ASSIGN_OR_RETURN(auto ckey, Expr::Col(js, "c_custkey"));
     XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
-    auto proj = MakeProject(std::move(join), {ckey, cnat, nname},
-                            {"c_custkey", "c_nationkey", "n_name"});
-    return exec::Drain(proj.get());
+    auto proj = VProject(std::move(join), {ckey, cnat, nname},
+                         {"c_custkey", "c_nationkey", "n_name"});
+    return RunStageNode(opts, proj);
   };
   const int s_rnc = plan.AddStage(std::move(rnc));
 
@@ -301,30 +296,30 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
   rnco.label = "Join3(RNC,O)";
   rnco.type = plan::OpType::kHashJoin;
   rnco.inputs = {s_bcast};
-  rnco.run = [orders](int partition,
-                      const std::vector<const Table*>& inputs)
+  rnco.run = [orders, opts](int partition,
+                            const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& rnc_all = *inputs[0];
     const Table& opart = orders->partitions[static_cast<size_t>(partition)];
     XDBFT_ASSIGN_OR_RETURN(auto odate,
                            Expr::Col(opart.schema, "o_orderdate"));
-    auto probe = MakeFilter(
-        MakeScan(&opart),
+    auto probe = VFilter(
+        VScan(&opart),
         exec::And(
             exec::Ge(odate, Expr::Lit(Value(params::kQ5YearStart))),
             exec::Lt(odate, Expr::Lit(Value(params::kQ5YearEnd)))));
     XDBFT_ASSIGN_OR_RETURN(const int bkey,
                            rnc_all.schema.Find("c_custkey"));
     XDBFT_ASSIGN_OR_RETURN(const int pkey, opart.schema.Find("o_custkey"));
-    auto join = MakeHashJoin(MakeScan(&rnc_all), std::move(probe), {bkey},
-                             {pkey});
-    const auto& js = join->schema();
+    auto join = VHashJoin(VScan(&rnc_all), std::move(probe), {bkey},
+                          {pkey});
+    const auto& js = join->schema;
     XDBFT_ASSIGN_OR_RETURN(auto okey, Expr::Col(js, "o_orderkey"));
     XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
-    auto proj = MakeProject(std::move(join), {okey, cnat, nname},
-                            {"o_orderkey", "c_nationkey", "n_name"});
-    return exec::Drain(proj.get());
+    auto proj = VProject(std::move(join), {okey, cnat, nname},
+                         {"o_orderkey", "c_nationkey", "n_name"});
+    return RunStageNode(opts, proj);
   };
   const int s_rnco = plan.AddStage(std::move(rnco));
 
@@ -333,8 +328,8 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
   rncol.label = "Join4(RNCO,L)";
   rncol.type = plan::OpType::kHashJoin;
   rncol.inputs = {s_rnco};
-  rncol.run = [lineitem](int partition,
-                         const std::vector<const Table*>& inputs)
+  rncol.run = [lineitem, opts](int partition,
+                               const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& build_t = *inputs[0];
     const Table& lpart =
@@ -343,19 +338,19 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
                            build_t.schema.Find("o_orderkey"));
     XDBFT_ASSIGN_OR_RETURN(const int lokey,
                            lpart.schema.Find("l_orderkey"));
-    auto join = MakeHashJoin(MakeScan(&build_t), MakeScan(&lpart), {bokey},
-                             {lokey});
-    const auto& js = join->schema();
+    auto join = VHashJoin(VScan(&build_t), VScan(&lpart), {bokey},
+                          {lokey});
+    const auto& js = join->schema;
     XDBFT_ASSIGN_OR_RETURN(auto skey, Expr::Col(js, "l_suppkey"));
     XDBFT_ASSIGN_OR_RETURN(auto price, Expr::Col(js, "l_extendedprice"));
     XDBFT_ASSIGN_OR_RETURN(auto disc, Expr::Col(js, "l_discount"));
     XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(js, "n_name"));
     auto revenue = price * (Expr::Lit(Value(1.0)) - disc);
-    auto proj = MakeProject(std::move(join), {skey, cnat, nname, revenue},
-                            {"l_suppkey", "c_nationkey", "n_name",
-                             "revenue"});
-    return exec::Drain(proj.get());
+    auto proj = VProject(std::move(join), {skey, cnat, nname, revenue},
+                         {"l_suppkey", "c_nationkey", "n_name",
+                          "revenue"});
+    return RunStageNode(opts, proj);
   };
   const int s_rncol = plan.AddStage(std::move(rncol));
 
@@ -364,8 +359,8 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
   rncols.label = "Join5(RNCOL,S)";
   rncols.type = plan::OpType::kHashJoin;
   rncols.inputs = {s_rncol};
-  rncols.run = [supplier](int partition,
-                          const std::vector<const Table*>& inputs)
+  rncols.run = [supplier, opts](int partition,
+                                const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& probe_t = *inputs[0];
     const Table& srep =
@@ -373,18 +368,17 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
     XDBFT_ASSIGN_OR_RETURN(const int skey, srep.schema.Find("s_suppkey"));
     XDBFT_ASSIGN_OR_RETURN(const int pkey,
                            probe_t.schema.Find("l_suppkey"));
-    auto join = MakeHashJoin(MakeScan(&srep), MakeScan(&probe_t), {skey},
-                             {pkey});
-    const auto& js = join->schema();
+    auto join = VHashJoin(VScan(&srep), VScan(&probe_t), {skey}, {pkey});
+    const auto& js = join->schema;
     XDBFT_ASSIGN_OR_RETURN(auto snat, Expr::Col(js, "s_nationkey"));
     XDBFT_ASSIGN_OR_RETURN(auto cnat, Expr::Col(js, "c_nationkey"));
-    auto filt = MakeFilter(std::move(join), exec::Eq(snat, cnat));
-    const auto& fs = filt->schema();
+    auto filt = VFilter(std::move(join), exec::Eq(snat, cnat));
+    const auto& fs = filt->schema;
     XDBFT_ASSIGN_OR_RETURN(auto nname, Expr::Col(fs, "n_name"));
     XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(fs, "revenue"));
-    auto proj = MakeProject(std::move(filt), {nname, rev},
-                            {"n_name", "revenue"});
-    return exec::Drain(proj.get());
+    auto proj = VProject(std::move(filt), {nname, rev},
+                         {"n_name", "revenue"});
+    return RunStageNode(opts, proj);
   };
   const int s_rncols = plan.AddStage(std::move(rncols));
 
@@ -394,15 +388,15 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db) {
   agg.type = plan::OpType::kHashAggregate;
   agg.global = true;
   agg.inputs = {s_rncols};
-  agg.run = [](int, const std::vector<const Table*>& inputs)
+  agg.run = [opts](int, const std::vector<const Table*>& inputs)
       -> Result<Table> {
     const Table& merged = *inputs[0];
     XDBFT_ASSIGN_OR_RETURN(auto rev, Expr::Col(merged.schema, "revenue"));
-    auto op = MakeHashAggregate(MakeScan(&merged), {0},
-                                {{AggFunc::kSum, rev, "revenue"}});
-    XDBFT_ASSIGN_OR_RETURN(const int revc, op->schema().Find("revenue"));
-    auto sorted = MakeSort(std::move(op), {revc}, {false});
-    return exec::Drain(sorted.get());
+    auto node = VHashAggregate(VScan(&merged), {0},
+                               {{AggFunc::kSum, rev, "revenue"}});
+    XDBFT_ASSIGN_OR_RETURN(const int revc, node->schema.Find("revenue"));
+    node = VSort(std::move(node), {revc}, {false});
+    return RunStageNode(opts, node);
   };
   plan.AddStage(std::move(agg));
   return plan;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/exec_mode.h"
 #include "engine/partitioned_table.h"
 #include "plan/plan.h"
 
@@ -102,12 +103,18 @@ class StagePlan {
 /// \brief Stage-plan builders for the benchmark queries (same semantics as
 /// QueryRunner::RunQ1/RunQ5; the independent implementations cross-check
 /// each other in tests). The database must outlive the returned plan.
-StagePlan MakeQ1StagePlan(const PartitionedDatabase& db);
-StagePlan MakeQ5StagePlan(const PartitionedDatabase& db);
+/// `opts.mode` selects the engine each stage task runs on; within a stage
+/// task morsel execution is always serial (opts.num_threads is ignored)
+/// because the FT executor already runs tasks inside its own pool.
+StagePlan MakeQ1StagePlan(const PartitionedDatabase& db,
+                          ExecOptions opts = {});
+StagePlan MakeQ5StagePlan(const PartitionedDatabase& db,
+                          ExecOptions opts = {});
 
 /// \brief Revenue per customer (top 10): joins LINEITEM with ORDERS
 /// (co-partitioned), then hash-repartitions on custkey (an EdgeMode::
 /// kShuffle edge) before aggregating — the shuffle demo plan.
-StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db);
+StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db,
+                                       ExecOptions opts = {});
 
 }  // namespace xdbft::engine

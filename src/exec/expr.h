@@ -3,11 +3,13 @@
 // filter/project operators of the execution engine.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "exec/batch.h"
 #include "exec/schema.h"
 #include "exec/value.h"
 
@@ -47,6 +49,25 @@ class Expr {
 
   /// \brief Evaluate as a predicate (null/0 -> false).
   bool EvalBool(const Row& row) const;
+
+  /// \brief Vectorized evaluation over the batch positions listed in
+  /// `sel`: out[i] = Eval(row sel[i]). Value-identical to the row path
+  /// (same arithmetic, comparison and short-circuit semantics — AND/OR
+  /// only evaluate their right child at positions the left child does not
+  /// decide, exactly like Eval).
+  void EvalVector(const Batch& batch, const std::vector<int32_t>& sel,
+                  std::vector<Value>* out) const;
+
+  /// \brief Vectorized predicate: filters `sel` in place, keeping the
+  /// positions where EvalBool would return true (order preserved).
+  void EvalSelection(const Batch& batch, std::vector<int32_t>* sel) const;
+
+  /// \brief Row-storage counterpart of EvalSelection: clears `sel` and
+  /// fills it with the offsets i (0-based from `begin`) in [begin, end)
+  /// where EvalBool(rows[begin + i]) would return true, in row order.
+  /// Comparisons over column/literal operands are evaluated in place.
+  void FilterRows(const std::vector<Row>& rows, size_t begin, size_t end,
+                  std::vector<int32_t>* sel) const;
 
   std::string ToString(const Schema* schema = nullptr) const;
 

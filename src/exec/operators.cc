@@ -7,6 +7,24 @@
 
 namespace xdbft::exec {
 
+Result<bool> Operator::NextBatch(Batch* out) {
+  const size_t ncols = schema().num_columns();
+  out->Reset(ncols);
+  if (ncols == 0) return false;
+  size_t produced = 0;
+  Row row;
+  while (produced < kDefaultBatchRows) {
+    XDBFT_ASSIGN_OR_RETURN(const bool more, Next(&row));
+    if (!more) break;
+    for (size_t c = 0; c < ncols; ++c) {
+      out->columns[c].push_back(std::move(row[c]));
+    }
+    row.clear();
+    ++produced;
+  }
+  return produced > 0;
+}
+
 namespace {
 
 class ScanOperator final : public Operator {
@@ -25,8 +43,25 @@ class ScanOperator final : public Operator {
     return true;
   }
 
+  Result<bool> NextBatch(Batch* out) override {
+    const size_t n = table_->rows.size();
+    if (pos_ >= n) {
+      out->Reset(table_->schema.num_columns());
+      return false;
+    }
+    const size_t end = std::min(n, pos_ + kDefaultBatchRows);
+    BatchFromTable(*table_, pos_, end, out);
+    pos_ = end;
+    return true;
+  }
+
   void Close() override {}
-  const Schema& schema() const override { return table_->schema; }
+  const Schema& schema() const override {
+    // The table is only validated in Open; a null scan must still answer
+    // schema queries (parents concatenate schemas at construction time).
+    static const Schema kEmpty;
+    return table_ == nullptr ? kEmpty : table_->schema;
+  }
 
  private:
   const Table* table_;
@@ -113,6 +148,9 @@ class HashJoinOperator final : public Operator {
     if (build_keys_.size() != probe_keys_.size() || build_keys_.empty()) {
       return Status::InvalidArgument("join: bad key columns");
     }
+    // Re-Open without Close must not duplicate build rows (recovery
+    // replays re-open operator trees).
+    table_.clear();
     XDBFT_RETURN_NOT_OK(build_->Open());
     Row row;
     while (true) {
@@ -161,12 +199,6 @@ class HashJoinOperator final : public Operator {
   size_t match_pos_ = 0;
 };
 
-struct AggState {
-  int64_t count = 0;
-  double sum = 0.0;
-  Value min, max;
-};
-
 class HashAggregateOperator final : public Operator {
  public:
   HashAggregateOperator(OperatorPtr input, std::vector<int> group_by,
@@ -181,98 +213,73 @@ class HashAggregateOperator final : public Operator {
   }
 
   Status Open() override {
-    for (const auto& a : aggs_) {
-      if (a.func != AggFunc::kCount && a.arg == nullptr) {
-        return Status::InvalidArgument("aggregate '" + a.name +
-                                       "' needs an argument expression");
-      }
-    }
+    XDBFT_RETURN_NOT_OK(ValidateAggSpecs(aggs_));
     XDBFT_RETURN_NOT_OK(input_->Open());
-    groups_.clear();
+    index_.clear();
+    keys_.clear();
+    states_.clear();
     Row row;
     while (true) {
       XDBFT_ASSIGN_OR_RETURN(const bool more, input_->Next(&row));
       if (!more) break;
-      auto& states = groups_[ExtractKey(row, group_by_)];
-      if (states.empty()) states.resize(aggs_.size());
+      Row key = ExtractKey(row, group_by_);
+      const auto [it, inserted] = index_.try_emplace(std::move(key),
+                                                     keys_.size());
+      if (inserted) {
+        keys_.push_back(it->first);
+        states_.emplace_back(aggs_.size());
+      }
+      auto& states = states_[it->second];
       for (size_t i = 0; i < aggs_.size(); ++i) {
-        Accumulate(aggs_[i], row, &states[i]);
+        if (aggs_[i].arg == nullptr) {
+          AccumulateStar(&states[i]);  // COUNT(*)
+        } else {
+          AccumulateValue(aggs_[i].func, aggs_[i].arg->Eval(row),
+                          &states[i]);
+        }
       }
     }
     // An empty input with no group columns still yields one global row.
-    if (groups_.empty() && group_by_.empty()) {
-      groups_[Row{}].resize(aggs_.size());
+    if (keys_.empty() && group_by_.empty()) {
+      keys_.push_back(Row{});
+      states_.emplace_back(aggs_.size());
     }
     input_->Close();
-    it_ = groups_.begin();
+    emit_pos_ = 0;
     return Status::OK();
   }
 
   Result<bool> Next(Row* out) override {
-    if (it_ == groups_.end()) return false;
+    if (emit_pos_ >= keys_.size()) return false;
+    const Row& key = keys_[emit_pos_];
     out->clear();
-    out->insert(out->end(), it_->first.begin(), it_->first.end());
+    out->insert(out->end(), key.begin(), key.end());
     for (size_t i = 0; i < aggs_.size(); ++i) {
-      out->push_back(Finalize(aggs_[i], it_->second[i]));
+      out->push_back(FinalizeAgg(aggs_[i].func, states_[emit_pos_][i]));
     }
-    ++it_;
+    ++emit_pos_;
     return true;
   }
 
-  void Close() override { groups_.clear(); }
+  void Close() override {
+    index_.clear();
+    keys_.clear();
+    states_.clear();
+  }
   const Schema& schema() const override { return schema_; }
 
  private:
-  static void Accumulate(const AggSpec& spec, const Row& row,
-                         AggState* state) {
-    if (spec.func == AggFunc::kCount) {
-      ++state->count;
-      return;
-    }
-    const Value v = spec.arg->Eval(row);
-    if (v.is_null()) return;
-    ++state->count;
-    switch (spec.func) {
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        state->sum += v.AsDouble();
-        break;
-      case AggFunc::kMin:
-        if (state->min.is_null() || v < state->min) state->min = v;
-        break;
-      case AggFunc::kMax:
-        if (state->max.is_null() || state->max < v) state->max = v;
-        break;
-      case AggFunc::kCount:
-        break;
-    }
-  }
-
-  static Value Finalize(const AggSpec& spec, const AggState& state) {
-    switch (spec.func) {
-      case AggFunc::kCount:
-        return Value(state.count);
-      case AggFunc::kSum:
-        return Value(state.sum);
-      case AggFunc::kAvg:
-        return state.count == 0
-                   ? Value()
-                   : Value(state.sum / static_cast<double>(state.count));
-      case AggFunc::kMin:
-        return state.min;
-      case AggFunc::kMax:
-        return state.max;
-    }
-    return Value();
-  }
-
   OperatorPtr input_;
   std::vector<int> group_by_;
   std::vector<AggSpec> aggs_;
   Schema schema_;
-  std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq> groups_;
-  std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq>::iterator
-      it_;
+  // Groups are emitted in first-occurrence order: index_ maps a key to its
+  // slot in keys_/states_ (the unordered_map's own order is never used, so
+  // output order is deterministic and matches the vectorized sink).
+  std::unordered_map<Row, size_t, RowHash, RowEq> index_;
+  std::vector<Row> keys_;
+  std::vector<std::vector<AggState>> states_;
+  size_t emit_pos_ = 0;
 };
 
 class SortOperator final : public Operator {
@@ -368,6 +375,7 @@ class UnionAllOperator final : public Operator {
 
   Status Open() override {
     if (inputs_.empty()) return Status::InvalidArgument("empty union");
+    XDBFT_RETURN_NOT_OK(CheckSchemasCompatible());
     for (auto& in : inputs_) XDBFT_RETURN_NOT_OK(in->Open());
     current_ = 0;
     return Status::OK();
@@ -388,6 +396,34 @@ class UnionAllOperator final : public Operator {
   const Schema& schema() const override { return inputs_[0]->schema(); }
 
  private:
+  Status CheckSchemasCompatible() const {
+    const Schema& first = inputs_[0]->schema();
+    for (size_t i = 1; i < inputs_.size(); ++i) {
+      const Schema& s = inputs_[i]->schema();
+      if (s.num_columns() != first.num_columns()) {
+        return Status::InvalidArgument(
+            "union: input " + std::to_string(i) + " has " +
+            std::to_string(s.num_columns()) + " columns, expected " +
+            std::to_string(first.num_columns()));
+      }
+      for (size_t c = 0; c < first.num_columns(); ++c) {
+        const Column& a = first.column(static_cast<int>(c));
+        const Column& b = s.column(static_cast<int>(c));
+        // kNull is a wildcard: project/aggregate outputs carry it.
+        const bool type_ok = a.type == b.type ||
+                             a.type == ValueType::kNull ||
+                             b.type == ValueType::kNull;
+        if (a.name != b.name || !type_ok) {
+          return Status::InvalidArgument(
+              "union: column " + std::to_string(c) + " mismatch ('" +
+              a.name + "' " + ValueTypeName(a.type) + " vs '" + b.name +
+              "' " + ValueTypeName(b.type) + ")");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   std::vector<OperatorPtr> inputs_;
   size_t current_ = 0;
 };

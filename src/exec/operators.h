@@ -8,20 +8,29 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/agg.h"
+#include "exec/batch.h"
 #include "exec/expr.h"
 #include "exec/schema.h"
 #include "exec/value.h"
 
 namespace xdbft::exec {
 
-/// \brief Base iterator. Usage: Open() once, Next() until it yields false,
-/// Close(). Operators own their children.
+/// \brief Base iterator. Usage: Open() once, Next() (or NextBatch()) until
+/// it yields false, Close(). Operators own their children. Re-Open without
+/// an intervening Close must reset all state (recovery replays re-open
+/// operator trees).
 class Operator {
  public:
   virtual ~Operator() = default;
   virtual Status Open() = 0;
   /// \brief Produce the next row into *out; yields false when exhausted.
   virtual Result<bool> Next(Row* out) = 0;
+  /// \brief Produce up to kDefaultBatchRows rows into *out (columns reset
+  /// to schema width); yields false when no rows remain. The default
+  /// implementation adapts Next(); ScanOperator overrides it with a
+  /// columnar transpose. Do not interleave Next() and NextBatch() calls.
+  virtual Result<bool> NextBatch(Batch* out);
   virtual void Close() = 0;
   virtual const Schema& schema() const = 0;
 };
@@ -69,18 +78,12 @@ OperatorPtr MakeNestedLoopJoin(OperatorPtr left, OperatorPtr right,
 OperatorPtr MakeMergeJoin(OperatorPtr left, OperatorPtr right,
                           int left_key, int right_key);
 
-/// \brief Aggregate functions.
-enum class AggFunc : int { kCount, kSum, kMin, kMax, kAvg };
-
-struct AggSpec {
-  AggFunc func = AggFunc::kCount;
-  /// Argument (ignored for kCount; pass nullptr).
-  Expr::Ptr arg;
-  std::string name = "agg";
-};
+// AggFunc/AggSpec live in exec/agg.h (shared with the vectorized engine).
 
 /// \brief Group-by hash aggregation. Output schema: group columns followed
 /// by one column per AggSpec. An empty `group_by` yields one global row.
+/// Groups are emitted in first-occurrence order of their key in the input
+/// (deterministic, engine-independent).
 OperatorPtr MakeHashAggregate(OperatorPtr input, std::vector<int> group_by,
                               std::vector<AggSpec> aggs);
 
@@ -93,7 +96,9 @@ OperatorPtr MakeSort(OperatorPtr input, std::vector<int> keys,
 /// \brief First `limit` rows of the input.
 OperatorPtr MakeLimit(OperatorPtr input, int64_t limit);
 
-/// \brief Concatenation of same-schema inputs.
+/// \brief Concatenation of same-schema inputs. Open fails with
+/// InvalidArgument when input schemas disagree in column count, name, or
+/// type (a kNull column type is a wildcard: project outputs carry it).
 OperatorPtr MakeUnionAll(std::vector<OperatorPtr> inputs);
 
 /// \brief Drain an operator tree into a materialized table.

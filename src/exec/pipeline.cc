@@ -1,0 +1,784 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+namespace xdbft::exec {
+
+namespace {
+
+std::shared_ptr<VecNode> NewNode(VecOp op,
+                                 std::vector<VecNodePtr> children) {
+  auto n = std::make_shared<VecNode>();
+  n->op = op;
+  n->children = std::move(children);
+  return n;
+}
+
+}  // namespace
+
+VecNodePtr VScan(const Table* table) {
+  auto n = NewNode(VecOp::kScan, {});
+  n->table = table;
+  if (table != nullptr) n->schema = table->schema;
+  return n;
+}
+
+VecNodePtr VFilter(VecNodePtr input, Expr::Ptr predicate) {
+  auto n = NewNode(VecOp::kFilter, {input});
+  n->schema = input->schema;
+  n->predicate = std::move(predicate);
+  return n;
+}
+
+VecNodePtr VProject(VecNodePtr input, std::vector<Expr::Ptr> exprs,
+                    std::vector<std::string> names) {
+  auto n = NewNode(VecOp::kProject, {std::move(input)});
+  n->exprs = std::move(exprs);
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (auto& name : names) cols.push_back({std::move(name), ValueType::kNull});
+  n->schema = Schema(std::move(cols));
+  return n;
+}
+
+VecNodePtr VHashJoin(VecNodePtr build, VecNodePtr probe,
+                     std::vector<int> build_keys,
+                     std::vector<int> probe_keys) {
+  auto n = NewNode(VecOp::kHashJoin, {build, probe});
+  n->schema = Schema::Concat(probe->schema, build->schema);
+  n->build_keys = std::move(build_keys);
+  n->probe_keys = std::move(probe_keys);
+  return n;
+}
+
+VecNodePtr VNestedLoopJoin(VecNodePtr left, VecNodePtr right,
+                           Expr::Ptr predicate) {
+  auto n = NewNode(VecOp::kNestedLoopJoin, {left, right});
+  n->schema = Schema::Concat(left->schema, right->schema);
+  n->predicate = std::move(predicate);
+  return n;
+}
+
+VecNodePtr VMergeJoin(VecNodePtr left, VecNodePtr right, int left_key,
+                      int right_key) {
+  auto n = NewNode(VecOp::kMergeJoin, {left, right});
+  n->schema = Schema::Concat(left->schema, right->schema);
+  n->left_key = left_key;
+  n->right_key = right_key;
+  return n;
+}
+
+VecNodePtr VHashAggregate(VecNodePtr input, std::vector<int> group_by,
+                          std::vector<AggSpec> aggs) {
+  auto n = NewNode(VecOp::kHashAggregate, {input});
+  std::vector<Column> cols;
+  for (int g : group_by) {
+    cols.push_back(n->children[0]->schema.column(g));
+  }
+  for (const auto& a : aggs) cols.push_back({a.name, ValueType::kNull});
+  n->schema = Schema(std::move(cols));
+  n->group_by = std::move(group_by);
+  n->aggs = std::move(aggs);
+  return n;
+}
+
+VecNodePtr VSort(VecNodePtr input, std::vector<int> keys,
+                 std::vector<bool> ascending, int64_t limit) {
+  auto n = NewNode(VecOp::kSort, {input});
+  n->schema = n->children[0]->schema;
+  n->sort_keys = std::move(keys);
+  n->ascending = std::move(ascending);
+  n->limit = limit;
+  return n;
+}
+
+VecNodePtr VLimit(VecNodePtr input, int64_t limit) {
+  auto n = NewNode(VecOp::kLimit, {input});
+  n->schema = n->children[0]->schema;
+  n->limit = limit;
+  return n;
+}
+
+VecNodePtr VUnionAll(std::vector<VecNodePtr> inputs) {
+  auto n = NewNode(VecOp::kUnionAll, std::move(inputs));
+  if (!n->children.empty()) n->schema = n->children[0]->schema;
+  return n;
+}
+
+OperatorPtr ToOperator(const VecNodePtr& plan) {
+  if (plan == nullptr) return nullptr;
+  const VecNode& n = *plan;
+  switch (n.op) {
+    case VecOp::kScan:
+      return MakeScan(n.table);
+    case VecOp::kFilter:
+      return MakeFilter(ToOperator(n.children[0]), n.predicate);
+    case VecOp::kProject: {
+      std::vector<std::string> names;
+      names.reserve(n.schema.num_columns());
+      for (const auto& c : n.schema.columns()) names.push_back(c.name);
+      return MakeProject(ToOperator(n.children[0]), n.exprs,
+                         std::move(names));
+    }
+    case VecOp::kHashJoin:
+      return MakeHashJoin(ToOperator(n.children[0]),
+                          ToOperator(n.children[1]), n.build_keys,
+                          n.probe_keys);
+    case VecOp::kNestedLoopJoin:
+      return MakeNestedLoopJoin(ToOperator(n.children[0]),
+                                ToOperator(n.children[1]), n.predicate);
+    case VecOp::kMergeJoin:
+      return MakeMergeJoin(ToOperator(n.children[0]),
+                           ToOperator(n.children[1]), n.left_key,
+                           n.right_key);
+    case VecOp::kHashAggregate:
+      return MakeHashAggregate(ToOperator(n.children[0]), n.group_by,
+                               n.aggs);
+    case VecOp::kSort:
+      return MakeSort(ToOperator(n.children[0]), n.sort_keys, n.ascending,
+                      n.limit);
+    case VecOp::kLimit:
+      return MakeLimit(ToOperator(n.children[0]), n.limit);
+    case VecOp::kUnionAll: {
+      std::vector<OperatorPtr> inputs;
+      inputs.reserve(n.children.size());
+      for (const auto& c : n.children) inputs.push_back(ToOperator(c));
+      return MakeUnionAll(std::move(inputs));
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+using HashTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
+
+void IdentitySelection(size_t n, std::vector<int32_t>* sel) {
+  sel->resize(n);
+  std::iota(sel->begin(), sel->end(), 0);
+}
+
+// A morsel in flight: a batch plus an optional selection vector of live
+// row indices (in row order). Filters only narrow `sel`; steps and sinks
+// that can consume a selection read through it, everything else calls
+// Materialize() to compact the batch first. This keeps the common
+// filter -> aggregate path free of row movement entirely.
+struct Morsel {
+  Batch batch;
+  std::vector<int32_t> sel;
+  bool has_sel = false;
+
+  size_t live_rows() const {
+    return has_sel ? sel.size() : batch.num_rows();
+  }
+  // Batch-row index of the i-th live row.
+  size_t row(size_t i) const {
+    return has_sel ? static_cast<size_t>(sel[i]) : i;
+  }
+  // Compact the batch down to the selected rows and drop the selection.
+  void Materialize() {
+    if (!has_sel) return;
+    for (auto& col : batch.columns) {
+      for (size_t i = 0; i < sel.size(); ++i) {
+        col[i] = std::move(col[static_cast<size_t>(sel[i])]);
+      }
+      col.resize(sel.size());
+    }
+    has_sel = false;
+  }
+};
+
+// One streaming transform, applied to a morsel in place. Steps are pure
+// w.r.t. shared state (they only read build tables), so morsels can run
+// them concurrently.
+using StreamStep = std::function<void(Morsel*)>;
+
+// Sort comparator shared with the row SortOperator (same key order, same
+// stable_sort => identical output order including ties).
+void StableSortRows(std::vector<Row>* rows, const std::vector<int>& keys,
+                    const std::vector<bool>& ascending) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&](const Row& a, const Row& b) {
+                     for (size_t i = 0; i < keys.size(); ++i) {
+                       const int c =
+                           a[static_cast<size_t>(keys[i])].Compare(
+                               b[static_cast<size_t>(keys[i])]);
+                       if (c != 0) return ascending[i] ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+}
+
+/// \brief Serial consumer of one pipeline's morsel outputs. Consume is
+/// called in morsel-index order (never concurrently), which pins every
+/// order-sensitive effect — row append order, aggregate accumulation
+/// order, group first-occurrence order — to the source row order.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Consume(Morsel&& morsel) = 0;
+  virtual Result<Table> Finish() = 0;
+};
+
+class CollectSink final : public Sink {
+ public:
+  explicit CollectSink(const Schema& schema) { out_.schema = schema; }
+
+  void Consume(Morsel&& morsel) override {
+    morsel.Materialize();
+    AppendBatchToTable(std::move(morsel.batch), &out_);
+  }
+  Result<Table> Finish() override { return std::move(out_); }
+
+ private:
+  Table out_;
+};
+
+class AggSink final : public Sink {
+ public:
+  explicit AggSink(const VecNode& node)
+      : node_(node), int_keys_(node.group_by.size() == 1) {}
+
+  void Consume(Morsel&& morsel) override {
+    const Batch& batch = morsel.batch;
+    const size_t n = morsel.live_rows();
+    if (n == 0) return;
+    // Each argument is either read directly from its batch column (bare
+    // column refs, the common case; indexed by batch row) or evaluated
+    // vectorized over the live rows into a scratch vector (indexed by
+    // live position); null arg = COUNT(*).
+    arg_vals_.resize(node_.aggs.size());
+    arg_cols_.assign(node_.aggs.size(), nullptr);
+    direct_.assign(node_.aggs.size(), true);
+    bool need_sel = false;
+    for (size_t i = 0; i < node_.aggs.size(); ++i) {
+      const auto& arg = node_.aggs[i].arg;
+      if (arg == nullptr) continue;
+      if (arg->op() == ExprOp::kColumn) {
+        arg_cols_[i] =
+            &batch.columns[static_cast<size_t>(arg->column_index())];
+      } else {
+        need_sel = true;
+      }
+    }
+    if (need_sel) {
+      const std::vector<int32_t>* sel = &morsel.sel;
+      if (!morsel.has_sel) {
+        IdentitySelection(n, &sel_);
+        sel = &sel_;
+      }
+      for (size_t i = 0; i < node_.aggs.size(); ++i) {
+        if (node_.aggs[i].arg != nullptr && arg_cols_[i] == nullptr) {
+          node_.aggs[i].arg->EvalVector(batch, *sel, &arg_vals_[i]);
+          arg_cols_[i] = &arg_vals_[i];
+          direct_[i] = false;
+        }
+      }
+    }
+    for (size_t pos = 0; pos < n; ++pos) {
+      const size_t r = morsel.row(pos);
+      size_t slot;
+      if (int_keys_) {
+        // Single int64 group key: index by the raw integer, skipping the
+        // per-row variant hash of the generic Row index. Demotes to the
+        // generic index (same slots, same first-occurrence order) the
+        // first time a non-int64 key shows up.
+        const Value& kv =
+            batch.columns[static_cast<size_t>(node_.group_by[0])][r];
+        if (kv.type() == ValueType::kInt64) {
+          const auto [it, inserted] =
+              int_index_.try_emplace(kv.AsInt64(), keys_.size());
+          if (inserted) {
+            keys_.push_back(Row{kv});
+            states_.emplace_back(node_.aggs.size());
+          }
+          slot = it->second;
+        } else {
+          int_keys_ = false;
+          for (size_t s = 0; s < keys_.size(); ++s) index_.emplace(keys_[s], s);
+          slot = GenericSlot(batch, r);
+        }
+      } else {
+        slot = GenericSlot(batch, r);
+      }
+      auto& states = states_[slot];
+      for (size_t i = 0; i < node_.aggs.size(); ++i) {
+        if (node_.aggs[i].arg == nullptr) {
+          AccumulateStar(&states[i]);
+        } else {
+          AccumulateValue(node_.aggs[i].func,
+                          (*arg_cols_[i])[direct_[i] ? r : pos],
+                          &states[i]);
+        }
+      }
+    }
+  }
+
+  Result<Table> Finish() override {
+    if (keys_.empty() && node_.group_by.empty()) {
+      keys_.push_back(Row{});  // empty input still yields one global row
+      states_.emplace_back(node_.aggs.size());
+    }
+    Table out;
+    out.schema = node_.schema;
+    out.rows.reserve(keys_.size());
+    for (size_t s = 0; s < keys_.size(); ++s) {
+      Row row = std::move(keys_[s]);
+      for (size_t i = 0; i < node_.aggs.size(); ++i) {
+        row.push_back(FinalizeAgg(node_.aggs[i].func, states_[s][i]));
+      }
+      out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+
+ private:
+  size_t GenericSlot(const Batch& batch, size_t r) {
+    key_.clear();
+    for (const int g : node_.group_by) {
+      key_.push_back(batch.columns[static_cast<size_t>(g)][r]);
+    }
+    const auto it = index_.find(key_);
+    if (it != index_.end()) return it->second;
+    const size_t slot = keys_.size();
+    index_.emplace(key_, slot);
+    keys_.push_back(key_);
+    states_.emplace_back(node_.aggs.size());
+    return slot;
+  }
+
+  const VecNode& node_;
+  std::vector<int32_t> sel_;
+  std::vector<std::vector<Value>> arg_vals_;
+  std::vector<const std::vector<Value>*> arg_cols_;
+  std::vector<char> direct_;  // arg i indexed by batch row vs live position
+  Row key_;  // scratch, reused per row
+  bool int_keys_ = false;
+  std::unordered_map<int64_t, size_t> int_index_;
+  std::unordered_map<Row, size_t, RowHash, RowEq> index_;
+  std::vector<Row> keys_;  // first-occurrence order
+  std::vector<std::vector<AggState>> states_;
+};
+
+class SortSink final : public Sink {
+ public:
+  explicit SortSink(const VecNode& node) : node_(node) {
+    out_.schema = node.schema;
+  }
+
+  void Consume(Morsel&& morsel) override {
+    morsel.Materialize();
+    AppendBatchToTable(std::move(morsel.batch), &out_);
+  }
+
+  Result<Table> Finish() override {
+    StableSortRows(&out_.rows, node_.sort_keys, node_.ascending);
+    if (node_.limit >= 0 &&
+        out_.rows.size() > static_cast<size_t>(node_.limit)) {
+      out_.rows.resize(static_cast<size_t>(node_.limit));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  const VecNode& node_;
+  Table out_;
+};
+
+struct ExecContext {
+  const VecExecOptions* opts = nullptr;
+  // Materialized pipeline-breaker outputs and build hash tables; deques so
+  // addresses stay stable while later pipelines reference them.
+  std::deque<Table> owned_tables;
+  std::deque<HashTable> hash_tables;
+  int next_pipeline_id = 0;
+};
+
+Result<Table> ExecNode(const VecNode& node, ExecContext* ctx);
+
+Status CheckUnionSchemas(const VecNode& node) {
+  const Schema& first = node.children[0]->schema;
+  for (size_t i = 1; i < node.children.size(); ++i) {
+    const Schema& s = node.children[i]->schema;
+    if (s.num_columns() != first.num_columns()) {
+      return Status::InvalidArgument(
+          "union: input " + std::to_string(i) + " has " +
+          std::to_string(s.num_columns()) + " columns, expected " +
+          std::to_string(first.num_columns()));
+    }
+    for (size_t c = 0; c < first.num_columns(); ++c) {
+      const Column& a = first.column(static_cast<int>(c));
+      const Column& b = s.column(static_cast<int>(c));
+      const bool type_ok = a.type == b.type ||
+                           a.type == ValueType::kNull ||
+                           b.type == ValueType::kNull;
+      if (a.name != b.name || !type_ok) {
+        return Status::InvalidArgument(
+            "union: column " + std::to_string(c) + " mismatch ('" +
+            a.name + "' " + ValueTypeName(a.type) + " vs '" + b.name +
+            "' " + ValueTypeName(b.type) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Runs the streaming pipeline rooted at `node` (a chain of filters,
+// projects and join probes over one source) and feeds `sink` in morsel
+// order. Breaker children (hash-build sides, NLJ left sides, any blocking
+// node used as the source) are materialized first via ExecNode.
+Status RunPipeline(const VecNode& node, Sink* sink,
+                   const std::string& sink_label, ExecContext* ctx) {
+  std::vector<StreamStep> steps;  // collected top-down, applied bottom-up
+  const VecNode* cur = &node;
+  const Table* source = nullptr;
+  Expr::Ptr scan_filter;  // filter fused into the table scan, if any
+  while (source == nullptr) {
+    switch (cur->op) {
+      case VecOp::kScan:
+        if (cur->table == nullptr) {
+          return Status::InvalidArgument("null table");
+        }
+        source = cur->table;
+        break;
+      case VecOp::kFilter: {
+        if (cur->predicate == nullptr) {
+          return Status::InvalidArgument("null predicate");
+        }
+        Expr::Ptr pred = cur->predicate;
+        if (cur->children[0]->op == VecOp::kScan &&
+            cur->children[0]->table != nullptr) {
+          // Filter directly over a table scan: fuse it into batch
+          // formation so dropped rows are never copied. EvalSelection is
+          // defined as "positions where EvalBool would return true", so
+          // evaluating per source row preserves the selection contract
+          // (and the row order) exactly.
+          scan_filter = pred;
+        } else {
+          steps.push_back([pred](Morsel* m) {
+            if (!m->has_sel) {
+              IdentitySelection(m->batch.num_rows(), &m->sel);
+              m->has_sel = true;
+            }
+            pred->EvalSelection(m->batch, &m->sel);
+          });
+        }
+        cur = cur->children[0].get();
+        break;
+      }
+      case VecOp::kProject: {
+        if (cur->exprs.size() != cur->schema.num_columns()) {
+          return Status::InvalidArgument(
+              "project: exprs/names size mismatch");
+        }
+        const std::vector<Expr::Ptr> exprs = cur->exprs;
+        steps.push_back([exprs](Morsel* m) {
+          // EvalVector reads through the selection, so projection
+          // compacts as a side effect.
+          if (!m->has_sel) IdentitySelection(m->batch.num_rows(), &m->sel);
+          Batch out;
+          out.columns.resize(exprs.size());
+          for (size_t i = 0; i < exprs.size(); ++i) {
+            exprs[i]->EvalVector(m->batch, m->sel, &out.columns[i]);
+          }
+          m->batch = std::move(out);
+          m->has_sel = false;
+        });
+        cur = cur->children[0].get();
+        break;
+      }
+      case VecOp::kHashJoin: {
+        if (cur->build_keys.size() != cur->probe_keys.size() ||
+            cur->build_keys.empty()) {
+          return Status::InvalidArgument("join: bad key columns");
+        }
+        XDBFT_ASSIGN_OR_RETURN(Table built,
+                               ExecNode(*cur->children[0], ctx));
+        ctx->owned_tables.push_back(std::move(built));
+        const Table& bt = ctx->owned_tables.back();
+        ctx->hash_tables.emplace_back();
+        HashTable& ht = ctx->hash_tables.back();
+        for (const Row& row : bt.rows) {
+          ht[ExtractKey(row, cur->build_keys)].push_back(row);
+        }
+        const HashTable* htp = &ht;
+        const std::vector<int> pkeys = cur->probe_keys;
+        const size_t build_width = bt.schema.num_columns();
+        steps.push_back([htp, pkeys, build_width](Morsel* m) {
+          const size_t n = m->live_rows();
+          const size_t pw = m->batch.num_columns();
+          Batch out;
+          out.columns.resize(pw + build_width);
+          Row key;
+          for (size_t i = 0; i < n; ++i) {
+            const size_t r = m->row(i);
+            key.clear();
+            for (const int k : pkeys) {
+              key.push_back(m->batch.columns[static_cast<size_t>(k)][r]);
+            }
+            const auto it = htp->find(key);
+            if (it == htp->end()) continue;
+            // Matches in build-insertion order: probe columns first, then
+            // build columns — the row operator's output layout and order.
+            for (const Row& brow : it->second) {
+              for (size_t c = 0; c < pw; ++c) {
+                out.columns[c].push_back(m->batch.columns[c][r]);
+              }
+              for (size_t c = 0; c < build_width; ++c) {
+                out.columns[pw + c].push_back(brow[c]);
+              }
+            }
+          }
+          m->batch = std::move(out);
+          m->has_sel = false;
+        });
+        cur = cur->children[1].get();
+        break;
+      }
+      case VecOp::kNestedLoopJoin: {
+        if (cur->predicate == nullptr) {
+          return Status::InvalidArgument("null join predicate");
+        }
+        XDBFT_ASSIGN_OR_RETURN(Table lt, ExecNode(*cur->children[0], ctx));
+        ctx->owned_tables.push_back(std::move(lt));
+        const Table* left = &ctx->owned_tables.back();
+        Expr::Ptr pred = cur->predicate;
+        steps.push_back([left, pred](Morsel* m) {
+          // The row operator buffers the left side and streams the right:
+          // for each right row, every left row in order.
+          const size_t n = m->live_rows();
+          const size_t rw = m->batch.num_columns();
+          const size_t lw = left->schema.num_columns();
+          Batch out;
+          out.columns.resize(lw + rw);
+          Row combined;
+          for (size_t i = 0; i < n; ++i) {
+            const size_t r = m->row(i);
+            for (const Row& l : left->rows) {
+              combined = l;
+              for (size_t c = 0; c < rw; ++c) {
+                combined.push_back(m->batch.columns[c][r]);
+              }
+              if (pred->EvalBool(combined)) {
+                for (size_t c = 0; c < combined.size(); ++c) {
+                  out.columns[c].push_back(std::move(combined[c]));
+                }
+              }
+            }
+          }
+          m->batch = std::move(out);
+          m->has_sel = false;
+        });
+        cur = cur->children[1].get();
+        break;
+      }
+      default: {
+        // Pipeline breaker used as a source: materialize it.
+        XDBFT_ASSIGN_OR_RETURN(Table t, ExecNode(*cur, ctx));
+        ctx->owned_tables.push_back(std::move(t));
+        source = &ctx->owned_tables.back();
+        break;
+      }
+    }
+  }
+  std::reverse(steps.begin(), steps.end());
+
+  const VecExecOptions& opts = *ctx->opts;
+  const size_t morsel = std::max<size_t>(1, opts.morsel_rows);
+  const size_t nrows = source->num_rows();
+  const size_t nmorsels = nrows == 0 ? 0 : (nrows + morsel - 1) / morsel;
+
+  const int pipeline_id = ctx->next_pipeline_id++;
+  const int lane = opts.trace_lane_base + pipeline_id;
+  if (opts.trace != nullptr) {
+    opts.trace->SetThreadName(/*pid=*/0, lane,
+                              "pipeline " + std::to_string(pipeline_id) +
+                                  " (" + sink_label + ")");
+  }
+  obs::ScopedTraceSpan span(
+      opts.trace, "pipeline " + std::to_string(pipeline_id), "vec_exec",
+      lane,
+      {obs::IntArg("rows", static_cast<int64_t>(nrows)),
+       obs::IntArg("morsels", static_cast<int64_t>(nmorsels)),
+       obs::IntArg("steps", static_cast<int64_t>(steps.size())),
+       obs::StrArg("sink", sink_label)});
+
+  const auto run_morsel = [&](size_t m, Morsel* out) {
+    const size_t lo = m * morsel;
+    const size_t hi = std::min(nrows, lo + morsel);
+    if (scan_filter != nullptr) {
+      // Fused scan-filter: evaluate the predicate on the source rows in
+      // place, then copy only the survivors into the batch.
+      Batch* b = &out->batch;
+      const size_t ncols = source->schema.num_columns();
+      b->Reset(ncols);
+      scan_filter->FilterRows(source->rows, lo, hi, &out->sel);
+      for (const int32_t i : out->sel) {
+        const Row& row = source->rows[lo + static_cast<size_t>(i)];
+        for (size_t c = 0; c < ncols; ++c) b->columns[c].push_back(row[c]);
+      }
+    } else {
+      BatchFromTable(*source, lo, hi, &out->batch);
+    }
+    out->has_sel = false;
+    for (const auto& step : steps) step(out);
+  };
+
+  TaskPool* pool = opts.pool;
+  if (pool != nullptr && pool->num_threads() > 0 && nmorsels > 1) {
+    // Morsels run in parallel; the sink still consumes their outputs in
+    // morsel-index order below, which keeps results bit-identical to the
+    // serial (and row-engine) execution. Morsels are grouped into a few
+    // contiguous range tasks per worker so the per-task pool overhead is
+    // amortized over many morsels.
+    std::vector<Morsel> outs(nmorsels);
+    const size_t lanes = static_cast<size_t>(pool->num_threads()) + 1;
+    const size_t ntasks = std::min(nmorsels, lanes * 4);
+    pool->ParallelForEach(ntasks, [&](size_t task) {
+      const size_t lo = task * nmorsels / ntasks;
+      const size_t hi = (task + 1) * nmorsels / ntasks;
+      for (size_t m = lo; m < hi; ++m) run_morsel(m, &outs[m]);
+    });
+    for (auto& m : outs) sink->Consume(std::move(m));
+  } else {
+    // The sinks read or move individual values out of the morsel but
+    // never steal its buffers, so one morsel's capacity (batch columns
+    // and selection vector) is reused for the whole loop (BatchFromTable
+    // resets the batch).
+    Morsel m;
+    for (size_t i = 0; i < nmorsels; ++i) {
+      run_morsel(i, &m);
+      sink->Consume(std::move(m));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> ExecNode(const VecNode& node, ExecContext* ctx) {
+  switch (node.op) {
+    case VecOp::kHashAggregate: {
+      XDBFT_RETURN_NOT_OK(ValidateAggSpecs(node.aggs));
+      AggSink sink(node);
+      XDBFT_RETURN_NOT_OK(
+          RunPipeline(*node.children[0], &sink, "aggregate", ctx));
+      return sink.Finish();
+    }
+    case VecOp::kSort: {
+      if (node.sort_keys.size() != node.ascending.size()) {
+        return Status::InvalidArgument("sort: keys/direction size mismatch");
+      }
+      SortSink sink(node);
+      XDBFT_RETURN_NOT_OK(RunPipeline(*node.children[0], &sink, "sort",
+                                      ctx));
+      return sink.Finish();
+    }
+    case VecOp::kLimit: {
+      // Materialize-and-truncate (the row operator stops pulling early
+      // instead; the resulting prefix is identical).
+      if (node.limit < 0) return Status::InvalidArgument("negative limit");
+      XDBFT_ASSIGN_OR_RETURN(Table t, ExecNode(*node.children[0], ctx));
+      if (t.rows.size() > static_cast<size_t>(node.limit)) {
+        t.rows.resize(static_cast<size_t>(node.limit));
+      }
+      return t;
+    }
+    case VecOp::kUnionAll: {
+      if (node.children.empty()) {
+        return Status::InvalidArgument("empty union");
+      }
+      XDBFT_RETURN_NOT_OK(CheckUnionSchemas(node));
+      Table out;
+      out.schema = node.schema;
+      for (const auto& child : node.children) {
+        XDBFT_ASSIGN_OR_RETURN(Table t, ExecNode(*child, ctx));
+        for (auto& row : t.rows) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case VecOp::kMergeJoin: {
+      if (node.left_key < 0 || node.right_key < 0) {
+        return Status::InvalidArgument("merge join: bad key columns");
+      }
+      XDBFT_ASSIGN_OR_RETURN(Table lt, ExecNode(*node.children[0], ctx));
+      XDBFT_ASSIGN_OR_RETURN(Table rt, ExecNode(*node.children[1], ctx));
+      StableSortRows(&lt.rows, {node.left_key}, {true});
+      StableSortRows(&rt.rows, {node.right_key}, {true});
+      Table out;
+      out.schema = node.schema;
+      const size_t lk = static_cast<size_t>(node.left_key);
+      const size_t rk = static_cast<size_t>(node.right_key);
+      size_t li = 0, ri = 0;
+      while (li < lt.rows.size() && ri < rt.rows.size()) {
+        const int c = lt.rows[li][lk].Compare(rt.rows[ri][rk]);
+        if (c < 0) {
+          ++li;
+        } else if (c > 0) {
+          ++ri;
+        } else {
+          // Cross product of the key group, left-major — the row
+          // operator's emission order.
+          const Value& key = lt.rows[li][lk];
+          size_t lend = li, rend = ri;
+          while (lend < lt.rows.size() &&
+                 lt.rows[lend][lk].Compare(key) == 0) {
+            ++lend;
+          }
+          while (rend < rt.rows.size() &&
+                 rt.rows[rend][rk].Compare(key) == 0) {
+            ++rend;
+          }
+          for (size_t l = li; l < lend; ++l) {
+            for (size_t r = ri; r < rend; ++r) {
+              Row row = lt.rows[l];
+              row.insert(row.end(), rt.rows[r].begin(), rt.rows[r].end());
+              out.rows.push_back(std::move(row));
+            }
+          }
+          li = lend;
+          ri = rend;
+        }
+      }
+      return out;
+    }
+    default: {
+      // Streaming root (scan / filter / project / join probes): collect.
+      CollectSink sink(node.schema);
+      XDBFT_RETURN_NOT_OK(RunPipeline(node, &sink, "collect", ctx));
+      return sink.Finish();
+    }
+  }
+}
+
+}  // namespace
+
+Result<Table> ExecuteVectorized(const VecNodePtr& plan,
+                                const VecExecOptions& opts) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  VecExecOptions local = opts;
+  std::unique_ptr<TaskPool> owned_pool;
+  if (local.pool == nullptr && local.num_threads > 1) {
+    // num_threads - 1 workers: the calling thread helps in
+    // ParallelForEach, so total concurrency is num_threads.
+    owned_pool = std::make_unique<TaskPool>(local.num_threads - 1);
+    local.pool = owned_pool.get();
+  }
+  ExecContext ctx;
+  ctx.opts = &local;
+  return ExecNode(*plan, &ctx);
+}
+
+Result<Table> RunPlan(const VecNodePtr& plan, bool vectorized,
+                      const VecExecOptions& opts) {
+  if (!vectorized) {
+    const OperatorPtr op = ToOperator(plan);
+    return Drain(op.get());
+  }
+  return ExecuteVectorized(plan, opts);
+}
+
+}  // namespace xdbft::exec

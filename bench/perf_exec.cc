@@ -390,6 +390,93 @@ int RunVectorizationSweep(bench::BenchJsonWriter* json, bool quick) {
                  "1.5x target\n",
                  single_thread_speedup);
   }
+
+  // Profiler overhead: the same plan at the max sweep thread count with
+  // EXPLAIN ANALYZE collection on vs off. Target is <5% wall clock. The
+  // profiled run also contributes one "vec_profile_op" row per operator
+  // so the BENCH artifact carries the per-operator profile.
+  const int max_threads = thread_counts.back();
+  const auto run_vec = [&](obs::OperatorProfile* profile) {
+    return [&, profile]() {
+      exec::VecExecOptions vopts;
+      vopts.num_threads = max_threads;
+      vopts.profile = profile;
+      return exec::ExecuteVectorized(plan, vopts);
+    };
+  };
+  // Interleave the two variants (instead of two back-to-back time_best
+  // calls) so frequency/thermal drift hits both equally, and use extra
+  // repeats: the deltas being resolved are small relative to run noise.
+  const int overhead_reps = repeats * 3;
+  Table plain_result;
+  Table profiled_result;
+  obs::OperatorProfile profile;
+  double plain_seconds = 0.0;
+  double profiled_seconds = 0.0;
+  const auto time_once = [](const std::function<Result<Table>()>& run,
+                            Table* result) -> double {
+    const auto start = std::chrono::steady_clock::now();
+    auto r = run();
+    const auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      std::fprintf(stderr, "profiler overhead run failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    *result = std::move(*r);
+    return std::chrono::duration<double>(end - start).count();
+  };
+  for (int rep = 0; rep < overhead_reps; ++rep) {
+    const double plain = time_once(run_vec(nullptr), &plain_result);
+    if (rep == 0 || plain < plain_seconds) plain_seconds = plain;
+    const double profiled = time_once(run_vec(&profile), &profiled_result);
+    if (rep == 0 || profiled < profiled_seconds) profiled_seconds = profiled;
+  }
+  if (!exec::BitIdenticalTables(plain_result, profiled_result)) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: profiled vectorized run diverges "
+                 "from the unprofiled run\n");
+    ++violations;
+  }
+  const double overhead_pct =
+      plain_seconds > 0.0
+          ? (profiled_seconds / plain_seconds - 1.0) * 100.0
+          : 0.0;
+  std::printf(
+      "\nProfiler overhead at %d threads: plain %.4fs, profiled %.4fs "
+      "(%+.2f%%).\n",
+      max_threads, plain_seconds, profiled_seconds, overhead_pct);
+  if (overhead_pct > 5.0) {
+    std::fprintf(stderr,
+                 "warning: profiler overhead %.2f%% above the 5%% target\n",
+                 overhead_pct);
+  }
+  bench::JsonLine overhead;
+  overhead.Set("workload", "vec_profile_overhead")
+      .Set("threads", static_cast<double>(max_threads))
+      .Set("seconds_plain", plain_seconds)
+      .Set("seconds_profiled", profiled_seconds)
+      .Set("overhead_pct", overhead_pct)
+      .Set("rows", static_cast<double>(rows))
+      .Set("quick", quick);
+  json->Write(overhead);
+  const std::function<void(const obs::OperatorProfile&, int)> emit_op =
+      [&](const obs::OperatorProfile& op, int depth) {
+        bench::JsonLine line;
+        line.Set("workload", "vec_profile_op")
+            .Set("op", op.name)
+            .Set("depth", static_cast<double>(depth))
+            .Set("rows_out", static_cast<double>(op.rows_out))
+            .Set("batches", static_cast<double>(op.batches))
+            .Set("op_seconds", op.seconds)
+            .Set("est_memory_bytes",
+                 static_cast<double>(op.est_memory_bytes))
+            .Set("threads", static_cast<double>(max_threads))
+            .Set("quick", quick);
+        json->Write(line);
+        for (const auto& child : op.children) emit_op(child, depth + 1);
+      };
+  emit_op(profile, 0);
   return violations == 0 ? 0 : 1;
 }
 

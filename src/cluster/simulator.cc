@@ -6,6 +6,7 @@
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "ft/checkpointing.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace xdbft::cluster {
@@ -33,6 +34,22 @@ double NodeSkew(int node) {
   uint64_t state = 0xabcdef1234567890ULL + static_cast<uint64_t>(node);
   const uint64_t bits = SplitMix64(state);
   return static_cast<double>(bits >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+// Appends one attempt to the timeline (no-op for a null log). Virtual
+// simulated seconds go straight into the record's timestamps.
+void LogAttempt(obs::AttemptTimeline* log, const std::string& label,
+                int node, int attempt, double dispatch, double finish,
+                bool killed) {
+  if (log == nullptr) return;
+  obs::AttemptRecord rec;
+  rec.label = label;
+  rec.node = node;
+  rec.attempt = attempt;
+  rec.dispatch_seconds = dispatch;
+  rec.finish_seconds = finish;
+  rec.killed = killed;
+  log->records.push_back(std::move(rec));
 }
 
 }  // namespace
@@ -71,6 +88,8 @@ double ClusterSimulator::RunPartition(double ready, double duration,
     if (fail >= start + duration) {
       TraceSpan(label, "subplan", start, duration, node_idx);
       XDBFT_COUNTER_INC("simulator.subplan_runs");
+      LogAttempt(options_.attempt_log, label, node_idx, unit_restarts,
+                 start, start + duration, /*killed=*/false);
       return start + duration;
     }
     // The node fails mid-execution: all partition work on this sub-plan is
@@ -79,8 +98,11 @@ double ClusterSimulator::RunPartition(double ready, double duration,
     ++(*restarts);
     ++unit_restarts;
     XDBFT_COUNTER_INC("simulator.failures");
+    XDBFT_FLIGHT("simulator", "failure", node_idx, unit_restarts);
     TraceSpan(label + " (killed)", "killed", start, fail - start, node_idx);
     TraceInstant("failure", "failure", fail, node_idx);
+    LogAttempt(options_.attempt_log, label, node_idx, unit_restarts - 1,
+               start, fail, /*killed=*/true);
     double detected = fail;
     if (options_.monitoring_interval > 0.0) {
       const double ticks =
@@ -96,6 +118,8 @@ double ClusterSimulator::RunPartition(double ready, double duration,
       // executor's per-task max_attempts), so fine-grained and full
       // restart are compared under the same abort semantics.
       XDBFT_COUNTER_INC("simulator.aborts");
+      XDBFT_FLIGHT("simulator", "abort: max restarts exhausted", node_idx,
+                   unit_restarts);
       *aborted = true;
       return detected + stats_.mttr_seconds;
     }
@@ -175,6 +199,9 @@ Result<SimulationResult> ClusterSimulator::RunFullRestart(
     const double fail = trace.NextFailureAfter(start);
     if (fail >= start + makespan) {
       TraceSpan("query", "query", start, makespan, /*node_idx=*/0);
+      LogAttempt(options_.attempt_log, "query", /*node=*/-1,
+                 result.restarts, start, start + makespan,
+                 /*killed=*/false);
       result.runtime = start + makespan - start_time;
       result.completed = true;
       return result;
@@ -182,9 +209,13 @@ Result<SimulationResult> ClusterSimulator::RunFullRestart(
     ++result.restarts;
     ++result.failures_hit;
     XDBFT_COUNTER_INC("simulator.failures");
+    XDBFT_FLIGHT("simulator", "failure (full restart)", -1,
+                 result.restarts);
     TraceSpan(StrFormat("query (attempt %d, killed)", result.restarts),
               "killed", start, fail - start, /*node_idx=*/0);
     TraceInstant("failure", "failure", fail, /*node_idx=*/0);
+    LogAttempt(options_.attempt_log, "query", /*node=*/-1,
+               result.restarts - 1, start, fail, /*killed=*/true);
     // The coordinator notices the failure at the next monitoring tick —
     // the same detection delay RunPartition charges, so the full-restart
     // baseline is not biased low against fine-grained recovery.
@@ -199,6 +230,8 @@ Result<SimulationResult> ClusterSimulator::RunFullRestart(
     if (result.restarts >= options_.max_restarts) {
       // Aborted, like the paper after 100 restarts; report the time spent.
       XDBFT_COUNTER_INC("simulator.aborts");
+      XDBFT_FLIGHT("simulator", "abort: max restarts exhausted", -1,
+                   result.restarts);
       result.runtime = detected + stats_.mttr_seconds - start_time;
       result.completed = false;
       result.aborted = 1;

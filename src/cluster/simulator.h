@@ -25,6 +25,7 @@
 #include "cost/cost_params.h"
 #include "ft/collapsed_plan.h"
 #include "ft/scheme.h"
+#include "obs/attempt_log.h"
 #include "obs/trace.h"
 
 namespace xdbft::cluster {
@@ -67,6 +68,12 @@ struct SimulationOptions {
   /// lanes can be kept apart from executor (wall-clock) lanes when both
   /// write into one recorder.
   int trace_pid = 0;
+  /// When set, every simulated task attempt (killed and successful, plus
+  /// full-query restarts) is appended as an AttemptRecord on *virtual*
+  /// time: dispatch = attempt start, finish = completion or failure
+  /// instant. The timeline must outlive the simulator calls; records
+  /// accumulate across Run/RunMany invocations. Null (default) disables.
+  obs::AttemptTimeline* attempt_log = nullptr;
 };
 
 /// \brief Outcome of one simulated execution (or, for RunMany, the

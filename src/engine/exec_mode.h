@@ -23,6 +23,10 @@ struct ExecOptions {
   /// Optional per-pipeline trace lanes.
   obs::TraceRecorder* trace = nullptr;
   int trace_lane_base = 0;
+  /// Collect per-operator query profiles (EXPLAIN ANALYZE): QueryRunner
+  /// fills QueryExecution::stage_profiles with one merged profile tree
+  /// per stage. Off by default (zero overhead when false).
+  bool profile = false;
 };
 
 }  // namespace xdbft::engine

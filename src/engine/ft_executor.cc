@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 
 namespace xdbft::engine {
 
@@ -70,6 +72,8 @@ struct WaveTask {
   Status status;
   std::optional<Table> table;
   double seconds = 0.0;
+  // Index of this attempt's record in FtExecutionResult::timeline.
+  int record_idx = -1;
 };
 
 }  // namespace
@@ -122,6 +126,18 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
 
   const auto start = std::chrono::steady_clock::now();
   const int last = num_stages - 1;
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  // last_record[s][slot]: timeline index of the attempt that produced the
+  // currently held output of (s, slot), for rows_lost backfill when a
+  // failure later invalidates it. -1 = none.
+  std::vector<std::vector<int>> last_record(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    last_record[static_cast<size_t>(s)].assign(slots_of(s), -1);
+  }
 
   // Runs one attempt: resolves inputs per edge mode from the current
   // state (read-only during a wave), executes the stage, records the
@@ -247,9 +263,27 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
       SlotState& slot_state =
           state[static_cast<size_t>(t.stage)][static_cast<size_t>(t.slot)];
       if (slot_state.attempts >= max_attempts) {
-        return Status::Aborted(StrFormat(
-            "stage %d partition %d exceeded %d attempts", t.stage, t.slot,
-            max_attempts));
+        const std::string reason =
+            StrFormat("stage %d partition %d exceeded %d attempts", t.stage,
+                      t.slot, max_attempts);
+        XDBFT_FLIGHT("executor", "abort: attempts exhausted", t.stage,
+                     t.slot);
+        std::string suffix;
+        if (!postmortem_dir_.empty()) {
+          obs::PostMortem pm;
+          pm.tool = "ft_executor";
+          pm.reason = reason;
+          pm.params["plan"] = plan_->name();
+          pm.params["stage"] = StrFormat("%d", t.stage);
+          pm.params["partition"] = StrFormat("%d", t.slot);
+          pm.params["max_attempts"] = StrFormat("%d", max_attempts);
+          obs::CaptureProcessState(&pm);
+          pm.timeline = result.timeline;
+          Result<std::string> path =
+              obs::WritePostMortem(postmortem_dir_, pm);
+          if (path.ok()) suffix = " (post-mortem: " + *path + ")";
+        }
+        return Status::Aborted(reason + suffix);
       }
       t.attempt = slot_state.attempts++;
       const Stage& stage = plan_->stage(t.stage);
@@ -265,7 +299,21 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
         t.killed = true;
         ++result.failures_injected;
         XDBFT_COUNTER_INC("executor.failures_injected");
+        XDBFT_FLIGHT("executor", "failure injected", t.stage,
+                     injector_partition);
       }
+      obs::AttemptRecord rec;
+      rec.label = stage.label;
+      rec.stage = t.stage;
+      rec.node = injector_partition;
+      rec.attempt = t.attempt;
+      rec.dispatch_seconds = elapsed();
+      rec.killed = t.killed;
+      // A killed attempt dies at dispatch; successes get their real finish
+      // time in step (5).
+      rec.finish_seconds = rec.dispatch_seconds;
+      t.record_idx = static_cast<int>(result.timeline.records.size());
+      result.timeline.records.push_back(std::move(rec));
     }
 
     // (4) Execute survivors: partition tasks fan out onto the pool (the
@@ -314,6 +362,12 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
       slot_state.seconds = t.seconds;
       slot_state.rows = rows;
       slot_state.bytes = bytes;
+      obs::AttemptRecord& rec =
+          result.timeline.records[static_cast<size_t>(t.record_idx)];
+      rec.finish_seconds = elapsed();
+      rec.rows_out = rows;
+      last_record[static_cast<size_t>(t.stage)][static_cast<size_t>(t.slot)] =
+          t.record_idx;
     }
 
     // (6) Failures take effect at the wave barrier: node `slot` died, so
@@ -345,6 +399,12 @@ Result<FtExecutionResult> FaultTolerantExecutor::Execute(
         result.seconds_lost += lost.seconds;
         XDBFT_COUNTER_ADD("executor.rows_lost", lost.rows);
         XDBFT_COUNTER_ADD("executor.bytes_lost", lost.bytes);
+        const int rec_idx =
+            last_record[static_cast<size_t>(s2)][static_cast<size_t>(t.slot)];
+        if (rec_idx >= 0) {
+          result.timeline.records[static_cast<size_t>(rec_idx)].rows_lost +=
+              lost.rows;
+        }
         lost.output.reset();
       }
     }

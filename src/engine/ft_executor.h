@@ -49,6 +49,7 @@
 #include "engine/query_runner.h"
 #include "engine/stage_plan.h"
 #include "ft/mat_config.h"
+#include "obs/attempt_log.h"
 #include "obs/trace.h"
 
 namespace xdbft::engine {
@@ -141,6 +142,11 @@ struct FtExecutionResult {
   /// later destroyed by a failure stays charged (it really ran) and is
   /// additionally reported in seconds_lost.
   std::vector<double> stage_seconds;
+  /// Per-attempt ledger: one record per dispatched task attempt (killed
+  /// attempts included), timestamps relative to Execute start. Records
+  /// for completed outputs later destroyed by a failure carry the rows
+  /// lost in `rows_lost`. Recorded coordinator-side only.
+  obs::AttemptTimeline timeline;
 };
 
 /// \brief Executes stage plans with failures and recovery, partition tasks
@@ -171,6 +177,14 @@ class FaultTolerantExecutor {
   /// concurrency, never less than 1).
   static int ResolveThreads(int num_threads);
 
+  /// \brief Directory for abort post-mortems. When a task exceeds
+  /// max_attempts, Execute writes a bundle (flight-recorder tail, metrics
+  /// snapshot, attempt timeline) there and appends the bundle path to the
+  /// Aborted status message. Empty (the default) disables the dump.
+  void set_postmortem_dir(std::string dir) {
+    postmortem_dir_ = std::move(dir);
+  }
+
   /// \brief Execute under `config` (indexed by stage, as produced from
   /// StagePlan::ToPlanSkeleton()). `injector` may be null (no failures).
   /// A task is aborted after `max_attempts` injected failures.
@@ -184,6 +198,7 @@ class FaultTolerantExecutor {
   obs::TraceRecorder* trace_ = nullptr;
   TaskPool* external_pool_ = nullptr;
   int num_threads_ = 1;
+  std::string postmortem_dir_;
 };
 
 }  // namespace xdbft::engine

@@ -44,17 +44,66 @@ QueryRunner::QueryRunner(const PartitionedDatabase* db, ExecOptions opts)
 }
 
 Result<Table> QueryRunner::Run(const exec::VecNodePtr& plan) const {
-  if (opts_.mode == ExecMode::kRow) {
-    const exec::OperatorPtr op = exec::ToOperator(plan);
-    return exec::Drain(op.get());
+  if (!opts_.profile) {
+    if (opts_.mode == ExecMode::kRow) {
+      const exec::OperatorPtr op = exec::ToOperator(plan);
+      return exec::Drain(op.get());
+    }
+    exec::VecExecOptions vopts;
+    vopts.num_threads = opts_.num_threads;
+    vopts.morsel_rows = opts_.morsel_rows;
+    vopts.pool = pool_.get();
+    vopts.trace = opts_.trace;
+    vopts.trace_lane_base = opts_.trace_lane_base;
+    return exec::ExecuteVectorized(plan, vopts);
   }
-  exec::VecExecOptions vopts;
-  vopts.num_threads = opts_.num_threads;
-  vopts.morsel_rows = opts_.morsel_rows;
-  vopts.pool = pool_.get();
-  vopts.trace = opts_.trace;
-  vopts.trace_lane_base = opts_.trace_lane_base;
-  return exec::ExecuteVectorized(plan, vopts);
+  obs::QueryProfile qp;
+  qp.engine = opts_.mode == ExecMode::kRow ? "row" : "vectorized";
+  const auto start = std::chrono::steady_clock::now();
+  Result<Table> result = Table{};
+  if (opts_.mode == ExecMode::kRow) {
+    const exec::OperatorPtr op = exec::ToOperatorProfiled(plan, &qp.root);
+    result = exec::Drain(op.get());
+  } else {
+    exec::VecExecOptions vopts;
+    vopts.num_threads = opts_.num_threads;
+    vopts.morsel_rows = opts_.morsel_rows;
+    vopts.pool = pool_.get();
+    vopts.trace = opts_.trace;
+    vopts.trace_lane_base = opts_.trace_lane_base;
+    vopts.profile = &qp.root;
+    result = exec::ExecuteVectorized(plan, vopts);
+  }
+  qp.seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  {
+    const std::lock_guard<std::mutex> lock(profile_mu_);
+    pending_profiles_.push_back(std::move(qp));
+  }
+  return result;
+}
+
+void QueryRunner::FlushStageProfiles(const std::string& label,
+                                     QueryExecution* out) const {
+  if (!opts_.profile) return;
+  std::vector<obs::QueryProfile> batch;
+  {
+    const std::lock_guard<std::mutex> lock(profile_mu_);
+    batch.swap(pending_profiles_);
+  }
+  if (batch.empty()) return;
+  obs::QueryProfile merged = std::move(batch[0]);
+  for (size_t i = 1; i < batch.size(); ++i) {
+    if (!merged.MergeFrom(batch[i]).ok()) {
+      // A stage ran differently-shaped plans; keep the odd one out as its
+      // own labeled profile rather than dropping it.
+      batch[i].label = label;
+      out->stage_profiles.push_back(std::move(batch[i]));
+    }
+  }
+  merged.label = label;
+  out->stage_profiles.push_back(std::move(merged));
 }
 
 Result<QueryExecution> QueryRunner::RunQ1() const {
@@ -94,6 +143,7 @@ Result<QueryExecution> QueryRunner::RunQ1() const {
           },
           &partials));
   RecordStage(&out, "PartialAgg(L)", secs, partials);
+  FlushStageProfiles("PartialAgg(L)", &out);
 
   // Stage 2: merge partials globally.
   const auto start = std::chrono::steady_clock::now();
@@ -115,6 +165,7 @@ Result<QueryExecution> QueryRunner::RunQ1() const {
   RecordStage(&out, "FinalAgg",
               std::chrono::duration<double>(end - start).count(),
               {out.result});
+  FlushStageProfiles("FinalAgg", &out);
   return out;
 }
 
@@ -165,6 +216,7 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
           },
           &co));
   RecordStage(&out, "Join(C,O)", secs, co);
+  FlushStageProfiles("Join(C,O)", &out);
 
   // Stage 2: join LINEITEM on orderkey (co-partitioned: local join).
   std::vector<Table> col;
@@ -203,6 +255,7 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
           },
           &col));
   RecordStage(&out, "Join(CO,L)", secs, col);
+  FlushStageProfiles("Join(CO,L)", &out);
 
   // Stage 3: aggregate per orderkey (groups are partition-local thanks to
   // orderkey co-partitioning).
@@ -222,6 +275,7 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
           },
           &aggs));
   RecordStage(&out, "Agg(orderkey)", secs, aggs);
+  FlushStageProfiles("Agg(orderkey)", &out);
 
   // Stage 4: global top-10 by revenue.
   const auto start = std::chrono::steady_clock::now();
@@ -235,6 +289,7 @@ Result<QueryExecution> QueryRunner::RunQ3() const {
   RecordStage(&out, "TopK(revenue)",
               std::chrono::duration<double>(end - start).count(),
               {out.result});
+  FlushStageProfiles("TopK(revenue)", &out);
   return out;
 }
 
@@ -272,6 +327,7 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
     const auto end = std::chrono::steady_clock::now();
     RecordStage(&out, "Join1(R,N)",
                 std::chrono::duration<double>(end - start).count(), {rn});
+  FlushStageProfiles("Join1(R,N)", &out);
   }
 
   // Stage 2: join CUSTOMER (RREF slice per partition) on nationkey.
@@ -301,6 +357,7 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
           },
           &rnc));
   RecordStage(&out, "Join2(RN,C)", secs, rnc);
+  FlushStageProfiles("Join2(RN,C)", &out);
 
   // Stage 3: broadcast RNC (shuffle emulation) and join sigma(ORDERS) on
   // custkey per partition.
@@ -335,6 +392,7 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
           },
           &rnco));
   RecordStage(&out, "Join3(RNC,O)", secs, rnco);
+  FlushStageProfiles("Join3(RNC,O)", &out);
 
   // Stage 4: join LINEITEM on orderkey (co-partitioned).
   std::vector<Table> rncol;
@@ -368,6 +426,7 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
           },
           &rncol));
   RecordStage(&out, "Join4(RNCO,L)", secs, rncol);
+  FlushStageProfiles("Join4(RNCO,L)", &out);
 
   // Stage 5: join SUPPLIER on suppkey + supplier-nation filter.
   std::vector<Table> rncols;
@@ -399,6 +458,7 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
           },
           &rncols));
   RecordStage(&out, "Join5(RNCOL,S)", secs, rncols);
+  FlushStageProfiles("Join5(RNCOL,S)", &out);
 
   // Stage 6: aggregate revenue per nation (partial + merge).
   const auto start = std::chrono::steady_clock::now();
@@ -415,6 +475,7 @@ Result<QueryExecution> QueryRunner::RunQ5() const {
   RecordStage(&out, "Agg(nation)",
               std::chrono::duration<double>(end - start).count(),
               {out.result});
+  FlushStageProfiles("Agg(nation)", &out);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "common/task_pool.h"
 #include "engine/exec_mode.h"
 #include "engine/partitioned_table.h"
+#include "obs/query_profile.h"
 
 namespace xdbft::engine {
 
@@ -45,6 +47,9 @@ struct QueryExecution {
   exec::Table result;
   std::vector<StageTiming> stages;
   double total_seconds = 0.0;
+  /// One merged EXPLAIN ANALYZE tree per stage, labeled with the stage
+  /// label. Filled only with ExecOptions::profile set.
+  std::vector<obs::QueryProfile> stage_profiles;
 };
 
 /// \brief Runs TPC-H Q1/Q3/Q5 partition-parallel over the distributed
@@ -80,14 +85,26 @@ class QueryRunner {
 
  private:
   /// \brief Execute one plan on the engine selected by the options (row:
-  /// ToOperator + Drain; vectorized: morsel pipelines on pool_).
+  /// ToOperator + Drain; vectorized: morsel pipelines on pool_). With
+  /// profiling on, appends the plan's profile to pending_profiles_.
   Result<exec::Table> Run(const exec::VecNodePtr& plan) const;
+
+  /// \brief Merge every pending per-partition profile of the stage that
+  /// just finished into one labeled QueryProfile on `out`. No-op unless
+  /// profiling is on.
+  void FlushStageProfiles(const std::string& label,
+                          QueryExecution* out) const;
 
   const PartitionedDatabase* db_;
   ExecOptions opts_;
   /// Morsel pool shared by every vectorized pipeline of this runner
   /// (created only for mode == kVectorized with num_threads > 1).
   std::unique_ptr<TaskPool> pool_;
+  /// Profiles of plans run since the last flush. Row mode runs partitions
+  /// concurrently, so pushes are mutex-protected (cold path: once per
+  /// partition per stage).
+  mutable std::mutex profile_mu_;
+  mutable std::vector<obs::QueryProfile> pending_profiles_;
 };
 
 }  // namespace xdbft::engine

@@ -88,6 +88,7 @@ Result<QueryExecution> QueryRunner::RunQ1C() const {
     XDBFT_ASSIGN_OR_RETURN(avg_table, Run(proj));
   }
   RecordStage(&out, "InnerAgg(avg_price)", secs, {avg_table});
+  FlushStageProfiles("InnerAgg(avg_price)", &out);
 
   // Stage 2: re-join LINEITEM against the tiny average table and keep
   // items priced above their group's average.
@@ -128,6 +129,7 @@ Result<QueryExecution> QueryRunner::RunQ1C() const {
           },
           &above));
   RecordStage(&out, "Join(L,avg)", secs, above);
+  FlushStageProfiles("Join(L,avg)", &out);
 
   // Stage 3: count the above-average items per group.
   const auto start = std::chrono::steady_clock::now();
@@ -142,6 +144,7 @@ Result<QueryExecution> QueryRunner::RunQ1C() const {
   RecordStage(&out, "Agg(count_by_status)",
               std::chrono::duration<double>(end - start).count(),
               {out.result});
+  FlushStageProfiles("Agg(count_by_status)", &out);
   return out;
 }
 
@@ -191,6 +194,7 @@ Result<QueryExecution> QueryRunner::RunQ2C() const {
           },
           &cte));
   RecordStage(&out, "CTE(min_supplycost)", secs, cte);
+  FlushStageProfiles("CTE(min_supplycost)", &out);
 
   // Stages 2-3: two outer queries with different price filters; each
   // re-joins the CTE with PARTSUPP (to find the min-cost supplier) and
@@ -251,6 +255,7 @@ Result<QueryExecution> QueryRunner::RunQ2C() const {
     XDBFT_ASSIGN_OR_RETURN(Table top, Run(sorted));
     RecordStage(&out, "Outer" + std::to_string(outer) + "Join+TopK", secs,
                 {top});
+    FlushStageProfiles("Outer" + std::to_string(outer) + "Join+TopK", &out);
     outer_results.push_back(std::move(top));
   }
 

@@ -1,6 +1,7 @@
 #include "exec/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <numeric>
@@ -153,6 +154,227 @@ OperatorPtr ToOperator(const VecNodePtr& plan) {
   }
   return nullptr;
 }
+
+namespace {
+
+const char* VecOpName(VecOp op) {
+  switch (op) {
+    case VecOp::kScan:
+      return "Scan";
+    case VecOp::kFilter:
+      return "Filter";
+    case VecOp::kProject:
+      return "Project";
+    case VecOp::kHashJoin:
+      return "HashJoin";
+    case VecOp::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case VecOp::kMergeJoin:
+      return "MergeJoin";
+    case VecOp::kHashAggregate:
+      return "HashAggregate";
+    case VecOp::kSort:
+      return "Sort";
+    case VecOp::kLimit:
+      return "Limit";
+    case VecOp::kUnionAll:
+      return "UnionAll";
+  }
+  return "?";
+}
+
+void BuildSkeletonNode(const VecNode& n, obs::OperatorProfile* out) {
+  out->name = VecOpName(n.op);
+  out->children.resize(n.children.size());
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    BuildSkeletonNode(*n.children[i], &out->children[i]);
+  }
+}
+
+// Memory-footprint estimates, derived after execution from the recorded
+// row counts so both engines report identical numbers: materializing
+// breakers are charged their output, joins their buffered build / left
+// side — rows x columns x sizeof(Value), the same convention as the FT
+// executor's table-size accounting.
+void FinalizeMemoryEstimates(const VecNode& n, obs::OperatorProfile* p) {
+  switch (n.op) {
+    case VecOp::kHashAggregate:
+    case VecOp::kSort:
+    case VecOp::kMergeJoin:
+    case VecOp::kLimit:
+    case VecOp::kUnionAll:
+      p->est_memory_bytes =
+          p->rows_out * n.schema.num_columns() * sizeof(Value);
+      break;
+    case VecOp::kHashJoin:
+    case VecOp::kNestedLoopJoin:
+      if (!p->children.empty()) {
+        p->est_memory_bytes = p->children[0].rows_out *
+                              n.children[0]->schema.num_columns() *
+                              sizeof(Value);
+      }
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    FinalizeMemoryEstimates(*n.children[i], &p->children[i]);
+  }
+}
+
+}  // namespace
+
+void BuildProfileSkeleton(const VecNodePtr& plan,
+                          obs::OperatorProfile* root) {
+  if (plan == nullptr || root == nullptr) return;
+  *root = obs::OperatorProfile{};
+  BuildSkeletonNode(*plan, root);
+}
+
+#if !defined(XDBFT_DISABLE_METRICS)
+
+namespace {
+
+// Volcano-tree decorator: charges inclusive wall time of Open/Next/
+// NextBatch (the operator plus everything below it) and counts produced
+// rows into one skeleton node. The root decorator additionally fills the
+// memory estimates at Close, when the counts are complete.
+class ProfilingOperator final : public Operator {
+ public:
+  ProfilingOperator(OperatorPtr inner, obs::OperatorProfile* node)
+      : inner_(std::move(inner)), node_(node) {}
+
+  void set_finalize(VecNodePtr plan, obs::OperatorProfile* root) {
+    finalize_plan_ = std::move(plan);
+    finalize_root_ = root;
+  }
+
+  Status Open() override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Status s = inner_->Open();
+    node_->seconds += Elapsed(t0);
+    return s;
+  }
+
+  Result<bool> Next(Row* out) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<bool> r = inner_->Next(out);
+    node_->seconds += Elapsed(t0);
+    if (r.ok() && *r) ++node_->rows_out;
+    return r;
+  }
+
+  Result<bool> NextBatch(Batch* out) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<bool> r = inner_->NextBatch(out);
+    node_->seconds += Elapsed(t0);
+    if (r.ok() && *r) {
+      ++node_->batches;
+      node_->rows_out += out->num_rows();
+    }
+    return r;
+  }
+
+  void Close() override {
+    inner_->Close();
+    if (finalize_root_ != nullptr) {
+      FinalizeMemoryEstimates(*finalize_plan_, finalize_root_);
+    }
+  }
+
+  const Schema& schema() const override { return inner_->schema(); }
+
+ private:
+  static double Elapsed(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  }
+
+  OperatorPtr inner_;
+  obs::OperatorProfile* node_;
+  VecNodePtr finalize_plan_;
+  obs::OperatorProfile* finalize_root_ = nullptr;
+};
+
+// Mirror of ToOperator that wraps every operator (including children) in
+// a ProfilingOperator bound to the matching skeleton node.
+OperatorPtr BuildProfiledTree(const VecNodePtr& plan,
+                              obs::OperatorProfile* node) {
+  if (plan == nullptr) return nullptr;
+  const VecNode& n = *plan;
+  auto child = [&](size_t i) {
+    return BuildProfiledTree(n.children[i], &node->children[i]);
+  };
+  OperatorPtr op;
+  switch (n.op) {
+    case VecOp::kScan:
+      op = MakeScan(n.table);
+      break;
+    case VecOp::kFilter:
+      op = MakeFilter(child(0), n.predicate);
+      break;
+    case VecOp::kProject: {
+      std::vector<std::string> names;
+      names.reserve(n.schema.num_columns());
+      for (const auto& c : n.schema.columns()) names.push_back(c.name);
+      op = MakeProject(child(0), n.exprs, std::move(names));
+      break;
+    }
+    case VecOp::kHashJoin:
+      op = MakeHashJoin(child(0), child(1), n.build_keys, n.probe_keys);
+      break;
+    case VecOp::kNestedLoopJoin:
+      op = MakeNestedLoopJoin(child(0), child(1), n.predicate);
+      break;
+    case VecOp::kMergeJoin:
+      op = MakeMergeJoin(child(0), child(1), n.left_key, n.right_key);
+      break;
+    case VecOp::kHashAggregate:
+      op = MakeHashAggregate(child(0), n.group_by, n.aggs);
+      break;
+    case VecOp::kSort:
+      op = MakeSort(child(0), n.sort_keys, n.ascending, n.limit);
+      break;
+    case VecOp::kLimit:
+      op = MakeLimit(child(0), n.limit);
+      break;
+    case VecOp::kUnionAll: {
+      std::vector<OperatorPtr> inputs;
+      inputs.reserve(n.children.size());
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        inputs.push_back(child(i));
+      }
+      op = MakeUnionAll(std::move(inputs));
+      break;
+    }
+  }
+  if (op == nullptr) return nullptr;
+  return std::make_unique<ProfilingOperator>(std::move(op), node);
+}
+
+}  // namespace
+
+OperatorPtr ToOperatorProfiled(const VecNodePtr& plan,
+                               obs::OperatorProfile* root) {
+  if (root == nullptr) return ToOperator(plan);
+  BuildProfileSkeleton(plan, root);
+  OperatorPtr op = BuildProfiledTree(plan, root);
+  if (op != nullptr) {
+    static_cast<ProfilingOperator*>(op.get())->set_finalize(plan, root);
+  }
+  return op;
+}
+
+#else  // XDBFT_DISABLE_METRICS: no decorators, plain lowering.
+
+OperatorPtr ToOperatorProfiled(const VecNodePtr& plan,
+                               obs::OperatorProfile* root) {
+  BuildProfileSkeleton(plan, root);
+  return ToOperator(plan);
+}
+
+#endif  // XDBFT_DISABLE_METRICS
 
 namespace {
 
@@ -397,7 +619,36 @@ struct ExecContext {
   std::deque<Table> owned_tables;
   std::deque<HashTable> hash_tables;
   int next_pipeline_id = 0;
+  // Plan node -> skeleton node, filled only when profiling (and never
+  // under XDBFT_DISABLE_METRICS).
+  std::unordered_map<const VecNode*, obs::OperatorProfile*> profile_map;
+
+  obs::OperatorProfile* ProfileNode(const VecNode* n) const {
+    const auto it = profile_map.find(n);
+    return it == profile_map.end() ? nullptr : it->second;
+  }
 };
+
+// Per-task profiling accumulator for one chain slot: a worker touches only
+// its own task's slots while morsels run, so the hot path takes no locks
+// and shares no cache lines; RunPipeline folds the rows into the skeleton
+// after the parallel region.
+struct ProfAcc {
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  double seconds = 0.0;
+};
+
+#if !defined(XDBFT_DISABLE_METRICS)
+void BuildProfileMap(
+    const VecNode& n, obs::OperatorProfile* p,
+    std::unordered_map<const VecNode*, obs::OperatorProfile*>* map) {
+  (*map)[&n] = p;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    BuildProfileMap(*n.children[i], &p->children[i], map);
+  }
+}
+#endif  // !XDBFT_DISABLE_METRICS
 
 Result<Table> ExecNode(const VecNode& node, ExecContext* ctx);
 
@@ -435,6 +686,13 @@ Status CheckUnionSchemas(const VecNode& node) {
 Status RunPipeline(const VecNode& node, Sink* sink,
                    const std::string& sink_label, ExecContext* ctx) {
   std::vector<StreamStep> steps;  // collected top-down, applied bottom-up
+  // Skeleton nodes of the chain, parallel to `steps` (null when not
+  // profiling). The fused scan-filter keeps separate scan and filter
+  // nodes so recorded row counts still match the row engine's operator
+  // boundaries.
+  std::vector<obs::OperatorProfile*> step_profs;
+  [[maybe_unused]] obs::OperatorProfile* source_prof = nullptr;
+  [[maybe_unused]] obs::OperatorProfile* fused_filter_prof = nullptr;
   const VecNode* cur = &node;
   const Table* source = nullptr;
   Expr::Ptr scan_filter;  // filter fused into the table scan, if any
@@ -445,6 +703,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
           return Status::InvalidArgument("null table");
         }
         source = cur->table;
+        source_prof = ctx->ProfileNode(cur);
         break;
       case VecOp::kFilter: {
         if (cur->predicate == nullptr) {
@@ -459,6 +718,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
           // evaluating per source row preserves the selection contract
           // (and the row order) exactly.
           scan_filter = pred;
+          fused_filter_prof = ctx->ProfileNode(cur);
         } else {
           steps.push_back([pred](Morsel* m) {
             if (!m->has_sel) {
@@ -467,6 +727,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
             }
             pred->EvalSelection(m->batch, &m->sel);
           });
+          step_profs.push_back(ctx->ProfileNode(cur));
         }
         cur = cur->children[0].get();
         break;
@@ -489,6 +750,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
           m->batch = std::move(out);
           m->has_sel = false;
         });
+        step_profs.push_back(ctx->ProfileNode(cur));
         cur = cur->children[0].get();
         break;
       }
@@ -537,6 +799,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
           m->batch = std::move(out);
           m->has_sel = false;
         });
+        step_profs.push_back(ctx->ProfileNode(cur));
         cur = cur->children[1].get();
         break;
       }
@@ -574,6 +837,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
           m->batch = std::move(out);
           m->has_sel = false;
         });
+        step_profs.push_back(ctx->ProfileNode(cur));
         cur = cur->children[1].get();
         break;
       }
@@ -587,6 +851,7 @@ Status RunPipeline(const VecNode& node, Sink* sink,
     }
   }
   std::reverse(steps.begin(), steps.end());
+  std::reverse(step_profs.begin(), step_profs.end());
 
   const VecExecOptions& opts = *ctx->opts;
   const size_t morsel = std::max<size_t>(1, opts.morsel_rows);
@@ -608,9 +873,22 @@ Status RunPipeline(const VecNode& node, Sink* sink,
        obs::IntArg("steps", static_cast<int64_t>(steps.size())),
        obs::StrArg("sink", sink_label)});
 
-  const auto run_morsel = [&](size_t m, Morsel* out) {
+  // Profiling slot layout per task: [0] source batch formation, [1] the
+  // fused filter when present, then one slot per streaming step. The
+  // morsel loop writes only its own task's accumulator row; the fold
+  // below is the single synchronization point.
+  const bool profiling = !ctx->profile_map.empty();
+  const size_t nslots = 1 + (scan_filter != nullptr ? 1 : 0) + steps.size();
+  std::vector<std::vector<ProfAcc>> accs;
+
+  const auto run_morsel = [&](size_t m, Morsel* out,
+                              [[maybe_unused]] ProfAcc* acc) {
     const size_t lo = m * morsel;
     const size_t hi = std::min(nrows, lo + morsel);
+#if !defined(XDBFT_DISABLE_METRICS)
+    std::chrono::steady_clock::time_point t0;
+    if (acc != nullptr) t0 = std::chrono::steady_clock::now();
+#endif
     if (scan_filter != nullptr) {
       // Fused scan-filter: evaluate the predicate on the source rows in
       // place, then copy only the survivors into the batch.
@@ -626,6 +904,33 @@ Status RunPipeline(const VecNode& node, Sink* sink,
       BatchFromTable(*source, lo, hi, &out->batch);
     }
     out->has_sel = false;
+#if !defined(XDBFT_DISABLE_METRICS)
+    if (acc != nullptr) {
+      // The scan reports the rows it read (hi - lo); the fused filter
+      // reports the survivors — the same counts the row operators yield.
+      acc[0].seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      acc[0].batches += 1;
+      acc[0].rows += hi - lo;
+      if (scan_filter != nullptr) {
+        acc[1].batches += 1;
+        acc[1].rows += out->sel.size();
+      }
+      size_t slot = scan_filter != nullptr ? 2 : 1;
+      for (const auto& step : steps) {
+        const auto ts = std::chrono::steady_clock::now();
+        step(out);
+        ProfAcc& a = acc[slot++];
+        a.seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - ts)
+                         .count();
+        a.batches += 1;
+        a.rows += out->live_rows();
+      }
+      return;
+    }
+#endif
     for (const auto& step : steps) step(out);
   };
 
@@ -639,10 +944,12 @@ Status RunPipeline(const VecNode& node, Sink* sink,
     std::vector<Morsel> outs(nmorsels);
     const size_t lanes = static_cast<size_t>(pool->num_threads()) + 1;
     const size_t ntasks = std::min(nmorsels, lanes * 4);
+    if (profiling) accs.assign(ntasks, std::vector<ProfAcc>(nslots));
     pool->ParallelForEach(ntasks, [&](size_t task) {
       const size_t lo = task * nmorsels / ntasks;
       const size_t hi = (task + 1) * nmorsels / ntasks;
-      for (size_t m = lo; m < hi; ++m) run_morsel(m, &outs[m]);
+      ProfAcc* acc = profiling ? accs[task].data() : nullptr;
+      for (size_t m = lo; m < hi; ++m) run_morsel(m, &outs[m], acc);
     });
     for (auto& m : outs) sink->Consume(std::move(m));
   } else {
@@ -650,16 +957,50 @@ Status RunPipeline(const VecNode& node, Sink* sink,
     // never steal its buffers, so one morsel's capacity (batch columns
     // and selection vector) is reused for the whole loop (BatchFromTable
     // resets the batch).
+    if (profiling) accs.assign(1, std::vector<ProfAcc>(nslots));
+    ProfAcc* acc = profiling ? accs[0].data() : nullptr;
     Morsel m;
     for (size_t i = 0; i < nmorsels; ++i) {
-      run_morsel(i, &m);
+      run_morsel(i, &m, acc);
       sink->Consume(std::move(m));
     }
   }
+
+#if !defined(XDBFT_DISABLE_METRICS)
+  if (profiling) {
+    // Fold the per-task accumulators into the skeleton. Chain times are
+    // made inclusive (each operator is charged its own busy seconds plus
+    // everything upstream in the pipeline) so they compare with the row
+    // engine's inclusive wall times.
+    std::vector<obs::OperatorProfile*> slot_profs;
+    slot_profs.reserve(nslots);
+    slot_profs.push_back(source_prof);
+    if (scan_filter != nullptr) slot_profs.push_back(fused_filter_prof);
+    for (obs::OperatorProfile* p : step_profs) slot_profs.push_back(p);
+    std::vector<ProfAcc> total(nslots);
+    for (const auto& task_accs : accs) {
+      for (size_t k = 0; k < nslots; ++k) {
+        total[k].rows += task_accs[k].rows;
+        total[k].batches += task_accs[k].batches;
+        total[k].seconds += task_accs[k].seconds;
+      }
+    }
+    double inclusive = 0.0;
+    for (size_t k = 0; k < nslots; ++k) {
+      inclusive += total[k].seconds;
+      obs::OperatorProfile* p = slot_profs[k];
+      if (p == nullptr) continue;
+      p->rows_out += total[k].rows;
+      p->batches += total[k].batches;
+      p->seconds += inclusive;
+      p->pipeline_id = pipeline_id;
+    }
+  }
+#endif
   return Status::OK();
 }
 
-Result<Table> ExecNode(const VecNode& node, ExecContext* ctx) {
+Result<Table> ExecNodeImpl(const VecNode& node, ExecContext* ctx) {
   switch (node.op) {
     case VecOp::kHashAggregate: {
       XDBFT_RETURN_NOT_OK(ValidateAggSpecs(node.aggs));
@@ -754,6 +1095,33 @@ Result<Table> ExecNode(const VecNode& node, ExecContext* ctx) {
   }
 }
 
+Result<Table> ExecNode(const VecNode& node, ExecContext* ctx) {
+#if !defined(XDBFT_DISABLE_METRICS)
+  // Breaker nodes (everything ExecNodeImpl materializes itself) are
+  // charged the inclusive wall time of their whole pipeline plus finish;
+  // streaming chains are recorded inside RunPipeline instead.
+  const bool breaker = node.op == VecOp::kHashAggregate ||
+                       node.op == VecOp::kSort || node.op == VecOp::kLimit ||
+                       node.op == VecOp::kUnionAll ||
+                       node.op == VecOp::kMergeJoin;
+  obs::OperatorProfile* prof =
+      breaker ? ctx->ProfileNode(&node) : nullptr;
+  if (prof != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<Table> r = ExecNodeImpl(node, ctx);
+    prof->seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (r.ok()) {
+      prof->rows_out += r->num_rows();
+      prof->batches += 1;
+    }
+    return r;
+  }
+#endif
+  return ExecNodeImpl(node, ctx);
+}
+
 }  // namespace
 
 Result<Table> ExecuteVectorized(const VecNodePtr& plan,
@@ -769,7 +1137,19 @@ Result<Table> ExecuteVectorized(const VecNodePtr& plan,
   }
   ExecContext ctx;
   ctx.opts = &local;
-  return ExecNode(*plan, &ctx);
+  if (local.profile != nullptr) {
+    BuildProfileSkeleton(plan, local.profile);
+#if !defined(XDBFT_DISABLE_METRICS)
+    BuildProfileMap(*plan, local.profile, &ctx.profile_map);
+#endif
+  }
+  Result<Table> result = ExecNode(*plan, &ctx);
+#if !defined(XDBFT_DISABLE_METRICS)
+  if (local.profile != nullptr && result.ok()) {
+    FinalizeMemoryEstimates(*plan, local.profile);
+  }
+#endif
+  return result;
 }
 
 Result<Table> RunPlan(const VecNodePtr& plan, bool vectorized,

@@ -27,6 +27,7 @@
 #include "common/task_pool.h"
 #include "exec/batch.h"
 #include "exec/operators.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 
 namespace xdbft::exec {
@@ -95,6 +96,21 @@ VecNodePtr VUnionAll(std::vector<VecNodePtr> inputs);
 /// baseline). Returns nullptr for a null plan.
 OperatorPtr ToOperator(const VecNodePtr& plan);
 
+/// \brief Reset `root` to the EXPLAIN ANALYZE skeleton of `plan`: same
+/// tree shape, operator names filled in, all counters zero. Both engines
+/// fill this identical shape, so per-operator row counts are directly
+/// comparable between them.
+void BuildProfileSkeleton(const VecNodePtr& plan, obs::OperatorProfile* root);
+
+/// \brief ToOperator plus profiling: rebuilds `root` as the plan skeleton
+/// and returns a decorated operator tree that records rows, batches and
+/// inclusive wall seconds per operator into it (memory estimates are
+/// filled at Close). `root` must outlive the returned tree. Under
+/// XDBFT_DISABLE_METRICS only the skeleton is built and the plain
+/// ToOperator tree is returned.
+OperatorPtr ToOperatorProfiled(const VecNodePtr& plan,
+                               obs::OperatorProfile* root);
+
 /// \brief Options of one vectorized execution.
 struct VecExecOptions {
   /// Total worker threads per pipeline (1 = serial morsel loop; the
@@ -112,6 +128,14 @@ struct VecExecOptions {
   /// starting at trace_lane_base).
   obs::TraceRecorder* trace = nullptr;
   int trace_lane_base = 0;
+  /// When non-null, rebuilt as the plan's profile skeleton and filled with
+  /// per-operator/per-pipeline statistics: rows and batches accumulated in
+  /// worker-local slots per morsel task (no locks or shared counters on
+  /// the hot path) and folded into the tree once at pipeline finish.
+  /// Chain operators record summed worker-busy seconds; breaker nodes
+  /// record the inclusive wall time of their pipeline. Under
+  /// XDBFT_DISABLE_METRICS only the zeroed skeleton is produced.
+  obs::OperatorProfile* profile = nullptr;
 };
 
 /// \brief Execute a plan on the vectorized engine. The result is

@@ -1,0 +1,48 @@
+#include "obs/attempt_log.h"
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace xdbft::obs {
+
+std::string AttemptTimeline::ToText() const {
+  std::string out;
+  for (const auto& r : records) {
+    out += StrFormat("[%9.3fs .. %9.3fs] %-24s stage=%d node=%d attempt=%d %s",
+                     r.dispatch_seconds, r.finish_seconds, r.label.c_str(),
+                     r.stage, r.node, r.attempt,
+                     r.killed ? "KILLED" : "ok");
+    if (r.rows_out > 0) {
+      out += StrFormat(" rows=%llu", (unsigned long long)r.rows_out);
+    }
+    if (r.rows_lost > 0) {
+      out += StrFormat(" rows_lost=%llu", (unsigned long long)r.rows_lost);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string AttemptTimeline::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const AttemptRecord& r = records[i];
+    if (i > 0) out += ", ";
+    out += "{\"label\": ";
+    out += JsonQuote(r.label);
+    out += StrFormat(", \"stage\": %d, \"node\": %d, \"attempt\": %d", r.stage,
+                     r.node, r.attempt);
+    out += ", \"dispatch_seconds\": ";
+    out += JsonNumber(r.dispatch_seconds);
+    out += ", \"finish_seconds\": ";
+    out += JsonNumber(r.finish_seconds);
+    out += StrFormat(", \"killed\": %s, \"rows_out\": %llu, \"rows_lost\": %llu}",
+                     r.killed ? "true" : "false",
+                     (unsigned long long)r.rows_out,
+                     (unsigned long long)r.rows_lost);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xdbft::obs

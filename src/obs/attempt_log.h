@@ -1,0 +1,42 @@
+// FT attempt timeline: a per-stage attempt ledger recorded by the
+// fault-tolerant executor (real wall-clock seconds, coordinator-side) and
+// the cluster simulator (virtual seconds, single-threaded). One record
+// per dispatched attempt; killed attempts carry the failure-detection
+// time in finish_seconds, and rows_lost is backfilled on records whose
+// output was later invalidated by a node failure.
+//
+// AttemptTimeline is not thread-safe: both producers record from a single
+// thread by contract (the executor's wave loop, the simulator's event
+// loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xdbft::obs {
+
+struct AttemptRecord {
+  std::string label;            // stage / collapsed-operator label
+  int stage = -1;               // stage index; -1 when not applicable
+  int node = -1;                // partition / node index; -1 for global
+  int attempt = 0;              // 0-based attempt number for this unit
+  double dispatch_seconds = 0;  // time the attempt started
+  double finish_seconds = 0;    // finish, or failure-detection time if killed
+  bool killed = false;
+  uint64_t rows_out = 0;   // rows produced (executor only; 0 in simulator)
+  uint64_t rows_lost = 0;  // rows invalidated by a later failure
+};
+
+struct AttemptTimeline {
+  std::vector<AttemptRecord> records;
+
+  bool empty() const { return records.empty(); }
+
+  // One line per attempt, dispatch-ordered, for logs and post-mortems.
+  std::string ToText() const;
+  // JSON array of attempt objects.
+  std::string ToJson() const;
+};
+
+}  // namespace xdbft::obs

@@ -1,0 +1,75 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace xdbft::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::Record(const char* category, const char* message,
+                            int64_t a, int64_t b) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  // Claim the slot; if a concurrent writer (lapped ring) or a reader holds
+  // it, drop instead of spinning — the recorder never blocks its caller.
+  if (slot.busy.exchange(1, std::memory_order_acquire) != 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.event.seq = ticket + 1;
+  slot.event.t_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+          .count();
+  slot.event.category = category;
+  slot.event.message = message;
+  slot.event.a = a;
+  slot.event.b = b;
+  slot.busy.store(0, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Tail() const {
+  std::vector<FlightEvent> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.busy.exchange(1, std::memory_order_acquire) != 0) continue;
+    if (slot.event.seq != 0) out.push_back(slot.event);
+    slot.busy.store(0, std::memory_order_release);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  return next_.load(std::memory_order_relaxed) -
+         dropped_.load(std::memory_order_relaxed);
+}
+
+uint64_t FlightRecorder::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::Clear() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.busy.exchange(1, std::memory_order_acquire) != 0) continue;
+    slot.event = FlightEvent{};
+    slot.busy.store(0, std::memory_order_release);
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+}  // namespace xdbft::obs

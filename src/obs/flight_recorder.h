@@ -1,0 +1,86 @@
+// Abort flight recorder: a fixed-size lock-free ring buffer of recent
+// structured events. Writers are wait-free in the common case: a ticket
+// from a single fetch_add picks the slot, and the slot is claimed with an
+// atomic exchange on a per-slot busy flag. If a slot is busy (another
+// writer or a reader holds it), the event is dropped and counted rather
+// than blocking — the recorder is a black box for post-mortems, not a
+// reliable log. Readers claim slots the same way, so there are no seqlock
+// retry loops and the whole structure is clean under TSan.
+//
+// Use the XDBFT_FLIGHT macro on hot-ish paths: it compiles to nothing
+// under XDBFT_DISABLE_METRICS, including its argument expressions.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xdbft::obs {
+
+struct FlightEvent {
+  uint64_t seq = 0;        // 1-based global record order
+  double t_seconds = 0.0;  // seconds since recorder creation (or Clear)
+  std::string category;    // e.g. "executor", "simulator", "crosscheck"
+  std::string message;     // static-ish description; no formatting cost
+  int64_t a = 0;           // event-specific values (stage/slot/seed/...)
+  int64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const char* category, const char* message, int64_t a = 0,
+              int64_t b = 0);
+
+  // Events still resident in the ring, oldest first. Events whose slot is
+  // mid-write are skipped (they count as dropped from this snapshot only).
+  std::vector<FlightEvent> Tail() const;
+
+  // Total events accepted / dropped since construction or Clear().
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+  // Empties the ring and resets counters and the time epoch. Not safe to
+  // run concurrently with writers that must not be dropped; intended for
+  // test setup and between-run resets on the coordinator.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+  // Process-wide recorder used by the XDBFT_FLIGHT macro.
+  static FlightRecorder& Default();
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> busy{0};
+    FlightEvent event;  // guarded by busy
+  };
+
+  size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace xdbft::obs
+
+#if !defined(XDBFT_DISABLE_METRICS)
+#define XDBFT_FLIGHT(category, message, a, b)                               \
+  ::xdbft::obs::FlightRecorder::Default().Record((category), (message), (a), \
+                                                 (b))
+#else
+#define XDBFT_FLIGHT(category, message, a, b) \
+  do {                                        \
+  } while (false)
+#endif

@@ -33,6 +33,55 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
 
 double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
+namespace {
+
+// Shared percentile estimator over fixed buckets: find the bucket holding
+// the p-th observation, then interpolate linearly between its bounds.
+// Bucket i spans (bounds[i-1], bounds[i]] — the first bucket interpolates
+// from 0, and the +inf overflow bucket clamps to the last finite bound
+// (there is nothing meaningful to interpolate toward).
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& counts, double p) {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  const double target = p / 100.0 * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double prev = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac = (target - prev) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  // target == total lands here only through rounding; clamp to the top of
+  // the last non-empty bucket.
+  for (size_t i = counts.size(); i-- > 0;) {
+    if (counts[i] == 0) continue;
+    return i >= bounds.size() ? (bounds.empty() ? 0.0 : bounds.back())
+                              : bounds[i];
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double Histogram::Percentile(double p) const {
+  return PercentileFromBuckets(bounds_, bucket_counts(), p);
+}
+
+double MetricsSnapshot::HistogramData::Percentile(double p) const {
+  return PercentileFromBuckets(bounds, bucket_counts, p);
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -65,6 +65,11 @@ class Histogram {
   std::vector<uint64_t> bucket_counts() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
+  /// \brief Estimated p-th percentile (p in [0, 100]) by linear
+  /// interpolation within the containing bucket (the first bucket
+  /// interpolates from 0, the overflow bucket clamps to the last bound).
+  /// An empty histogram returns 0.
+  double Percentile(double p) const;
   void Reset();
 
  private:
@@ -84,6 +89,9 @@ struct MetricsSnapshot {
     std::vector<uint64_t> bucket_counts;
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// \brief Same estimator as Histogram::Percentile, over the snapshot.
+    double Percentile(double p) const;
   };
 
   std::map<std::string, uint64_t> counters;

@@ -1,0 +1,116 @@
+#include "obs/postmortem.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace xdbft::obs {
+
+namespace {
+
+std::string SanitizeForFilename(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+}  // namespace
+
+std::string PostMortem::ToJson() const {
+  std::string out = "{\n  \"tool\": ";
+  out += JsonQuote(tool);
+  out += ",\n  \"reason\": ";
+  out += JsonQuote(reason);
+  out += StrFormat(",\n  \"seed\": %llu", (unsigned long long)seed);
+  out += ",\n  \"replay\": ";
+  out += JsonQuote(replay);
+  out += ",\n  \"params\": {";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += JsonQuote(key);
+    out += ": ";
+    out += JsonQuote(value);
+  }
+  out += "\n  },\n  \"events\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += StrFormat("{\"seq\": %llu, \"t_seconds\": ",
+                     (unsigned long long)e.seq);
+    out += JsonNumber(e.t_seconds);
+    out += ", \"category\": ";
+    out += JsonQuote(e.category);
+    out += ", \"message\": ";
+    out += JsonQuote(e.message);
+    out += StrFormat(", \"a\": %lld, \"b\": %lld}", (long long)e.a,
+                     (long long)e.b);
+  }
+  out += "\n  ],\n  \"timeline\": ";
+  out += timeline.ToJson();
+  out += ",\n  \"profiles\": [";
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += profiles[i].ToJson();
+  }
+  out += "\n  ],\n  \"reproducer\": ";
+  if (reproducer_json.empty()) {
+    out += "null";
+  } else {
+    // Already a complete JSON document; embed verbatim (minus trailing
+    // whitespace so the bundle stays tidy).
+    std::string repro = reproducer_json;
+    while (!repro.empty() &&
+           (repro.back() == '\n' || repro.back() == ' ')) {
+      repro.pop_back();
+    }
+    out += repro;
+  }
+  out += ",\n  \"metrics\": ";
+  std::string m = metrics.ToJson();
+  while (!m.empty() && m.back() == '\n') m.pop_back();
+  out += m;
+  out += "\n}\n";
+  return out;
+}
+
+void CaptureProcessState(PostMortem* pm) {
+  pm->events = FlightRecorder::Default().Tail();
+  pm->metrics = MetricsRegistry::Default().Snapshot();
+}
+
+Result<std::string> WritePostMortem(const std::string& dir,
+                                    const PostMortem& pm) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create post-mortem dir " + dir + ": " +
+                            ec.message());
+  }
+  // Process-local counter keeps multiple bundles from one run distinct.
+  static std::atomic<uint64_t> bundle_counter{0};
+  const uint64_t n = bundle_counter.fetch_add(1);
+  const std::string path =
+      dir + "/postmortem-" + SanitizeForFilename(pm.tool) +
+      StrFormat("-%llu-%llu.json", (unsigned long long)pm.seed,
+                (unsigned long long)n);
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open post-mortem file: " + path);
+  }
+  out << pm.ToJson();
+  if (!out.good()) {
+    return Status::Internal("failed writing post-mortem file: " + path);
+  }
+  return path;
+}
+
+}  // namespace xdbft::obs

@@ -1,0 +1,47 @@
+// Post-mortem bundles: a self-contained JSON document written when a run
+// dies — executor abort, simulator max-restarts exhaustion, or a failed
+// crosscheck. The bundle carries everything needed to understand and
+// replay the failure without the original process: the flight-recorder
+// event tail, a metrics snapshot, any collected query profiles, the FT
+// attempt timeline, and (for crosscheck violations) the minimized
+// reproducer JSON plus the seed and a replay command line.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/attempt_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+
+namespace xdbft::obs {
+
+struct PostMortem {
+  std::string tool;    // producing binary/component, e.g. "ft_executor"
+  std::string reason;  // human-readable abort reason
+  uint64_t seed = 0;   // reproducer seed (0 when not seed-driven)
+  std::string replay;  // command line that replays the failure, if any
+  std::map<std::string, std::string> params;
+  std::vector<FlightEvent> events;  // flight-recorder tail, oldest first
+  MetricsSnapshot metrics;
+  std::vector<QueryProfile> profiles;
+  AttemptTimeline timeline;
+  std::string reproducer_json;  // embedded verbatim; empty -> null
+
+  std::string ToJson() const;
+};
+
+// Captures the process-wide flight-recorder tail and metrics snapshot
+// into `pm` (the usual last step before writing).
+void CaptureProcessState(PostMortem* pm);
+
+// Writes the bundle as postmortem-<tool>-<seed>-<n>.json under `dir`
+// (created if missing) and returns the written path.
+Result<std::string> WritePostMortem(const std::string& dir,
+                                    const PostMortem& pm);
+
+}  // namespace xdbft::obs

@@ -1,0 +1,128 @@
+#include "obs/query_profile.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace xdbft::obs {
+
+namespace {
+
+double ChildSeconds(const OperatorProfile& p) {
+  double s = 0.0;
+  for (const auto& c : p.children) s += c.seconds;
+  return s;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes < 1024) return StrFormat("%lluB", (unsigned long long)bytes);
+  const char* units[] = {"KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int u = -1;
+  while (v >= 1024.0 && u < 2) {
+    v /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.1f%s", v, units[u]);
+}
+
+void RenderNode(const OperatorProfile& p, int depth, std::string* out) {
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  if (depth > 0) *out += "-> ";
+  *out += p.name;
+  *out += StrFormat("  rows=%llu batches=%llu", (unsigned long long)p.rows_out,
+                    (unsigned long long)p.batches);
+  const uint64_t in = p.rows_in();
+  if (in > 0) {
+    *out += StrFormat(" sel=%.1f%%",
+                      100.0 * static_cast<double>(p.rows_out) /
+                          static_cast<double>(in));
+  }
+  const double self = std::max(0.0, p.seconds - ChildSeconds(p));
+  *out += StrFormat(" time=%.3fms self=%.3fms", p.seconds * 1e3, self * 1e3);
+  if (p.est_memory_bytes > 0) {
+    *out += " mem=" + HumanBytes(p.est_memory_bytes);
+  }
+  if (p.pipeline_id >= 0) *out += StrFormat(" pipeline=%d", p.pipeline_id);
+  *out += "\n";
+  for (const auto& c : p.children) RenderNode(c, depth + 1, out);
+}
+
+void NodeToJson(const OperatorProfile& p, std::string* out) {
+  *out += "{\"op\": ";
+  *out += JsonQuote(p.name);
+  *out += StrFormat(", \"rows_out\": %llu, \"batches\": %llu",
+                    (unsigned long long)p.rows_out,
+                    (unsigned long long)p.batches);
+  *out += ", \"seconds\": ";
+  *out += JsonNumber(p.seconds);
+  *out += ", \"self_seconds\": ";
+  *out += JsonNumber(std::max(0.0, p.seconds - ChildSeconds(p)));
+  *out += StrFormat(", \"est_memory_bytes\": %llu, \"pipeline\": %d",
+                    (unsigned long long)p.est_memory_bytes, p.pipeline_id);
+  *out += ", \"children\": [";
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    if (i > 0) *out += ", ";
+    NodeToJson(p.children[i], out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+uint64_t OperatorProfile::rows_in() const {
+  uint64_t in = 0;
+  for (const auto& c : children) in += c.rows_out;
+  return in;
+}
+
+Status OperatorProfile::MergeFrom(const OperatorProfile& other) {
+  if (name != other.name || children.size() != other.children.size()) {
+    return Status::InvalidArgument(
+        StrFormat("profile shape mismatch: %s/%zu vs %s/%zu", name.c_str(),
+                  children.size(), other.name.c_str(),
+                  other.children.size()));
+  }
+  rows_out += other.rows_out;
+  batches += other.batches;
+  seconds += other.seconds;
+  est_memory_bytes += other.est_memory_bytes;
+  if (pipeline_id < 0) pipeline_id = other.pipeline_id;
+  for (size_t i = 0; i < children.size(); ++i) {
+    Status s = children[i].MergeFrom(other.children[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status QueryProfile::MergeFrom(const QueryProfile& other) {
+  if (engine != other.engine) {
+    return Status::InvalidArgument("cannot merge profiles across engines: " +
+                                   engine + " vs " + other.engine);
+  }
+  seconds += other.seconds;
+  return root.MergeFrom(other.root);
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out = StrFormat("%s [%s]  total=%.3fms\n", label.c_str(),
+                              engine.c_str(), seconds * 1e3);
+  RenderNode(root, 0, &out);
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"label\": ";
+  out += JsonQuote(label);
+  out += ", \"engine\": ";
+  out += JsonQuote(engine);
+  out += ", \"seconds\": ";
+  out += JsonNumber(seconds);
+  out += ", \"root\": ";
+  NodeToJson(root, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace xdbft::obs

@@ -22,7 +22,12 @@ std::string RunReport::ToJson() const {
     out += ": ";
     out += JsonQuote(value);
   }
-  out += "\n  },\n  \"metrics\": ";
+  out += "\n  },\n  \"profiles\": [";
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += profiles[i].ToJson();
+  }
+  out += "\n  ],\n  \"metrics\": ";
   out += metrics.ToJson();
   // metrics.ToJson() ends with "}\n"; close the report object.
   while (!out.empty() && (out.back() == '\n')) out.pop_back();

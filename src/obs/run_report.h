@@ -7,9 +7,11 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
 
 namespace xdbft::obs {
 
@@ -24,11 +26,13 @@ struct RunReport {
   /// Free-form run parameters (nodes, mtbf_seconds, ...), values rendered
   /// as strings.
   std::map<std::string, std::string> params;
+  /// Per-stage query profiles collected with --profile (may be empty).
+  std::vector<QueryProfile> profiles;
   /// Point-in-time metrics at the end of the run.
   MetricsSnapshot metrics;
 
   /// \brief `{"tool": ..., "plan": ..., "config": ..., "params": {...},
-  /// "metrics": {counters/gauges/histograms}}`.
+  /// "profiles": [...], "metrics": {counters/gauges/histograms}}`.
   std::string ToJson() const;
   Status WriteFile(const std::string& path) const;
 };

@@ -17,6 +17,7 @@
 #include "ft/ft_cost.h"
 #include "ft/scheme.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "validate/generator.h"
 
 namespace xdbft::validate {
@@ -798,9 +799,24 @@ Result<CrosscheckReport> RunCrosscheck(const CrosscheckOptions& options) {
         auto v = RunCheck(entry.name, minimized);
         if (v.ok() && v->has_value()) minimized.detail = **v;
       }
-      report.messages.push_back(StrFormat(
+      std::string message = StrFormat(
           "seed %llu [%s]: %s", static_cast<unsigned long long>(seed),
-          entry.name, minimized.detail.c_str()));
+          entry.name, minimized.detail.c_str());
+      if (!options.postmortem_dir.empty()) {
+        obs::PostMortem pm;
+        pm.tool = "crosscheck";
+        pm.reason = message;
+        pm.seed = seed;
+        pm.replay = "xdbft_crosscheck --replay <reproducer>";
+        pm.params["check"] = entry.name;
+        pm.params["kind"] = minimized.kind;
+        obs::CaptureProcessState(&pm);
+        pm.reproducer_json = ReproToJson(minimized);
+        Result<std::string> pm_path =
+            obs::WritePostMortem(options.postmortem_dir, pm);
+        if (pm_path.ok()) message += " (post-mortem: " + *pm_path + ")";
+      }
+      report.messages.push_back(std::move(message));
       if (options.write_reproducers) {
         XDBFT_ASSIGN_OR_RETURN(std::string path,
                                WriteReproducer(options.out_dir, minimized));

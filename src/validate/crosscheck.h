@@ -39,6 +39,11 @@ struct CrosscheckOptions {
   std::string out_dir = "crosscheck-repro";
   /// Disable reproducer files (used by unit tests).
   bool write_reproducers = true;
+  /// When non-empty, every violation additionally writes a post-mortem
+  /// bundle there (flight-recorder tail, metrics snapshot, the minimized
+  /// reproducer embedded verbatim) and the violation message carries the
+  /// bundle path.
+  std::string postmortem_dir;
 };
 
 /// \brief Aggregate outcome of one harness run.

@@ -157,5 +157,65 @@ TEST(SimulatorTraceTest, CountersTrackRestarts) {
 }
 #endif
 
+TEST(SimulatorAttemptLogTest, FineGrainedLedgerMatchesResult) {
+  const plan::Plan p = ChainPlan(30.0, 1.0, 3);
+  const cost::ClusterStats stats = cost::MakeCluster(2, 20.0, 2.0);
+  obs::AttemptTimeline timeline;
+  SimulationOptions options;
+  options.attempt_log = &timeline;
+  const ClusterSimulator sim(stats, options);
+  ClusterTrace failures = ClusterTrace::Generate(stats, 11);
+
+  auto r = sim.Run(p, MaterializationConfig::AllMat(p),
+                   RecoveryMode::kFineGrained, failures);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->completed);
+  ASSERT_GT(r->restarts, 0);
+  int killed = 0, completed = 0;
+  for (const auto& rec : timeline.records) {
+    EXPECT_GE(rec.finish_seconds, rec.dispatch_seconds);
+    if (rec.killed) {
+      ++killed;
+    } else {
+      ++completed;
+    }
+  }
+  // One killed attempt per restart; every sub-plan (3 collapsed ops x 2
+  // nodes) eventually completes exactly once.
+  EXPECT_EQ(killed, r->restarts);
+  EXPECT_EQ(completed, 3 * 2);
+}
+
+TEST(SimulatorAttemptLogTest, FullRestartLedgerUsesVirtualTime) {
+  const plan::Plan p = ChainPlan(50.0, 1.0, 3);
+  const cost::ClusterStats stats = cost::MakeCluster(2, 40.0, 2.0);
+  obs::AttemptTimeline timeline;
+  SimulationOptions options;
+  options.attempt_log = &timeline;
+  const ClusterSimulator sim(stats, options);
+  ClusterTrace failures = ClusterTrace::Generate(stats, 5);
+
+  auto r = sim.Run(p, MaterializationConfig::NoMat(p),
+                   RecoveryMode::kFullRestart, failures);
+  ASSERT_TRUE(r.ok()) << r.status();
+  int killed = 0, completed = 0;
+  for (const auto& rec : timeline.records) {
+    EXPECT_EQ(rec.label, "query");
+    EXPECT_EQ(rec.node, -1);
+    if (rec.killed) {
+      ++killed;
+    } else {
+      ++completed;
+    }
+  }
+  EXPECT_EQ(killed, r->restarts);
+  EXPECT_EQ(completed, r->completed ? 1 : 0);
+  if (r->completed) {
+    // The ledger is on virtual simulated time: the last attempt finishes
+    // exactly at the reported runtime.
+    EXPECT_DOUBLE_EQ(timeline.records.back().finish_seconds, r->runtime);
+  }
+}
+
 }  // namespace
 }  // namespace xdbft::cluster

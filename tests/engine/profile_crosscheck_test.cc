@@ -1,0 +1,108 @@
+// EXPLAIN ANALYZE engine crosscheck: both engines fill the same profile
+// tree shape, and per-operator output row counts must match exactly
+// between the Volcano row engine and the morsel-driven vectorized engine
+// (the operators are semantically identical; only timing may differ).
+#include <gtest/gtest.h>
+
+#include "engine/query_runner.h"
+
+namespace xdbft::engine {
+namespace {
+
+struct Fixture {
+  datagen::TpchDatabase db;
+  PartitionedDatabase pd;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    datagen::TpchGenOptions opts;
+    opts.scale_factor = 0.01;
+    opts.seed = 4242;
+    auto db = datagen::GenerateTpch(opts);
+    auto pd = DistributeTpch(*db, 4);
+    return new Fixture{std::move(*db), std::move(*pd)};
+  }();
+  return *fixture;
+}
+
+using RunFn = Result<QueryExecution> (QueryRunner::*)() const;
+
+void ExpectSameRows(const obs::OperatorProfile& row,
+                    const obs::OperatorProfile& vec,
+                    const std::string& where) {
+  ASSERT_EQ(row.name, vec.name) << where;
+  EXPECT_EQ(row.rows_out, vec.rows_out)
+      << where << " -> " << row.name << ": row engine produced "
+      << row.rows_out << " rows, vectorized " << vec.rows_out;
+  ASSERT_EQ(row.children.size(), vec.children.size()) << where;
+  for (size_t i = 0; i < row.children.size(); ++i) {
+    ExpectSameRows(row.children[i], vec.children[i],
+                   where + "/" + row.name);
+  }
+}
+
+uint64_t TotalRows(const obs::OperatorProfile& p) {
+  uint64_t total = p.rows_out;
+  for (const auto& c : p.children) total += TotalRows(c);
+  return total;
+}
+
+void CrosscheckQuery(RunFn run, const char* name) {
+  const Fixture& f = GetFixture();
+  ExecOptions row_opts;
+  row_opts.mode = ExecMode::kRow;
+  row_opts.profile = true;
+  QueryRunner row_runner(&f.pd, row_opts);
+  auto row = (row_runner.*run)();
+  ASSERT_TRUE(row.ok()) << name << ": " << row.status();
+
+  ExecOptions vec_opts;
+  vec_opts.mode = ExecMode::kVectorized;
+  vec_opts.num_threads = 4;
+  vec_opts.profile = true;
+  QueryRunner vec_runner(&f.pd, vec_opts);
+  auto vec = (vec_runner.*run)();
+  ASSERT_TRUE(vec.ok()) << name << ": " << vec.status();
+
+  ASSERT_EQ(row->stage_profiles.size(), vec->stage_profiles.size()) << name;
+  ASSERT_FALSE(row->stage_profiles.empty()) << name;
+  [[maybe_unused]] uint64_t total_rows = 0;
+  for (size_t s = 0; s < row->stage_profiles.size(); ++s) {
+    const obs::QueryProfile& rp = row->stage_profiles[s];
+    const obs::QueryProfile& vp = vec->stage_profiles[s];
+    EXPECT_EQ(rp.label, vp.label);
+    EXPECT_EQ(rp.engine, "row");
+    EXPECT_EQ(vp.engine, "vectorized");
+    ExpectSameRows(rp.root, vp.root,
+                   std::string(name) + "/" + rp.label);
+    total_rows += TotalRows(rp.root);
+  }
+#if !defined(XDBFT_DISABLE_METRICS)
+  // The profiles must actually be populated, not two all-zero skeletons.
+  EXPECT_GT(total_rows, 0u) << name;
+#endif
+}
+
+TEST(ProfileCrosscheckTest, Q1RowCountsMatchAcrossEngines) {
+  CrosscheckQuery(&QueryRunner::RunQ1, "Q1");
+}
+
+TEST(ProfileCrosscheckTest, Q3RowCountsMatchAcrossEngines) {
+  CrosscheckQuery(&QueryRunner::RunQ3, "Q3");
+}
+
+TEST(ProfileCrosscheckTest, Q5RowCountsMatchAcrossEngines) {
+  CrosscheckQuery(&QueryRunner::RunQ5, "Q5");
+}
+
+TEST(ProfileCrosscheckTest, ProfilingOffLeavesProfilesEmpty) {
+  const Fixture& f = GetFixture();
+  QueryRunner runner(&f.pd);  // profile defaults to false
+  auto r = runner.RunQ1();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->stage_profiles.empty());
+}
+
+}  // namespace
+}  // namespace xdbft::engine

@@ -111,6 +111,59 @@ TEST(RegistryTest, ResetAllZeroesButKeepsObjects) {
   EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 0.0);
 }
 
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleSampleInterpolatesWithinItsBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.5);  // bucket (1, 2]
+  // One sample: every percentile interpolates inside that bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 1.5);
+  EXPECT_NEAR(h.Percentile(99.0), 1.99, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 2.0);
+}
+
+TEST(HistogramPercentileTest, BucketBoundarySamplesLandOnBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);  // bucket (0, 1] (inclusive upper bound)
+  h.Observe(2.0);  // bucket (1, 2]
+  // p50 exhausts the first bucket exactly -> its upper bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 2.0);
+  // First-bucket interpolation starts from 0, not -inf.
+  EXPECT_DOUBLE_EQ(h.Percentile(25.0), 0.5);
+}
+
+TEST(HistogramPercentileTest, OverflowBucketClampsToLastBound) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(9.0);  // overflow bucket: upper edge unknown
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 4.0);
+}
+
+TEST(HistogramPercentileTest, PercentileClampedToValidRange) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(-5.0), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(250.0), h.Percentile(100.0));
+}
+
+TEST(HistogramPercentileTest, SnapshotDataMatchesLiveHistogram) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0, 4.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(3.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const auto& data = snap.histograms.at("lat");
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(data.Percentile(p), h->Percentile(p)) << "p=" << p;
+  }
+}
+
 TEST(ScopedTimerTest, ObservesElapsedIntoHistogramAndGauge) {
   Histogram h({10.0});
   Gauge g;

@@ -1,0 +1,122 @@
+// QueryProfile data-model tests: derived rows_in, shape-checked merging,
+// and the EXPLAIN ANALYZE text/JSON renderings.
+#include "obs/query_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace xdbft::obs {
+namespace {
+
+OperatorProfile MakeTree() {
+  OperatorProfile scan;
+  scan.name = "Scan";
+  scan.rows_out = 100;
+  scan.batches = 2;
+  scan.seconds = 0.010;
+
+  OperatorProfile filter;
+  filter.name = "Filter";
+  filter.rows_out = 40;
+  filter.batches = 2;
+  filter.seconds = 0.015;
+  filter.children.push_back(scan);
+
+  OperatorProfile agg;
+  agg.name = "HashAggregate";
+  agg.rows_out = 4;
+  agg.batches = 1;
+  agg.seconds = 0.020;
+  agg.est_memory_bytes = 256;
+  agg.children.push_back(filter);
+  return agg;
+}
+
+TEST(OperatorProfileTest, RowsInDerivesFromChildren) {
+  const OperatorProfile agg = MakeTree();
+  EXPECT_EQ(agg.rows_in(), 40u);           // filter's output
+  EXPECT_EQ(agg.children[0].rows_in(), 100u);
+  EXPECT_EQ(agg.children[0].children[0].rows_in(), 0u);  // leaf
+}
+
+TEST(OperatorProfileTest, MergeSumsCounters) {
+  OperatorProfile a = MakeTree();
+  const OperatorProfile b = MakeTree();
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.rows_out, 8u);
+  EXPECT_EQ(a.batches, 2u);
+  EXPECT_DOUBLE_EQ(a.seconds, 0.040);
+  EXPECT_EQ(a.est_memory_bytes, 512u);
+  EXPECT_EQ(a.children[0].rows_out, 80u);
+  EXPECT_EQ(a.children[0].children[0].rows_out, 200u);
+}
+
+TEST(OperatorProfileTest, MergeRejectsShapeMismatch) {
+  OperatorProfile a = MakeTree();
+  OperatorProfile renamed = MakeTree();
+  renamed.name = "Sort";
+  EXPECT_FALSE(a.MergeFrom(renamed).ok());
+  OperatorProfile pruned = MakeTree();
+  pruned.children.clear();
+  EXPECT_FALSE(a.MergeFrom(pruned).ok());
+}
+
+TEST(QueryProfileTest, MergeRejectsCrossEngine) {
+  QueryProfile row;
+  row.engine = "row";
+  row.root = MakeTree();
+  QueryProfile vec;
+  vec.engine = "vectorized";
+  vec.root = MakeTree();
+  EXPECT_FALSE(row.MergeFrom(vec).ok());
+  QueryProfile row2;
+  row2.engine = "row";
+  row2.root = MakeTree();
+  EXPECT_TRUE(row.MergeFrom(row2).ok());
+}
+
+TEST(QueryProfileTest, ToTextRendersEveryOperator) {
+  QueryProfile p;
+  p.label = "Stage1";
+  p.engine = "row";
+  p.seconds = 0.05;
+  p.root = MakeTree();
+  const std::string text = p.ToText();
+  EXPECT_NE(text.find("Stage1"), std::string::npos);
+  EXPECT_NE(text.find("HashAggregate"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("Scan"), std::string::npos);
+  EXPECT_NE(text.find("rows=100"), std::string::npos);
+  EXPECT_NE(text.find("rows=4"), std::string::npos);
+}
+
+TEST(QueryProfileTest, ToJsonParsesAndRoundTripsCounts) {
+  QueryProfile p;
+  p.label = "Stage1";
+  p.engine = "vectorized";
+  p.seconds = 0.05;
+  p.root = MakeTree();
+  auto doc = ParseJson(p.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* label = doc->Find("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->string_value, "Stage1");
+  const JsonValue* root = doc->Find("root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->Find("op")->string_value, "HashAggregate");
+  EXPECT_DOUBLE_EQ(root->Find("rows_out")->number_value, 4.0);
+  const JsonValue* children = root->Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array.size(), 1u);
+  EXPECT_EQ(children->array[0].Find("op")->string_value, "Filter");
+  const JsonValue* grandchildren = children->array[0].Find("children");
+  ASSERT_NE(grandchildren, nullptr);
+  ASSERT_EQ(grandchildren->array.size(), 1u);
+  EXPECT_EQ(grandchildren->array[0].Find("op")->string_value, "Scan");
+  EXPECT_DOUBLE_EQ(grandchildren->array[0].Find("rows_out")->number_value,
+                   100.0);
+}
+
+}  // namespace
+}  // namespace xdbft::obs

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Local CI: configure + build + test the configurations that matter —
-#   release  Release (what the benchmarks and reproduction harnesses use)
-#   asan     Debug + AddressSanitizer  (XDBFT_SANITIZE=address)
-#   tsan     Debug + ThreadSanitizer   (XDBFT_SANITIZE=thread; exercises
-#            the parallel enumerator / task-pool tests for data races)
+#   release    Release (what the benchmarks and reproduction harnesses use)
+#   asan       Debug + AddressSanitizer  (XDBFT_SANITIZE=address)
+#   tsan       Debug + ThreadSanitizer   (XDBFT_SANITIZE=thread; exercises
+#              the parallel enumerator / task-pool tests for data races)
+#   nometrics  Release + XDBFT_ENABLE_METRICS=OFF (proves the profiler /
+#              flight-recorder hot-path instrumentation compiles out and
+#              the suite still passes without it)
 #
-# Usage: tools/ci.sh [JOBS] [--config release|asan|tsan] [--quick] [--jobs N]
-#   no --config     run release + asan + tsan in sequence (full matrix)
+# Usage: tools/ci.sh [JOBS] [--config release|asan|tsan|nometrics] [--quick]
+#        [--jobs N]
+#   no --config     run release + asan + tsan + nometrics (full matrix)
 #   --quick         run only the tier1-labelled tests (skips bench-smoke)
 #   JOBS / --jobs   parallelism (default: nproc)
 set -euo pipefail
@@ -48,8 +52,12 @@ case "${CONFIG}" in
   tsan|all)
     run_config build-ci-tsan -DCMAKE_BUILD_TYPE=Debug \
       -DXDBFT_SANITIZE=thread ;;&
-  release|asan|tsan|all) ;;
-  *) echo "unknown --config '${CONFIG}' (release|asan|tsan)" >&2; exit 2 ;;
+  nometrics|all)
+    run_config build-ci-nometrics -DCMAKE_BUILD_TYPE=Release \
+      -DXDBFT_ENABLE_METRICS=OFF ;;&
+  release|asan|tsan|nometrics|all) ;;
+  *) echo "unknown --config '${CONFIG}' (release|asan|tsan|nometrics)" >&2
+     exit 2 ;;
 esac
 
 echo "=== CI passed (${CONFIG}) ==="

@@ -37,6 +37,14 @@
 //                        chrome://tracing or https://ui.perfetto.dev):
 //                        wall-clock spans from the validation execution and
 //                        virtual-time spans from one simulated run.
+//   --profile            run TPC-H Q1/Q3/Q5 over a tiny generated database
+//                        on both engines with per-operator profiling and
+//                        print one EXPLAIN ANALYZE tree per stage (also
+//                        embedded in --metrics-json under "profiles").
+//                        Works standalone, without --plan.
+//   --postmortem-dir DIR if the validation execution aborts, write a
+//                        post-mortem bundle (flight-recorder tail, metrics
+//                        snapshot, attempt timeline) into DIR.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +79,8 @@ struct Args {
   double storage_mibps = 0.0;  // 0 = TpchPlanConfig default
   std::string metrics_json;
   std::string trace_out;
+  bool profile = false;
+  std::string postmortem_dir;
 };
 
 void Usage(const char* argv0) {
@@ -81,8 +91,10 @@ void Usage(const char* argv0) {
       "          [--scale-success-with-cluster] [--greedy]\n"
       "          [--threads N] [--exec-threads N] [--simulate TRACES]\n"
       "          [--metrics-json PATH] [--trace-out PATH]\n"
+      "          [--profile] [--postmortem-dir DIR]\n"
+      "       %s --profile [--metrics-json PATH]\n"
       "       %s --emit-q5 SF [--storage-mibps MIB]\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -124,6 +136,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_json = argv[++i];
     } else if (a == "--trace-out" && i + 1 < argc) {
       args->trace_out = argv[++i];
+    } else if (a == "--profile") {
+      args->profile = true;
+    } else if (a == "--postmortem-dir" && i + 1 < argc) {
+      args->postmortem_dir = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n",
                    a.c_str());
@@ -139,7 +155,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 // recovery work and yields an observed row for the accuracy report.
 // Wall-clock spans go into `trace` when non-null.
 Result<ft::ObservedExecution> RunValidationExecution(
-    obs::TraceRecorder* trace, int exec_threads) {
+    obs::TraceRecorder* trace, int exec_threads,
+    const std::string& postmortem_dir) {
   datagen::TpchGenOptions opts;
   opts.scale_factor = 0.002;
   opts.seed = 7;
@@ -160,6 +177,7 @@ Result<ft::ObservedExecution> RunValidationExecution(
   engine::FaultTolerantExecutor executor(&q5, &pd);
   executor.set_trace(trace);
   executor.set_num_threads(exec_threads);
+  if (!postmortem_dir.empty()) executor.set_postmortem_dir(postmortem_dir);
   XDBFT_ASSIGN_OR_RETURN(engine::FtExecutionResult r,
                          executor.Execute(config, &injector));
   ft::ObservedExecution observed;
@@ -169,6 +187,48 @@ Result<ft::ObservedExecution> RunValidationExecution(
   observed.task_executions = r.task_executions;
   observed.runtime_seconds = r.wall_seconds;
   return observed;
+}
+
+// --profile: run Q1/Q3/Q5 over a tiny generated TPC-H database on both
+// engines with per-operator profiling on and print one EXPLAIN ANALYZE
+// tree per stage. The collected profiles (labels prefixed with the query
+// name) are appended to *profiles for --metrics-json.
+Status RunProfileDemo(std::vector<obs::QueryProfile>* profiles) {
+  datagen::TpchGenOptions opts;
+  opts.scale_factor = 0.01;
+  opts.seed = 7;
+  XDBFT_ASSIGN_OR_RETURN(datagen::TpchDatabase db,
+                         datagen::GenerateTpch(opts));
+  XDBFT_ASSIGN_OR_RETURN(engine::PartitionedDatabase pd,
+                         engine::DistributeTpch(db, 3));
+  struct Query {
+    const char* name;
+    Result<engine::QueryExecution> (engine::QueryRunner::*run)() const;
+  };
+  const Query kQueries[] = {{"Q1", &engine::QueryRunner::RunQ1},
+                            {"Q3", &engine::QueryRunner::RunQ3},
+                            {"Q5", &engine::QueryRunner::RunQ5}};
+  for (const engine::ExecMode mode :
+       {engine::ExecMode::kRow, engine::ExecMode::kVectorized}) {
+    const bool vectorized = mode == engine::ExecMode::kVectorized;
+    engine::ExecOptions eopts;
+    eopts.mode = mode;
+    eopts.num_threads = vectorized ? 2 : 1;
+    eopts.profile = true;
+    engine::QueryRunner runner(&pd, eopts);
+    for (const Query& q : kQueries) {
+      XDBFT_ASSIGN_OR_RETURN(engine::QueryExecution exec,
+                             (runner.*q.run)());
+      std::printf("\nEXPLAIN ANALYZE %s (tiny TPC-H sf=0.01, %s engine):\n",
+                  q.name, vectorized ? "vectorized" : "row");
+      for (obs::QueryProfile& p : exec.stage_profiles) {
+        std::printf("%s", p.ToText().c_str());
+        p.label = std::string(q.name) + "/" + p.label;
+        profiles->push_back(std::move(p));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -196,7 +256,36 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::vector<obs::QueryProfile> profiles;
+  if (args.profile) {
+    const Status s = RunProfileDemo(&profiles);
+    if (!s.ok()) {
+      std::fprintf(stderr, "profile run failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+
   if (args.plan_path.empty()) {
+    if (args.profile) {
+      // Standalone --profile: no plan to advise on; optionally persist the
+      // profile trees (plus whatever metrics the runs produced).
+      if (!args.metrics_json.empty()) {
+        obs::RunReport report;
+        report.tool = "xdbft_advisor";
+        report.profiles = std::move(profiles);
+        report.metrics = obs::MetricsRegistry::Default().Snapshot();
+        const Status s = report.WriteFile(args.metrics_json);
+        if (!s.ok()) {
+          std::fprintf(stderr, "error writing %s: %s\n",
+                       args.metrics_json.c_str(), s.ToString().c_str());
+          return 1;
+        }
+        std::printf("\nWrote metrics report to %s\n",
+                    args.metrics_json.c_str());
+      }
+      return 0;
+    }
     Usage(argv[0]);
     return 2;
   }
@@ -259,7 +348,8 @@ int main(int argc, char** argv) {
   if (observability) {
     auto report = ft::BuildAccuracyReport(*plan, chosen->config,
                                           advisor.context());
-    auto observed = RunValidationExecution(trace_ptr, args.exec_threads);
+    auto observed = RunValidationExecution(trace_ptr, args.exec_threads,
+                                           args.postmortem_dir);
     if (report.ok()) {
       if (observed.ok()) report->observed.push_back(*observed);
       std::printf("\n%s", report->ToString().c_str());
@@ -340,6 +430,7 @@ int main(int argc, char** argv) {
         std::to_string(ft::FtPlanEnumerator::ResolveThreads(args.threads));
     report.params["exec_threads"] = std::to_string(
         engine::FaultTolerantExecutor::ResolveThreads(args.exec_threads));
+    report.profiles = std::move(profiles);
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     const Status s = report.WriteFile(args.metrics_json);
     if (!s.ok()) {

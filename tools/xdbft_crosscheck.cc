@@ -10,7 +10,8 @@
 //
 // Usage:
 //   xdbft_crosscheck [--seeds N] [--seed-base B] [--traces N] [--quick]
-//                    [--out-dir DIR] [--no-repro] [--list]
+//                    [--out-dir DIR] [--no-repro] [--postmortem-dir DIR]
+//                    [--list]
 //   xdbft_crosscheck --replay FILE
 //
 // Exit codes: 0 all checks passed, 1 violations found (reproducers
@@ -31,7 +32,8 @@ void Usage() {
       stderr,
       "usage: xdbft_crosscheck [--seeds N] [--seed-base B] [--traces N]\n"
       "                        [--quick] [--out-dir DIR] [--no-repro]\n"
-      "                        [--list] [--replay FILE]\n");
+      "                        [--postmortem-dir DIR] [--list]\n"
+      "                        [--replay FILE]\n");
 }
 
 }  // namespace
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
       options.out_dir = next();
     } else if (arg == "--no-repro") {
       options.write_reproducers = false;
+    } else if (arg == "--postmortem-dir") {
+      options.postmortem_dir = next();
     } else if (arg == "--replay") {
       replay_path = next();
     } else if (arg == "--list") {

@@ -15,6 +15,8 @@
 #pragma once
 
 #include "api/advisor.h"            // IWYU pragma: export
+#include "api/advisor_service.h"    // IWYU pragma: export
+#include "api/fingerprint.h"        // IWYU pragma: export
 #include "cluster/experiment.h"     // IWYU pragma: export
 #include "cluster/failure_trace.h"  // IWYU pragma: export
 #include "cluster/simulator.h"      // IWYU pragma: export

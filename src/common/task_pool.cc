@@ -44,17 +44,13 @@ int TaskPool::CurrentWorkerId() const {
   return g_worker_tls.pool == this ? g_worker_tls.id : -1;
 }
 
-void TaskPool::Submit(Task task) {
-  if (queues_.empty()) {
-    tasks_inline_.fetch_add(1, std::memory_order_relaxed);
-    task();
-    return;
-  }
+bool TaskPool::EnqueueTask(Task& task) {
   // Prefer the submitting worker's own queue (LIFO locality); external
-  // threads round-robin. On a full target, probe the others once before
-  // falling back to running inline — bounded memory, never blocks.
-  const int self = CurrentWorkerId();
+  // threads round-robin. On a full target, probe the others once —
+  // bounded memory, never blocks.
   const size_t n = queues_.size();
+  if (n == 0) return false;
+  const int self = CurrentWorkerId();
   const size_t start =
       self >= 0 ? static_cast<size_t>(self)
                 : next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
@@ -70,11 +66,19 @@ void TaskPool::Submit(Task task) {
       std::lock_guard<std::mutex> lock(mu_);
     }
     cv_.notify_one();
-    return;
+    return true;
   }
+  return false;
+}
+
+void TaskPool::Submit(Task task) {
+  if (EnqueueTask(task)) return;
+  // No workers or every queue full: caller-runs backpressure.
   tasks_inline_.fetch_add(1, std::memory_order_relaxed);
   task();
 }
+
+bool TaskPool::TrySubmit(Task task) { return EnqueueTask(task); }
 
 bool TaskPool::PopTask(int worker_id, Task* task, bool* stolen) {
   const size_t n = queues_.size();

@@ -59,6 +59,14 @@ class TaskPool {
   /// pool has no workers. Must not be called after the destructor started.
   void Submit(Task task);
 
+  /// \brief Bounded admission: enqueue `task` and return true, or return
+  /// false — without running anything — when the pool has no workers or
+  /// every queue is full. The caller keeps control of overload handling
+  /// (run inline, retry later, shed the request); pass an lvalue if the
+  /// task must still run on rejection, since the by-value argument is
+  /// consumed either way.
+  bool TrySubmit(Task task);
+
   /// \brief Run fn(i) for every i in [0, n), blocking until all complete.
   /// The calling thread executes queued tasks while waiting. If any task
   /// throws, the first captured exception is rethrown after the join (the
@@ -74,6 +82,9 @@ class TaskPool {
   };
 
   void WorkerLoop(int worker_id);
+  /// \brief Enqueue on the first non-full queue starting from the caller's
+  /// preferred one; false (task left untouched) when all are full.
+  bool EnqueueTask(Task& task);
   /// \brief Pop a task for `worker_id` (own queue LIFO, then steal FIFO).
   /// `worker_id` < 0 scans all queues FIFO (external helper thread).
   bool PopTask(int worker_id, Task* task, bool* stolen);

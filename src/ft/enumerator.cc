@@ -92,7 +92,10 @@ struct FtPlanEnumerator::SearchState {
   /// (cost > bound), so a configuration tying the final best always
   /// survives to the deterministic tie-break below.
   std::atomic<double> bound{std::numeric_limits<double>::infinity()};
-  ConcurrentDominantPathMemo memo;
+  ConcurrentDominantPathMemo owned_memo;
+  /// Points at owned_memo, or at EnumerationOptions::shared_memo when the
+  /// caller warm-starts rule 3 across FindBest calls of the same search.
+  ConcurrentDominantPathMemo* memo = nullptr;
   std::atomic<bool> failed{false};
   const FailureParams fparams;
   const bool use_memo;
@@ -206,11 +209,11 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
           return false;
         }
         // Extension: Eq. 9 dominance over a memoized dominant path.
-        if (state->use_memo && !state->memo.empty()) {
+        if (state->use_memo && !state->memo->empty()) {
           std::vector<double> costs;
           costs.reserve(path.size());
           for (CollapsedId id : path) costs.push_back(cp.op(id).total_cost());
-          if (state->memo.Dominates(std::move(costs))) {
+          if (state->memo->Dominates(std::move(costs))) {
             ++local->rule3_memo_hits;
             pruned = true;
             return false;
@@ -276,7 +279,7 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
         for (CollapsedId id : dom_path) {
           costs.push_back(cp.op(id).total_cost());
         }
-        state->memo.Record(std::move(costs), dom_cost);
+        state->memo->Record(std::move(costs), dom_cost);
       }
     }
   }
@@ -354,6 +357,8 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
   // merge that keeps the totals exact under concurrency.
   SearchState state(model_.context().MakeFailureParams(),
                     options_.pruning.memoize_dominant_paths);
+  state.memo = options_.shared_memo != nullptr ? options_.shared_memo
+                                               : &state.owned_memo;
   std::vector<EnumerationStats> per_slot(static_cast<size_t>(threads) + 1);
   if (parallel) {
     pool_->ParallelForEach(tasks.size(), [&](size_t i) {

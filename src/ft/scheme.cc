@@ -64,6 +64,7 @@ Result<SchemePlan> ApplyCostBasedScheme(
   // pruning rules' kNeverMaterialize marks are an internal search detail
   // and would confuse downstream re-analysis (e.g. marginal reports).
   out.plan = candidates[choice.plan_index];
+  out.plan_index = choice.plan_index;
   out.config = std::move(choice.config);
   out.estimated_cost = choice.estimated_cost;
   return out;

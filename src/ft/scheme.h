@@ -39,6 +39,9 @@ struct SchemePlan {
   SchemeKind kind = SchemeKind::kCostBased;
   RecoveryMode recovery = RecoveryMode::kFineGrained;
   plan::Plan plan;
+  /// Index of `plan` in the candidate list the scheme was applied to
+  /// (0 for the single-plan entry points).
+  size_t plan_index = 0;
   MaterializationConfig config;
   /// Cost-model estimate of runtime under failures (dominant-path TPt).
   double estimated_cost = 0.0;

@@ -97,6 +97,15 @@ const std::vector<double>& DefaultLatencyBoundsSeconds() {
   return *bounds;
 }
 
+const std::vector<double>& MicroLatencyBoundsSeconds() {
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>;
+    for (double v = 1e-6; v < 8.0; v *= 4.0) b->push_back(v);
+    return b;
+  }();
+  return *bounds;
+}
+
 std::string MetricsSnapshot::ToJson(bool compact) const {
   // `compact` emits a single line (for JSON-lines writers that embed the
   // snapshot in a larger one-line record); the default is indented for

@@ -82,6 +82,11 @@ class Histogram {
 /// \brief Exponential seconds buckets 1ms..~100s, the default for timers.
 const std::vector<double>& DefaultLatencyBoundsSeconds();
 
+/// \brief Exponential seconds buckets 1µs..~4s — for request-serving
+/// latencies (advisor-service cache hits land far below the 1 ms floor of
+/// the default bounds, which would report every hit as "p99 <= 1ms").
+const std::vector<double>& MicroLatencyBoundsSeconds();
+
 /// \brief Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
   struct HistogramData {
@@ -207,6 +212,15 @@ class ScopedTimer {
     xdbft_obs_hist->Observe(static_cast<double>(value));                   \
   } while (false)
 
+/// Histogram with microsecond-resolution buckets (request-serving paths).
+#define XDBFT_HISTOGRAM_OBSERVE_MICRO(name, value)                         \
+  do {                                                                     \
+    static ::xdbft::obs::Histogram* xdbft_obs_hist =                       \
+        ::xdbft::obs::MetricsRegistry::Default().GetHistogram(             \
+            name, ::xdbft::obs::MicroLatencyBoundsSeconds());              \
+    xdbft_obs_hist->Observe(static_cast<double>(value));                   \
+  } while (false)
+
 /// Times the enclosing scope into histogram `name` (seconds).
 #define XDBFT_SCOPED_TIMER(name)                                           \
   ::xdbft::obs::ScopedTimer XDBFT_OBS_CONCAT(xdbft_obs_timer_, __LINE__)(  \
@@ -233,6 +247,9 @@ class ScopedTimer {
   } while (false)
 #define XDBFT_HISTOGRAM_OBSERVE(name, value) \
   do {                                       \
+  } while (false)
+#define XDBFT_HISTOGRAM_OBSERVE_MICRO(name, value) \
+  do {                                             \
   } while (false)
 #define XDBFT_SCOPED_TIMER(name) \
   do {                           \

@@ -1,0 +1,276 @@
+#include "api/advisor_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/fingerprint.h"
+#include "ft/scheme.h"
+#include "tpch/queries.h"
+
+namespace xdbft::api {
+namespace {
+
+plan::Plan SmallPlan(const std::string& name, double scan_tr = 100.0) {
+  plan::PlanBuilder b(name);
+  auto scan = b.Scan("t", 1e8, 64, scan_tr);
+  auto join = b.Unary(plan::OpType::kHashJoin, "join", scan, 80.0, 30.0);
+  b.Unary(plan::OpType::kHashAggregate, "agg", join, 40.0, 1.0);
+  return std::move(b).Build();
+}
+
+AdvisorRequest MakeRequest(plan::Plan plan, double mtbf = 3600.0) {
+  AdvisorRequest r;
+  r.candidates.push_back(std::move(plan));
+  r.cluster = cost::MakeCluster(10, mtbf, 1.0);
+  return r;
+}
+
+bool BitIdentical(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void ExpectSameScheme(const ft::SchemePlan& served,
+                      const ft::SchemePlan& fresh) {
+  EXPECT_EQ(served.plan_index, fresh.plan_index);
+  EXPECT_TRUE(served.config == fresh.config);
+  EXPECT_TRUE(BitIdentical(served.estimated_cost, fresh.estimated_cost))
+      << served.estimated_cost << " vs " << fresh.estimated_cost;
+  EXPECT_EQ(served.plan.name(), fresh.plan.name());
+}
+
+// The serving invariant on real plans: Q1/Q3/Q5 answers through the
+// service — miss, then hit — are bit-identical to one-shot enumeration.
+TEST(AdvisorServiceTest, CachedAnswerBitIdenticalToFreshOnTpch) {
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0));
+  for (const tpch::TpchQuery q : {tpch::TpchQuery::kQ1, tpch::TpchQuery::kQ3,
+                                  tpch::TpchQuery::kQ5}) {
+    tpch::TpchPlanConfig cfg;
+    cfg.scale_factor = 10.0;
+    auto plan = tpch::BuildQuery(q, cfg);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const AdvisorRequest request = MakeRequest(*plan);
+    ft::FtCostContext context;
+    context.cluster = request.cluster;
+    context.model = request.model;
+    const auto fresh = ft::ApplyCostBasedScheme(
+        request.candidates, context, service.options().enumeration);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    const auto first = service.Advise(request);
+    ASSERT_TRUE(first.ok()) << first.status();
+    const auto second = service.Advise(request);
+    ASSERT_TRUE(second.ok()) << second.status();
+    ExpectSameScheme(first.ValueOrDie(), fresh.ValueOrDie());
+    ExpectSameScheme(second.ValueOrDie(), fresh.ValueOrDie());
+  }
+  const AdvisorServiceStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(AdvisorServiceTest, MultiCandidateAnswerCarriesCallersPlan) {
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0));
+  AdvisorRequest request;
+  request.candidates.push_back(SmallPlan("expensive", 500.0));
+  request.candidates.push_back(SmallPlan("cheap", 10.0));
+  request.cluster = cost::MakeCluster(10, 3600.0, 1.0);
+  for (int round = 0; round < 2; ++round) {  // miss, then hit
+    const auto chosen = service.Advise(request);
+    ASSERT_TRUE(chosen.ok()) << chosen.status();
+    EXPECT_EQ(chosen.ValueOrDie().plan_index, 1u);
+    EXPECT_EQ(chosen.ValueOrDie().plan.name(), "cheap");
+  }
+}
+
+TEST(AdvisorServiceTest, LruEvictsLeastRecentlyUsed) {
+  AdvisorServiceOptions options;
+  options.num_shards = 1;
+  options.cache_capacity = 2;
+  options.memo_cache_capacity = 0;
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0), {}, options);
+  const AdvisorRequest a = MakeRequest(SmallPlan("a"), 1000.0);
+  const AdvisorRequest b = MakeRequest(SmallPlan("b"), 2000.0);
+  const AdvisorRequest c = MakeRequest(SmallPlan("c"), 3000.0);
+  ASSERT_TRUE(service.Advise(a).ok());
+  ASSERT_TRUE(service.Advise(b).ok());
+  // Touch `a`: it becomes most-recently-used, so inserting `c` must evict
+  // `b`, not `a`.
+  ASSERT_TRUE(service.Advise(a).ok());
+  ASSERT_TRUE(service.Advise(c).ok());
+  AdvisorServiceStats stats = service.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  // `a` and `c` hit; `b` re-enumerates.
+  ASSERT_TRUE(service.Advise(a).ok());
+  ASSERT_TRUE(service.Advise(c).ok());
+  ASSERT_TRUE(service.Advise(b).ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.hits, 3u);    // a (touch), a, c
+  EXPECT_EQ(stats.misses, 4u);  // a, b, c, b again
+}
+
+TEST(AdvisorServiceTest, EvictedKeyWarmStartsFromParkedMemo) {
+  AdvisorServiceOptions options;
+  options.num_shards = 1;
+  options.cache_capacity = 1;
+  options.memo_cache_capacity = 8;
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0), {}, options);
+  const AdvisorRequest a = MakeRequest(SmallPlan("a"), 1000.0);
+  const AdvisorRequest b = MakeRequest(SmallPlan("b"), 2000.0);
+  const auto cold = service.Advise(a);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(service.Advise(b).ok());  // evicts a, parks its memo
+  EXPECT_EQ(service.stats().evictions, 1u);
+  const auto warm = service.Advise(a);  // re-enumerates with the memo
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(service.stats().memo_warm_starts, 1u);
+  ExpectSameScheme(warm.ValueOrDie(), cold.ValueOrDie());
+}
+
+// 8 concurrent identical requests share one enumeration (run under TSan
+// in CI). The starting gun makes all threads issue the request together;
+// whichever thread wins becomes the single miss, and every other request
+// is a coalesced waiter or (if it arrived after completion) a hit.
+TEST(AdvisorServiceTest, ConcurrentIdenticalRequestsEnumerateOnce) {
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0));
+  const AdvisorRequest request = MakeRequest(SmallPlan("shared"));
+  constexpr int kThreads = 8;
+  std::mutex mu;
+  std::condition_variable cv;
+  int ready = 0;
+  bool go = false;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++ready == kThreads) cv.notify_all();
+        cv.wait(lock, [&] { return go; });
+      }
+      if (!service.Advise(request).ok()) failures.fetch_add(1);
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ready == kThreads; });
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const AdvisorServiceStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads));
+}
+
+TEST(AdvisorServiceTest, MaxInflightZeroBypassesEveryRequest) {
+  AdvisorServiceOptions options;
+  options.max_inflight = 0;
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0), {}, options);
+  const AdvisorRequest request = MakeRequest(SmallPlan("p"));
+  const auto first = service.Advise(request);
+  const auto second = service.Advise(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameScheme(second.ValueOrDie(), first.ValueOrDie());
+  const AdvisorServiceStats stats = service.stats();
+  EXPECT_EQ(stats.bypassed, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(AdvisorServiceTest, CacheDisabledStillAnswersCorrectly) {
+  AdvisorServiceOptions options;
+  options.cache_enabled = false;
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0), {}, options);
+  const AdvisorRequest request = MakeRequest(SmallPlan("p"));
+  ft::FtCostContext context;
+  context.cluster = request.cluster;
+  context.model = request.model;
+  const auto fresh = ft::ApplyCostBasedScheme(request.candidates, context,
+                                              service.options().enumeration);
+  ASSERT_TRUE(fresh.ok());
+  const auto served = service.Advise(request);
+  ASSERT_TRUE(served.ok());
+  ExpectSameScheme(served.ValueOrDie(), fresh.ValueOrDie());
+  EXPECT_EQ(service.stats().bypassed, 1u);
+  EXPECT_EQ(service.stats().entries, 0u);
+}
+
+TEST(AdvisorServiceTest, ErrorsAreNotCached) {
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0));
+  AdvisorRequest empty;  // no candidate plans -> InvalidArgument
+  empty.cluster = cost::MakeCluster(10, 3600.0, 1.0);
+  EXPECT_FALSE(service.Advise(empty).ok());
+  EXPECT_FALSE(service.Advise(empty).ok());
+  const AdvisorServiceStats stats = service.stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.misses, 2u);  // second attempt re-enumerates, no hit
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(AdvisorServiceTest, SinglePlanOverloadUsesDefaults) {
+  AdvisorService service(cost::MakeCluster(10, 600.0, 1.0));
+  const auto chosen = service.Advise(SmallPlan("p"));
+  ASSERT_TRUE(chosen.ok()) << chosen.status();
+  EXPECT_EQ(chosen.ValueOrDie().kind, ft::SchemeKind::kCostBased);
+  EXPECT_GT(chosen.ValueOrDie().estimated_cost, 0.0);
+}
+
+TEST(AdvisorServiceTest, AdviseAsyncDeliversOnPoolAndInline) {
+  const AdvisorRequest request = MakeRequest(SmallPlan("p"));
+  for (const int server_threads : {0, 2}) {
+    AdvisorServiceOptions options;
+    options.server_threads = server_threads;
+    AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0), {}, options);
+    std::mutex mu;
+    std::condition_variable cv;
+    int delivered = 0;
+    bool all_ok = true;
+    constexpr int kRequests = 4;
+    for (int i = 0; i < kRequests; ++i) {
+      service.AdviseAsync(request, [&](Result<ft::SchemePlan> result) {
+        std::lock_guard<std::mutex> lock(mu);
+        all_ok = all_ok && result.ok();
+        if (++delivered == kRequests) cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return delivered == kRequests; });
+    EXPECT_TRUE(all_ok);
+    if (server_threads == 0) {
+      EXPECT_EQ(service.stats().async_inline, static_cast<uint64_t>(kRequests));
+    }
+  }
+}
+
+TEST(AdvisorServiceTest, EntrySnapshotReportsHotKeysFirst) {
+  AdvisorService service(cost::MakeCluster(10, 3600.0, 1.0));
+  const AdvisorRequest hot = MakeRequest(SmallPlan("hot"), 1000.0);
+  const AdvisorRequest cold = MakeRequest(SmallPlan("cold"), 2000.0);
+  ASSERT_TRUE(service.Advise(hot).ok());
+  ASSERT_TRUE(service.Advise(cold).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.Advise(hot).ok());
+  const auto entries = service.EntrySnapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].hits, 3u);
+  ft::FtCostContext context;
+  context.cluster = hot.cluster;
+  context.model = hot.model;
+  const auto fp = FingerprintRequest(hot.candidates, context,
+                                     service.options().enumeration);
+  EXPECT_EQ(entries[0].fingerprint, fp.Hex());
+}
+
+}  // namespace
+}  // namespace xdbft::api

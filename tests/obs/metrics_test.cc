@@ -174,6 +174,25 @@ TEST(ScopedTimerTest, ObservesElapsedIntoHistogramAndGauge) {
   EXPECT_GE(g.value(), 0.0);
 }
 
+TEST(HistogramTest, MicroLatencyBoundsResolveCacheHitLatencies) {
+  const std::vector<double>& bounds = MicroLatencyBoundsSeconds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  // A 2µs cache hit and a 100ms enumeration must land in different
+  // buckets (the default bounds floor at 1ms and cannot tell them apart).
+  Histogram h(bounds);
+  h.Observe(2e-6);
+  h.Observe(0.1);
+  const auto counts = h.bucket_counts();
+  size_t nonzero = 0;
+  for (const uint64_t c : counts) nonzero += c > 0 ? 1 : 0;
+  EXPECT_EQ(nonzero, 2u);
+  EXPECT_LT(h.Percentile(25.0), 1e-5);
+}
+
 #if !defined(XDBFT_DISABLE_METRICS)
 TEST(MacroTest, MacrosWriteToDefaultRegistry) {
   MetricsRegistry& reg = MetricsRegistry::Default();
@@ -183,6 +202,14 @@ TEST(MacroTest, MacrosWriteToDefaultRegistry) {
   EXPECT_EQ(reg.Snapshot().counter("macro.test.counter"), before + 3);
   XDBFT_GAUGE_SET("macro.test.gauge", 4.5);
   EXPECT_DOUBLE_EQ(reg.Snapshot().gauge("macro.test.gauge"), 4.5);
+}
+
+TEST(MacroTest, MicroHistogramMacroUsesMicroBounds) {
+  XDBFT_HISTOGRAM_OBSERVE_MICRO("macro.test.micro_seconds", 3e-6);
+  const MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
+  const auto& data = snap.histograms.at("macro.test.micro_seconds");
+  EXPECT_EQ(data.bounds, MicroLatencyBoundsSeconds());
+  EXPECT_GE(data.count, 1u);
 }
 #endif
 

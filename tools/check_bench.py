@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Warn-only perf-regression gate over the BENCH_*.json artifacts.
+
+Compares the JSON-lines bench artifacts of the current run (BENCH_enum,
+BENCH_exec, BENCH_advisor) against the committed snapshots in
+bench/baselines/. Rows are joined per bench on stable keys (workload +
+threads, mode + clients + hot fraction, ...) and each watched metric is
+checked against the baseline with a relative tolerance: latency-style
+metrics may not grow past it, rate-style metrics may not shrink past it.
+
+Regressions are reported as GitHub `::warning::` annotations (rendered on
+the workflow run) and a human-readable summary — the exit code is ALWAYS 0
+for comparisons, because shared CI runners make wall-clock numbers too
+noisy to fail a build on; the annotations exist so a real regression is
+visible on the PR, not to block it. Correctness (bit-identity, determinism)
+is enforced by the harness binaries themselves, which do exit non-zero.
+
+Usage:
+  python3 tools/check_bench.py --baseline-dir bench/baselines \
+      --current-dir bench-json [--tolerance 0.25]
+  python3 tools/check_bench.py --self-test
+
+Missing files or benches are skipped with a note (a new bench has no
+baseline yet; commit one under bench/baselines/ to start tracking it).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Per-bench comparison spec: which row fields form the join key, and which
+# metrics to watch. Direction 'higher_bad' = current may not exceed
+# baseline * (1 + tol); 'lower_bad' = current may not fall below
+# baseline * (1 - tol).
+SPECS = {
+    "advisor": {
+        "keys": ("mode", "clients", "hot_fraction"),
+        "metrics": {
+            "p50_us": "higher_bad",
+            "p99_us": "higher_bad",
+            "hit_rate": "lower_bad",
+            "p50_speedup_vs_cold": "lower_bad",
+        },
+    },
+    "enum": {
+        "keys": ("workload", "threads"),
+        "metrics": {
+            "seconds": "higher_bad",
+            "speedup_vs_1": "lower_bad",
+        },
+    },
+    "exec": {
+        "keys": ("workload", "threads"),
+        "metrics": {
+            "seconds": "higher_bad",
+            "speedup_vs_1": "lower_bad",
+        },
+    },
+}
+
+
+def load_rows(path):
+    """Parse a JSON-lines bench file into data rows (type == 'row')."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"note: {path}:{line_no}: unparseable line ({e})")
+                continue
+            if record.get("type") == "row":
+                rows.append(record)
+    return rows
+
+
+def row_key(row, keys):
+    return tuple(row.get(k) for k in keys)
+
+
+def compare_bench(name, baseline_rows, current_rows, tolerance):
+    """Return a list of regression message strings."""
+    spec = SPECS[name]
+    regressions = []
+    baseline_by_key = {row_key(r, spec["keys"]): r for r in baseline_rows}
+    for cur in current_rows:
+        key = row_key(cur, spec["keys"])
+        base = baseline_by_key.get(key)
+        if base is None:
+            continue  # new sweep point: nothing to compare against
+        label = ", ".join(
+            f"{k}={v}" for k, v in zip(spec["keys"], key) if v is not None)
+        for metric, direction in spec["metrics"].items():
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            if b <= 0.0:
+                continue  # degenerate baseline (e.g. speedup on cold rows)
+            if direction == "higher_bad" and c > b * (1.0 + tolerance):
+                regressions.append(
+                    f"{name} [{label}]: {metric} {c:.3g} vs baseline "
+                    f"{b:.3g} (+{(c / b - 1.0) * 100.0:.0f}%, "
+                    f"tolerance {tolerance * 100.0:.0f}%)")
+            elif direction == "lower_bad" and c < b * (1.0 - tolerance):
+                regressions.append(
+                    f"{name} [{label}]: {metric} {c:.3g} vs baseline "
+                    f"{b:.3g} ({(c / b - 1.0) * 100.0:.0f}%, "
+                    f"tolerance {tolerance * 100.0:.0f}%)")
+    return regressions
+
+
+def run_compare(baseline_dir, current_dir, tolerance):
+    any_compared = False
+    all_regressions = []
+    for name in sorted(SPECS):
+        baseline_path = os.path.join(baseline_dir, f"BENCH_{name}.json")
+        current_path = os.path.join(current_dir, f"BENCH_{name}.json")
+        if not os.path.exists(current_path):
+            print(f"note: {current_path} not present, skipping {name}")
+            continue
+        if not os.path.exists(baseline_path):
+            print(f"note: no baseline for {name} "
+                  f"(commit one under {baseline_dir}/ to track it)")
+            continue
+        regressions = compare_bench(name, load_rows(baseline_path),
+                                    load_rows(current_path), tolerance)
+        any_compared = True
+        if regressions:
+            all_regressions.extend(regressions)
+        else:
+            print(f"ok: {name} within {tolerance * 100.0:.0f}% of baseline")
+    for msg in all_regressions:
+        # GitHub annotation (warn-only) + plain line for local runs.
+        print(f"::warning title=bench regression::{msg}")
+        print(f"REGRESSION (warn-only): {msg}")
+    if not any_compared:
+        print("note: nothing compared")
+    print(f"checked against {baseline_dir}: "
+          f"{len(all_regressions)} regression(s) flagged (exit 0 either way)")
+    return 0
+
+
+def self_test():
+    """Exercise the comparison logic on synthetic rows."""
+    base = [{
+        "type": "row", "mode": "cached", "clients": 4, "hot_fraction": 0.8,
+        "p50_us": 10.0, "p99_us": 100.0, "hit_rate": 0.9,
+        "p50_speedup_vs_cold": 8.0,
+    }]
+    # Identical rows: no regressions.
+    assert compare_bench("advisor", base, [dict(base[0])], 0.25) == []
+    # p99 +60%: flagged.
+    worse = dict(base[0], p99_us=160.0)
+    found = compare_bench("advisor", base, [worse], 0.25)
+    assert len(found) == 1 and "p99_us" in found[0], found
+    # hit_rate collapse: flagged.
+    cold = dict(base[0], hit_rate=0.4)
+    found = compare_bench("advisor", base, [cold], 0.25)
+    assert len(found) == 1 and "hit_rate" in found[0], found
+    # Within tolerance: clean.
+    noisy = dict(base[0], p50_us=11.5, hit_rate=0.85)
+    assert compare_bench("advisor", base, [noisy], 0.25) == []
+    # Different join key: ignored, not compared against the wrong row.
+    other = dict(base[0], clients=8, p99_us=1e9)
+    assert compare_bench("advisor", base, [other], 0.25) == []
+    # enum spec joins on workload/threads.
+    ebase = [{"type": "row", "workload": "q5", "threads": 4,
+              "seconds": 1.0, "speedup_vs_1": 3.0}]
+    eworse = [dict(ebase[0], speedup_vs_1=2.0)]
+    found = compare_bench("enum", ebase, eworse, 0.25)
+    assert len(found) == 1 and "speedup_vs_1" in found[0], found
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="warn-only bench regression check")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="bench-json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance before flagging (0.25 = "
+                             "25%%)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_compare(args.baseline_dir, args.current_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

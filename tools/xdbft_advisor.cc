@@ -45,12 +45,30 @@
 //   --postmortem-dir DIR if the validation execution aborts, write a
 //                        post-mortem bundle (flight-recorder tail, metrics
 //                        snapshot, attempt timeline) into DIR.
+//
+// Serving (see README "Serving" and DESIGN.md §12):
+//   --serve --requests N drive N requests through a long-lived
+//                        AdvisorService from --clients concurrent client
+//                        threads (default 2) and print throughput, latency
+//                        percentiles, cache-hit rate and the per-entry hot
+//                        list. --hot-fraction F (default 0.9) sets the
+//                        share of requests drawn from the 4-key hot set;
+//                        --cache-capacity C bounds the result cache.
+//                        Without --plan the request population is the
+//                        built-in TPC-H Q1/Q3/Q5 mix; with --plan it is
+//                        that plan under varying MTBF. Composable with
+//                        --metrics-json.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
+
+#include "common/rng.h"
 
 #include "api/xdbft.h"
 #include "engine/ft_executor.h"
@@ -81,6 +99,12 @@ struct Args {
   std::string trace_out;
   bool profile = false;
   std::string postmortem_dir;
+  // --serve mode
+  bool serve = false;
+  int requests = 1000;
+  int clients = 2;
+  double hot_fraction = 0.9;
+  int cache_capacity = 4096;
 };
 
 void Usage(const char* argv0) {
@@ -93,8 +117,10 @@ void Usage(const char* argv0) {
       "          [--metrics-json PATH] [--trace-out PATH]\n"
       "          [--profile] [--postmortem-dir DIR]\n"
       "       %s --profile [--metrics-json PATH]\n"
-      "       %s --emit-q5 SF [--storage-mibps MIB]\n",
-      argv0, argv0, argv0);
+      "       %s --emit-q5 SF [--storage-mibps MIB]\n"
+      "       %s --serve --requests N [--clients K] [--hot-fraction F]\n"
+      "          [--cache-capacity C] [--plan FILE] [--metrics-json PATH]\n",
+      argv0, argv0, argv0, argv0);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -140,6 +166,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile = true;
     } else if (a == "--postmortem-dir" && i + 1 < argc) {
       args->postmortem_dir = argv[++i];
+    } else if (a == "--serve") {
+      args->serve = true;
+    } else if (a == "--requests" && next(&v)) {
+      args->requests = static_cast<int>(v);
+    } else if (a == "--clients" && next(&v)) {
+      args->clients = static_cast<int>(v);
+    } else if (a == "--hot-fraction" && next(&v)) {
+      args->hot_fraction = v;
+    } else if (a == "--cache-capacity" && next(&v)) {
+      args->cache_capacity = static_cast<int>(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n",
                    a.c_str());
@@ -231,6 +267,173 @@ Status RunProfileDemo(std::vector<obs::QueryProfile>* profiles) {
   return Status::OK();
 }
 
+// --serve: sustained-load driver over a long-lived AdvisorService. The
+// population is either the built-in TPC-H Q1/Q3/Q5 mix or (with --plan)
+// the given plan under varying MTBF; the first 4 keys form the hot set.
+int RunServe(const Args& args) {
+  constexpr size_t kPopulation = 64;
+  constexpr size_t kHotSet = 4;
+  std::vector<plan::Plan> base_plans;
+  if (!args.plan_path.empty()) {
+    std::ifstream in(args.plan_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   args.plan_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto plan = plan::PlanFromText(buf.str());
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error parsing plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    base_plans.push_back(std::move(*plan));
+  } else {
+    for (const tpch::TpchQuery q : {tpch::TpchQuery::kQ1,
+                                    tpch::TpchQuery::kQ3,
+                                    tpch::TpchQuery::kQ5}) {
+      tpch::TpchPlanConfig cfg;
+      cfg.scale_factor = 10.0;
+      auto plan = tpch::BuildQuery(q, cfg);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "error building %s: %s\n", tpch::TpchQueryName(q),
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      base_plans.push_back(std::move(*plan));
+    }
+  }
+  cost::CostModelParams model;
+  model.success_target = args.success_target;
+  model.pipe_constant = args.pipe_constant;
+  model.scale_success_target_with_cluster = args.scale_success;
+  std::vector<api::AdvisorRequest> population;
+  population.reserve(kPopulation);
+  for (size_t i = 0; i < kPopulation; ++i) {
+    api::AdvisorRequest request;
+    request.candidates.push_back(base_plans[i % base_plans.size()]);
+    request.cluster = cost::MakeCluster(
+        args.nodes, args.mtbf + 60.0 * static_cast<double>(i), args.mttr);
+    request.model = model;
+    population.push_back(std::move(request));
+  }
+
+  api::AdvisorServiceOptions options;
+  options.cache_capacity =
+      static_cast<size_t>(std::max(args.cache_capacity, 1));
+  options.enumeration.num_threads =
+      args.threads == 0 ? 1 : args.threads;  // clients provide parallelism
+  api::AdvisorService service(
+      cost::MakeCluster(args.nodes, args.mtbf, args.mttr), model, options);
+
+  const int clients = std::max(args.clients, 1);
+  const int total_requests = std::max(args.requests, 1);
+  const double hot_fraction =
+      std::min(1.0, std::max(0.0, args.hot_fraction));
+  std::printf("Serving %d requests from %d client thread(s), %.0f%% hot "
+              "(population %zu, cache capacity %zu)\n",
+              total_requests, clients, hot_fraction * 100.0,
+              population.size(), options.cache_capacity);
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::vector<uint64_t> failures(static_cast<size_t>(clients), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x5e47eULL + static_cast<uint64_t>(t) * 1031);
+      const int n = total_requests / clients +
+                    (t < total_requests % clients ? 1 : 0);
+      auto& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const size_t idx =
+            rng.NextDouble() < hot_fraction
+                ? rng.NextBounded(kHotSet)
+                : kHotSet + rng.NextBounded(population.size() - kHotSet);
+        const auto r0 = std::chrono::steady_clock::now();
+        auto result = service.Advise(population[idx]);
+        const auto r1 = std::chrono::steady_clock::now();
+        if (!result.ok()) ++failures[static_cast<size_t>(t)];
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(r1 - r0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> all;
+  uint64_t failed = 0;
+  for (int t = 0; t < clients; ++t) {
+    all.insert(all.end(), latencies[static_cast<size_t>(t)].begin(),
+               latencies[static_cast<size_t>(t)].end());
+    failed += failures[static_cast<size_t>(t)];
+  }
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(all.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, all.size() - 1);
+    return all[lo] + (all[hi] - all[lo]) * (rank - static_cast<double>(lo));
+  };
+
+  const api::AdvisorServiceStats stats = service.stats();
+  std::printf("\n  qps        %10.0f\n", wall > 0.0
+                                             ? static_cast<double>(all.size()) / wall
+                                             : 0.0);
+  std::printf("  p50 / p95 / p99   %.1f / %.1f / %.1f us\n", pct(50.0),
+              pct(95.0), pct(99.0));
+  std::printf("  hit rate   %10.3f\n", stats.hit_rate());
+  std::printf("  hits %llu  misses %llu  coalesced %llu  evictions %llu  "
+              "bypassed %llu  warm starts %llu  errors %llu\n",
+              (unsigned long long)stats.hits,
+              (unsigned long long)stats.misses,
+              (unsigned long long)stats.coalesced,
+              (unsigned long long)stats.evictions,
+              (unsigned long long)stats.bypassed,
+              (unsigned long long)stats.memo_warm_starts,
+              (unsigned long long)stats.errors);
+  const auto entries = service.EntrySnapshot();
+  std::printf("\nHottest cache entries (%llu resident):\n",
+              (unsigned long long)stats.entries);
+  for (size_t i = 0; i < entries.size() && i < 5; ++i) {
+    std::printf("  %s  hits %llu  coalesced %llu\n",
+                entries[i].fingerprint.c_str(),
+                (unsigned long long)entries[i].hits,
+                (unsigned long long)entries[i].coalesced);
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "error: %llu request(s) failed\n",
+                 (unsigned long long)failed);
+  }
+
+  if (!args.metrics_json.empty()) {
+    obs::RunReport report;
+    report.tool = "xdbft_advisor --serve";
+    report.params["requests"] = std::to_string(total_requests);
+    report.params["clients"] = std::to_string(clients);
+    report.params["hot_fraction"] = std::to_string(hot_fraction);
+    report.params["cache_capacity"] = std::to_string(options.cache_capacity);
+    report.params["hit_rate"] = std::to_string(stats.hit_rate());
+    report.metrics = obs::MetricsRegistry::Default().Snapshot();
+    const Status s = report.WriteFile(args.metrics_json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n",
+                   args.metrics_json.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nWrote metrics report to %s\n", args.metrics_json.c_str());
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +458,8 @@ int main(int argc, char** argv) {
     std::printf("%s", plan::PlanToText(*plan).c_str());
     return 0;
   }
+
+  if (args.serve) return RunServe(args);
 
   std::vector<obs::QueryProfile> profiles;
   if (args.profile) {

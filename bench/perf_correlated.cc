@@ -1,0 +1,168 @@
+// perf_correlated: accuracy sweep of the correlated-failure cost model.
+//
+// Grids burst mean-interval x fan-out over a fixed pipeline plan, compares
+// the independent model's and the correlated model's predicted T(c)
+// against the simulated p95 runtime under burst traces (p95 is the
+// quantity T(c) bounds: the runtime needed to reach the success target
+// S = 0.95), and reports the absolute errors plus their ratio. The
+// independent model only sees the negligible background Poisson process,
+// so it predicts a near-failure-free runtime and measurably misses.
+//
+// Exit code 1 when the correlated model's summed error is not strictly
+// smaller than the independent model's — the same invariant crosscheck's
+// correlated_model_vs_sim enforces, here over the full grid.
+//
+// With XDBFT_BENCH_JSON_DIR set, rows are mirrored into
+// BENCH_correlated.json for tools/check_bench.py regression comparison.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/failure_trace.h"
+#include "cluster/simulator.h"
+#include "cost/cost_params.h"
+#include "ft/ft_cost.h"
+#include "ft/mat_config.h"
+#include "ft/scheme.h"
+#include "plan/plan.h"
+
+namespace xdbft {
+namespace {
+
+plan::Plan BurstChainPlan() {
+  plan::PlanBuilder b("burst-chain");
+  const plan::OpId s = b.Scan("s", 1e6, 100, 80.0);
+  const plan::OpId f = b.Unary(plan::OpType::kFilter, "f", s, 70.0, 5.0);
+  b.Unary(plan::OpType::kHashAggregate, "agg", f, 50.0, 5.0);
+  return std::move(b).Build();
+}
+
+int Run(bool quick) {
+  bench::PrintHeader(
+      "Correlated-failure model accuracy (burst sweep)",
+      "correlated extension beyond the paper's independent-MTBF model");
+
+  const plan::Plan plan = BurstChainPlan();
+  const ft::MaterializationConfig config =
+      ft::MaterializationConfig::NoMat(plan);
+  constexpr double kBackgroundMtbf = 1.0e8;  // bursts dominate
+  const cost::ClusterStats stats =
+      cost::MakeCluster(/*num_nodes=*/4, kBackgroundMtbf, /*mttr=*/10.0);
+
+  ft::FtCostContext independent;
+  independent.cluster = stats;
+  cluster::ClusterSimulator sim(stats, cluster::SimulationOptions{});
+  ft::SchemePlan scheme;
+  scheme.kind = ft::SchemeKind::kCostBased;
+  scheme.recovery = ft::RecoveryMode::kFineGrained;
+  scheme.plan = plan;
+  scheme.config = config;
+
+  const std::vector<double> intervals =
+      quick ? std::vector<double>{150.0, 400.0}
+            : std::vector<double>{150.0, 250.0, 400.0, 800.0};
+  const std::vector<double> fanouts =
+      quick ? std::vector<double>{1.0} : std::vector<double>{0.5, 1.0};
+  const int traces_per_point = quick ? 12 : 32;
+
+  bench::BenchJsonWriter json("correlated");
+  bench::Table table({"interval", "fanout", "T_indep", "T_corr", "sim_p95",
+                      "err_indep", "err_corr", "err_ratio"},
+                     {8, 6, 9, 9, 9, 9, 9, 9});
+  table.PrintHeaderRow();
+
+  double sum_err_independent = 0.0;
+  double sum_err_correlated = 0.0;
+  uint64_t grid_point = 0;
+  for (double fanout : fanouts) {
+    for (double mean_interval : intervals) {
+      ft::FtCostContext correlated = independent;
+      correlated.cluster.burst_mtbf_seconds = mean_interval;
+      correlated.cluster.burst_fanout = fanout;
+      auto pred_ind =
+          ft::FtCostModel(independent).Estimate(plan, config);
+      auto pred_cor =
+          ft::FtCostModel(correlated).Estimate(plan, config);
+      if (!pred_ind.ok() || !pred_cor.ok()) {
+        std::fprintf(stderr, "estimate failed: %s\n",
+                     (pred_ind.ok() ? pred_cor : pred_ind)
+                         .status()
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+
+      cluster::BurstOptions burst;
+      burst.mean_interval = mean_interval;
+      burst.horizon = 1.0e6;
+      burst.width = 1.0;
+      burst.min_nodes =
+          static_cast<int>(std::lround(fanout * stats.num_nodes));
+      burst.max_nodes = burst.min_nodes;
+      burst.background_mtbf = kBackgroundMtbf;
+      std::vector<cluster::ClusterTrace> traces =
+          cluster::GenerateBurstTraceSet(stats, burst, traces_per_point,
+                                         /*base_seed=*/1234 + ++grid_point);
+      auto agg = sim.RunMany(scheme, traces);
+      if (!agg.ok()) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     agg.status().ToString().c_str());
+        return 1;
+      }
+      const double err_independent =
+          std::abs(pred_ind->dominant_cost - agg->runtime_p95);
+      const double err_correlated =
+          std::abs(pred_cor->dominant_cost - agg->runtime_p95);
+      const double err_ratio =
+          err_independent > 0.0 ? err_correlated / err_independent : 0.0;
+      sum_err_independent += err_independent;
+      sum_err_correlated += err_correlated;
+
+      table.PrintRow({StrFormat("%.0f", mean_interval),
+                      StrFormat("%.2f", fanout),
+                      StrFormat("%.1f", pred_ind->dominant_cost),
+                      StrFormat("%.1f", pred_cor->dominant_cost),
+                      StrFormat("%.1f", agg->runtime_p95),
+                      StrFormat("%.1f", err_independent),
+                      StrFormat("%.1f", err_correlated),
+                      StrFormat("%.3f", err_ratio)});
+      bench::JsonLine row;
+      row.Set("mean_interval", mean_interval)
+          .Set("fanout", fanout)
+          .Set("predicted_indep", pred_ind->dominant_cost)
+          .Set("predicted_corr", pred_cor->dominant_cost)
+          .Set("sim_p95", agg->runtime_p95)
+          .Set("err_indep", err_independent)
+          .Set("err_corr", err_correlated)
+          .Set("err_ratio", err_ratio);
+      json.Write(row);
+    }
+  }
+
+  std::printf("\nsummed |error|: correlated %.1f vs independent %.1f\n",
+              sum_err_correlated, sum_err_independent);
+  if (json.enabled()) {
+    std::printf("json: %s\n", json.path().c_str());
+  }
+  if (!(sum_err_correlated < sum_err_independent)) {
+    std::fprintf(stderr,
+                 "FAIL: correlated model no more accurate than the "
+                 "independent model under burst traces\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdbft
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return xdbft::Run(quick);
+}

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "ft/adaptive.h"
 #include "ft/ft_cost.h"
 #include "obs/metrics.h"
 
@@ -40,6 +41,12 @@ struct MapKeyHash {
 struct AdvisorService::Entry {
   RequestFingerprint key;
 
+  /// Cluster statistics the cached decision assumed (from the request at
+  /// entry creation); compared against the service's observed state by
+  /// InvalidateDrifted. Immutable after creation.
+  double assumed_mtbf_seconds = 0.0;
+  double assumed_burst_mtbf_seconds = 0.0;
+
   std::mutex mu;
   std::condition_variable cv;
   bool ready = false;      // guarded by mu
@@ -47,6 +54,7 @@ struct AdvisorService::Entry {
   size_t plan_index = 0;   // decision fields, immutable once ready
   ft::MaterializationConfig config;
   double estimated_cost = 0.0;
+  std::vector<int> placement_groups;
 
   std::shared_ptr<ft::ConcurrentDominantPathMemo> memo;
 
@@ -125,6 +133,7 @@ Result<ft::SchemePlan> AdvisorService::Enumerate(
   out.plan_index = choice.plan_index;
   out.config = std::move(choice.config);
   out.estimated_cost = choice.estimated_cost;
+  out.placement_groups = std::move(choice.placement_groups);
   XDBFT_HISTOGRAM_OBSERVE_MICRO("advisor_service.enumerate_seconds",
                                 SecondsSince(t0));
   return out;
@@ -156,6 +165,8 @@ Result<ft::SchemePlan> AdvisorService::AdviseCached(
     } else {
       entry = std::make_shared<Entry>();
       entry->key = fp;
+      entry->assumed_mtbf_seconds = request.cluster.mtbf_seconds;
+      entry->assumed_burst_mtbf_seconds = request.cluster.burst_mtbf_seconds;
       const auto mit = shard.memos.find(key);
       if (mit != shard.memos.end() && mit->second->first == fp) {
         entry->memo = std::move(mit->second->second);
@@ -193,6 +204,7 @@ Result<ft::SchemePlan> AdvisorService::AdviseCached(
         entry->plan_index = plan.plan_index;
         entry->config = plan.config;
         entry->estimated_cost = plan.estimated_cost;
+        entry->placement_groups = plan.placement_groups;
       } else {
         entry->status = result.status();
       }
@@ -247,6 +259,7 @@ Result<ft::SchemePlan> AdvisorService::AdviseCached(
   size_t plan_index = 0;
   ft::MaterializationConfig config;
   double estimated_cost = 0.0;
+  std::vector<int> placement_groups;
   {
     std::unique_lock<std::mutex> entry_lock(entry->mu);
     if (entry->ready) {
@@ -262,6 +275,7 @@ Result<ft::SchemePlan> AdvisorService::AdviseCached(
       plan_index = entry->plan_index;
       config = entry->config;
       estimated_cost = entry->estimated_cost;
+      placement_groups = entry->placement_groups;
     }
   }
   if (was_hit) {
@@ -286,6 +300,7 @@ Result<ft::SchemePlan> AdvisorService::AdviseCached(
   out.plan_index = plan_index;
   out.config = std::move(config);
   out.estimated_cost = estimated_cost;
+  out.placement_groups = std::move(placement_groups);
   return out;
 }
 
@@ -338,6 +353,69 @@ void AdvisorService::AdviseAsync(AdvisorRequest request, Callback done) {
   task();
 }
 
+void AdvisorService::RecordObservation(const ft::ObservedExecution& observed,
+                                       int num_nodes,
+                                       int correlated_failures) {
+  {
+    std::lock_guard<std::mutex> lock(observed_mu_);
+    observed_.wall_seconds += std::max(observed.runtime_seconds, 0.0);
+    observed_.node_seconds += std::max(observed.runtime_seconds, 0.0) *
+                              static_cast<double>(std::max(num_nodes, 0));
+    observed_.failures += static_cast<uint64_t>(std::max(observed.failures, 0));
+    observed_.correlated_failures +=
+        static_cast<uint64_t>(std::max(correlated_failures, 0));
+    ++observed_.observations;
+  }
+  XDBFT_COUNTER_INC("advisor_service.observations");
+  if (options_.drift_threshold > 0.0) InvalidateDrifted();
+}
+
+AdvisorService::ObservedClusterState AdvisorService::observed_cluster() const {
+  std::lock_guard<std::mutex> lock(observed_mu_);
+  return observed_;
+}
+
+size_t AdvisorService::InvalidateDrifted() {
+  const ObservedClusterState obs = observed_cluster();
+  // No failure seen yet means no evidence about the failure process —
+  // absence of data must not evict anything.
+  if (obs.failures == 0 && obs.correlated_failures == 0) return 0;
+  const double threshold = std::max(options_.drift_threshold, 0.0);
+  size_t evicted = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      Entry& entry = **it;
+      // Compare in-rate-space; dimensions with no observed evidence keep
+      // the assumed value (zero drift contribution).
+      cost::ClusterStats assumed;
+      assumed.mtbf_seconds = entry.assumed_mtbf_seconds;
+      assumed.burst_mtbf_seconds = entry.assumed_burst_mtbf_seconds;
+      cost::ClusterStats measured = assumed;
+      if (obs.failures > 0) measured.mtbf_seconds = obs.mtbf_seconds();
+      if (obs.correlated_failures > 0) {
+        measured.burst_mtbf_seconds = obs.burst_mtbf_seconds();
+      }
+      if (!(ft::ClusterDrift(assumed, measured) > threshold)) {
+        ++it;
+        continue;
+      }
+      // Drop the entry *and* its memo (no parking): dominant paths
+      // memoized under stale statistics would mis-prune the re-optimized
+      // search of this key.
+      entry.in_lru = false;
+      shard->entries.erase(MapKey{entry.key.hi, entry.key.lo});
+      it = shard->lru.erase(it);
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    drift_invalidations_.fetch_add(evicted, std::memory_order_relaxed);
+    XDBFT_COUNTER_ADD("advisor_service.drift_invalidations", evicted);
+  }
+  return evicted;
+}
+
 AdvisorServiceStats AdvisorService::stats() const {
   AdvisorServiceStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
@@ -350,6 +428,12 @@ AdvisorServiceStats AdvisorService::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.async_inline = async_inline_.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.drift_invalidations =
+      drift_invalidations_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(observed_mu_);
+    s.observations = observed_.observations;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.entries += shard->lru.size();

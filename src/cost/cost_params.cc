@@ -16,21 +16,44 @@ Status ClusterStats::Validate() const {
   if (mttr_seconds < 0.0 || !std::isfinite(mttr_seconds)) {
     return Status::InvalidArgument("mttr_seconds must be non-negative");
   }
+  if (burst_mtbf_seconds < 0.0 || !std::isfinite(burst_mtbf_seconds)) {
+    return Status::InvalidArgument(
+        "burst_mtbf_seconds must be non-negative and finite (0 = off)");
+  }
+  if (!(burst_fanout > 0.0) || burst_fanout > 1.0) {
+    return Status::InvalidArgument("burst_fanout must be in (0, 1]");
+  }
+  if (num_placement_groups <= 0) {
+    return Status::InvalidArgument("num_placement_groups must be positive");
+  }
+  if (remote_read_penalty < 0.0 || !std::isfinite(remote_read_penalty)) {
+    return Status::InvalidArgument(
+        "remote_read_penalty must be non-negative and finite");
+  }
   return Status::OK();
 }
 
 std::string ClusterStats::ToString() const {
-  return StrFormat("Cluster(n=%d, MTBF=%s, MTTR=%s)", num_nodes,
-                   HumanDuration(mtbf_seconds).c_str(),
-                   HumanDuration(mttr_seconds).c_str());
+  std::string out = StrFormat("Cluster(n=%d, MTBF=%s, MTTR=%s", num_nodes,
+                              HumanDuration(mtbf_seconds).c_str(),
+                              HumanDuration(mttr_seconds).c_str());
+  if (has_bursts()) {
+    out += StrFormat(", burstMTBF=%s, fanout=%.2f",
+                     HumanDuration(burst_mtbf_seconds).c_str(), burst_fanout);
+  }
+  if (num_placement_groups > 1) {
+    out += StrFormat(", groups=%d", num_placement_groups);
+  }
+  out += ")";
+  return out;
 }
 
 Status CostModelParams::Validate() const {
   if (!(pipe_constant > 0.0) || pipe_constant > 1.0) {
     return Status::InvalidArgument("pipe_constant must be in (0, 1]");
   }
-  if (!(cost_constant > 0.0)) {
-    return Status::InvalidArgument("cost_constant must be positive");
+  if (!(cost_constant > 0.0) || !std::isfinite(cost_constant)) {
+    return Status::InvalidArgument("cost_constant must be positive and finite");
   }
   if (!(success_target > 0.0) || !(success_target < 1.0)) {
     return Status::InvalidArgument("success_target must be in (0, 1)");

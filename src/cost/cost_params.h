@@ -19,12 +19,30 @@ struct ClusterStats {
   /// Mean time to repair/redeploy after a detected failure, seconds.
   double mttr_seconds = 1.0;
 
+  /// Correlated-failure extension (arXiv:1508.04907): mean seconds between
+  /// correlated burst events that take down several nodes of one placement
+  /// group at once. 0 = no correlated failures (the paper's independent
+  /// model); must otherwise be positive and finite.
+  double burst_mtbf_seconds = 0.0;
+  /// Fraction of a placement group a single burst takes down, in (0, 1].
+  double burst_fanout = 1.0;
+  /// Number of shared-fate placement groups (racks / power domains) the
+  /// enumerator may place materialization points on. 1 = placement-unaware.
+  int num_placement_groups = 1;
+  /// Relative cost penalty for reading a materialized input from a
+  /// *different* placement group (cross-rack bandwidth): the placed runtime
+  /// of an operator grows by penalty * materialize_cost per remote input.
+  double remote_read_penalty = 0.25;
+
   /// \brief Effective MTBF seen by a partition-parallel operator: any of the
   /// n independent nodes failing interrupts it, so the cluster-level failure
   /// process has rate n/MTBF (Fig. 1: P(success) = e^{-t n / MTBF}).
   double effective_mtbf() const {
     return mtbf_seconds / static_cast<double>(num_nodes);
   }
+
+  /// \brief True when the correlated-failure term is active.
+  bool has_bursts() const { return burst_mtbf_seconds > 0.0; }
 
   Status Validate() const;
   std::string ToString() const;

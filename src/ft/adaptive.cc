@@ -1,6 +1,8 @@
 #include "ft/adaptive.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -77,18 +79,133 @@ Result<AdaptiveResult> AdaptiveMaterialization(
   return result;
 }
 
+namespace {
+
+uint64_t HashWord(uint64_t h, uint64_t w) {
+  uint64_t s = h ^ (w + 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(s);
+}
+
+uint64_t DoubleBits(double v) {
+  if (v == 0.0) v = 0.0;  // canonicalize -0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Structural identity of every operator: a bottom-up hash over the
+/// operator's kind, statistics, constraint and the hashes of its inputs
+/// (in input order). Ids and labels are deliberately excluded, so the
+/// identity survives renumbering/relabeling of isomorphic plans.
+std::vector<uint64_t> StructuralHashes(const Plan& plan) {
+  std::vector<uint64_t> h(plan.num_nodes(), 0);
+  // Plan ids are topological (inputs have smaller ids), so one ascending
+  // pass sees every input hash before it is consumed.
+  for (const auto& n : plan.nodes()) {
+    uint64_t x = HashWord(0, static_cast<uint64_t>(n.type));
+    x = HashWord(x, static_cast<uint64_t>(n.constraint));
+    x = HashWord(x, DoubleBits(n.runtime_cost));
+    x = HashWord(x, DoubleBits(n.materialize_cost));
+    x = HashWord(x, DoubleBits(n.output_rows));
+    x = HashWord(x, DoubleBits(n.row_width_bytes));
+    x = HashWord(x, static_cast<uint64_t>(n.inputs.size()));
+    for (OpId in : n.inputs) {
+      x = HashWord(x, h[static_cast<size_t>(in)]);
+    }
+    h[static_cast<size_t>(n.id)] = x;
+  }
+  return h;
+}
+
+}  // namespace
+
 Plan PerturbStatistics(const Plan& plan, double max_factor, uint64_t seed) {
   Plan out = plan;
-  Rng rng(seed);
   const double span = std::log(std::max(max_factor, 1.0));
+  // Per-operator independent draw keyed on (seed, structural identity):
+  // no shared generator, so the factors do not depend on the order the
+  // operators are visited in or on how the plan is labeled/numbered.
+  const std::vector<uint64_t> identity = StructuralHashes(plan);
   for (const auto& n : out.nodes()) {
     auto& node = out.mutable_node(n.id);
+    Rng rng(HashWord(identity[static_cast<size_t>(n.id)], seed));
     const double f = std::exp((rng.NextDouble() * 2.0 - 1.0) * span);
     const double g = std::exp((rng.NextDouble() * 2.0 - 1.0) * span);
     node.runtime_cost *= f;
     node.materialize_cost *= g;
   }
   return out;
+}
+
+namespace {
+
+/// |a - b| / max(a, b) for non-negative rates; 0 when both are 0.
+double RateDrift(double rate_a, double rate_b) {
+  const double hi = std::max(rate_a, rate_b);
+  if (!(hi > 0.0)) return 0.0;
+  return std::abs(rate_a - rate_b) / hi;
+}
+
+}  // namespace
+
+double ClusterDrift(const cost::ClusterStats& assumed,
+                    const cost::ClusterStats& observed) {
+  const double independent = RateDrift(
+      assumed.mtbf_seconds > 0.0 ? 1.0 / assumed.mtbf_seconds : 0.0,
+      observed.mtbf_seconds > 0.0 ? 1.0 / observed.mtbf_seconds : 0.0);
+  const double burst = RateDrift(
+      assumed.burst_mtbf_seconds > 0.0 ? 1.0 / assumed.burst_mtbf_seconds
+                                       : 0.0,
+      observed.burst_mtbf_seconds > 0.0 ? 1.0 / observed.burst_mtbf_seconds
+                                        : 0.0);
+  return std::max(independent, burst);
+}
+
+Result<DriftReoptimization> ReoptimizeOnDrift(
+    const Plan& plan, const MaterializationConfig& current_config,
+    const std::vector<bool>& completed, const FtCostContext& assumed,
+    const cost::ClusterStats& observed, double drift_threshold,
+    const EnumerationOptions& options) {
+  XDBFT_RETURN_NOT_OK(plan.Validate());
+  XDBFT_RETURN_NOT_OK(current_config.Validate(plan));
+  XDBFT_RETURN_NOT_OK(observed.Validate());
+  if (completed.size() != plan.num_nodes()) {
+    return Status::InvalidArgument(
+        "completed flags must cover every operator");
+  }
+
+  DriftReoptimization result;
+  result.config = current_config;
+  result.drift = ClusterDrift(assumed.cluster, observed);
+  if (!(result.drift > drift_threshold)) return result;
+
+  // Pin completed operators to their in-flight decision — their outputs
+  // already exist (or were already skipped); only the future is open.
+  Plan pinned = plan;
+  for (const auto& n : plan.nodes()) {
+    if (!completed[static_cast<size_t>(n.id)] || !n.is_free()) continue;
+    const bool sink = plan.Consumers(n.id).empty();
+    if (sink) continue;  // sinks are forced materialized anyway
+    pinned.mutable_node(n.id).constraint =
+        current_config.materialized(n.id) ? MatConstraint::kAlwaysMaterialize
+                                          : MatConstraint::kNeverMaterialize;
+  }
+
+  FtCostContext recontext = assumed;
+  recontext.cluster = observed;
+  FtPlanEnumerator enumerator(recontext, options);
+  XDBFT_ASSIGN_OR_RETURN(FtPlanChoice choice, enumerator.FindBest(pinned));
+
+  result.reoptimized = true;
+  for (OpId id : EnumerableOperators(pinned)) {
+    if (choice.config.materialized(id) != current_config.materialized(id)) {
+      ++result.decisions_changed;
+    }
+  }
+  result.config = std::move(choice.config);
+  XDBFT_RETURN_NOT_OK(result.config.Validate(plan));
+  return result;
 }
 
 }  // namespace xdbft::ft

@@ -40,7 +40,48 @@ Result<AdaptiveResult> AdaptiveMaterialization(
 /// tr/tm multiplied by an independent deterministic factor drawn
 /// log-uniformly from [1/max_factor, max_factor] (simulating statistics
 /// that are hard to estimate).
+///
+/// The factor of each operator is derived from (seed, structural identity
+/// of the operator): a bottom-up hash over type, statistics and input
+/// structure that ignores ids, labels and visit order. Relabeled or
+/// renumbered but isomorphic plans therefore perturb identically, and the
+/// draw for one operator never shifts because another operator was added
+/// elsewhere in the plan.
 plan::Plan PerturbStatistics(const plan::Plan& plan, double max_factor,
                              uint64_t seed);
+
+/// \brief Outcome of a drift-triggered mid-query re-optimization.
+struct DriftReoptimization {
+  /// The configuration to continue with (== `current_config` when the
+  /// drift stayed below the threshold).
+  MaterializationConfig config;
+  /// True iff findBestFTPlan was re-run under the observed statistics.
+  bool reoptimized = false;
+  /// Still-pending free operators whose decision changed vs
+  /// `current_config`.
+  int decisions_changed = 0;
+  /// The measured relative drift (rate space, in [0, 1]).
+  double drift = 0.0;
+};
+
+/// \brief Relative drift between two cluster-statistics snapshots, in
+/// failure-rate space: max over the independent and the burst process of
+/// |rate_a - rate_b| / max(rate_a, rate_b), each in [0, 1]. A burst rate of
+/// 0 on one side and > 0 on the other is full drift (1.0) for that term.
+double ClusterDrift(const cost::ClusterStats& assumed,
+                    const cost::ClusterStats& observed);
+
+/// \brief Mid-query re-optimization on MTBF/correlation drift: when the
+/// drift between the assumed and the observed cluster statistics exceeds
+/// `drift_threshold`, pin the decisions of already-`completed` operators
+/// (their outputs exist or are forever lost — retracting them is free but
+/// pointless) and re-run findBestFTPlan over the remaining free operators
+/// under the observed statistics. Below the threshold the current
+/// configuration is returned unchanged.
+Result<DriftReoptimization> ReoptimizeOnDrift(
+    const plan::Plan& plan, const MaterializationConfig& current_config,
+    const std::vector<bool>& completed, const FtCostContext& assumed,
+    const cost::ClusterStats& observed, double drift_threshold,
+    const EnumerationOptions& options = {});
 
 }  // namespace xdbft::ft

@@ -27,6 +27,19 @@ void AtomicMin(std::atomic<double>* target, double v) {
 
 }  // namespace
 
+Status EnumerationOptions::Validate() const {
+  if (max_free_operators < 0 || max_free_operators > 62) {
+    return Status::InvalidArgument(
+        "max_free_operators must be in [0, 62] (configuration masks are "
+        "64-bit)");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency)");
+  }
+  return Status::OK();
+}
+
 void EnumerationStats::MergeFrom(const EnumerationStats& other) {
   candidate_plans += other.candidate_plans;
   total_ft_plans_unpruned += other.total_ft_plans_unpruned;
@@ -98,6 +111,11 @@ struct FtPlanEnumerator::SearchState {
   ConcurrentDominantPathMemo* memo = nullptr;
   std::atomic<bool> failed{false};
   const FailureParams fparams;
+  /// Placement dimensions; `placed` caches pparams.active(). When false
+  /// the search takes the historical scalar path — bit-identical to the
+  /// pre-placement enumerator.
+  const PlacementParams pparams;
+  const bool placed;
   const bool use_memo;
 
   std::mutex mu;  // guards the candidate + error fields
@@ -110,8 +128,8 @@ struct FtPlanEnumerator::SearchState {
   uint64_t error_mask = 0;
   Status error;
 
-  SearchState(FailureParams fp, bool memoize)
-      : fparams(fp), use_memo(memoize) {}
+  SearchState(FailureParams fp, PlacementParams pp, bool memoize)
+      : fparams(fp), pparams(pp), placed(pp.active()), use_memo(memoize) {}
 
   /// Keep the error with the smallest (plan, mask) key so the reported
   /// failure does not depend on task interleaving.
@@ -189,6 +207,22 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
     }
     const CollapsedPlan& cp = *collapsed;
 
+    // Placement pass (correlated-failure extension): deterministic greedy
+    // group assignment per configuration; inactive (the common case)
+    // keeps the historical scalar arithmetic bit-for-bit.
+    PlacementResult placement;
+    if (state->placed) {
+      placement = ComputePlacement(cp, state->pparams, state->fparams);
+    }
+    const auto placed_t = [&](CollapsedId id) {
+      return state->placed ? placement.placed_cost[static_cast<size_t>(id)]
+                           : cp.op(id).total_cost();
+    };
+    const auto refetch = [&](CollapsedId id) {
+      return state->placed ? placement.refetch_cost[static_cast<size_t>(id)]
+                           : 0.0;
+    };
+
     // Path enumeration with rule-3 early stopping (Listing 1 lines 9-13
     // plus §4.3). Every test is strict (> bound, strict Eq. 9 dominance):
     // a pruned configuration provably costs more than bestT, so a
@@ -201,18 +235,27 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
     const size_t visited = cp.ForEachPath([&](const CollapsedPath& path) {
       const double bound = state->bound.load(std::memory_order_relaxed);
       if (rule3) {
-        // Test 1: RPt > bestT — no cost-model call needed.
-        const double rpt = cp.PathRuntimeNoFailure(path);
+        // Test 1: RPt > bestT — no cost-model call needed. Placed runtime
+        // (remote reads included) is still a lower bound on TPt.
+        double rpt = 0.0;
+        if (state->placed) {
+          for (CollapsedId id : path) rpt += placed_t(id);
+        } else {
+          rpt = cp.PathRuntimeNoFailure(path);
+        }
         if (rpt > bound) {
           ++local->rule3_rpt_hits;
           pruned = true;
           return false;
         }
-        // Extension: Eq. 9 dominance over a memoized dominant path.
+        // Extension: Eq. 9 dominance over a memoized dominant path, in
+        // both cost dimensions (placed runtime, per-attempt refetch).
         if (state->use_memo && !state->memo->empty()) {
-          std::vector<double> costs;
+          std::vector<PathOpCost> costs;
           costs.reserve(path.size());
-          for (CollapsedId id : path) costs.push_back(cp.op(id).total_cost());
+          for (CollapsedId id : path) {
+            costs.push_back(PathOpCost{placed_t(id), refetch(id)});
+          }
           if (state->memo->Dominates(std::move(costs))) {
             ++local->rule3_memo_hits;
             pruned = true;
@@ -224,7 +267,8 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
       ++local->paths_evaluated;
       double tpt = 0.0;
       for (CollapsedId id : path) {
-        tpt += OperatorTotalRuntime(cp.op(id).total_cost(), state->fparams);
+        tpt += OperatorTotalRuntime(placed_t(id), state->fparams,
+                                    refetch(id));
       }
       if (rule3 && tpt > bound) {
         // Test 2: TPt > bestT.
@@ -274,10 +318,10 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
     if (accepted) {
       AtomicMin(&state->bound, dom_cost);
       if (rule3 && state->use_memo) {
-        std::vector<double> costs;
+        std::vector<PathOpCost> costs;
         costs.reserve(dom_path.size());
         for (CollapsedId id : dom_path) {
-          costs.push_back(cp.op(id).total_cost());
+          costs.push_back(PathOpCost{placed_t(id), refetch(id)});
         }
         state->memo->Record(std::move(costs), dom_cost);
       }
@@ -291,6 +335,7 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
     return Status::InvalidArgument("no candidate plans");
   }
   XDBFT_RETURN_NOT_OK(model_.context().Validate());
+  XDBFT_RETURN_NOT_OK(options_.Validate());
   XDBFT_SCOPED_TIMER_GAUGE("enumerator.seconds.find_best");
   stats_ = EnumerationStats{};
   stats_.candidate_plans = candidates.size();
@@ -356,6 +401,7 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
   // (single-writer); the slots are merged below — the per-thread snapshot
   // merge that keeps the totals exact under concurrency.
   SearchState state(model_.context().MakeFailureParams(),
+                    model_.context().MakePlacementParams(),
                     options_.pruning.memoize_dominant_paths);
   state.memo = options_.shared_memo != nullptr ? options_.shared_memo
                                                : &state.owned_memo;
@@ -426,11 +472,22 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
       CollapsedPlan cp,
       CollapsedPlan::Create(wp.plan, best.config,
                             model_.context().model.pipe_constant));
+  PlacementResult placement;
+  if (state.placed) {
+    placement = ComputePlacement(cp, state.pparams, state.fparams);
+    best.placement_groups = placement.groups;
+  }
   double dom_cost = 0.0;
   cp.ForEachPath([&](const CollapsedPath& path) {
     double tpt = 0.0;
     for (CollapsedId id : path) {
-      tpt += OperatorTotalRuntime(cp.op(id).total_cost(), state.fparams);
+      const size_t i = static_cast<size_t>(id);
+      tpt += state.placed
+                 ? OperatorTotalRuntime(placement.placed_cost[i],
+                                        state.fparams,
+                                        placement.refetch_cost[i])
+                 : OperatorTotalRuntime(cp.op(id).total_cost(),
+                                        state.fparams);
     }
     if (tpt > dom_cost) {
       dom_cost = tpt;

@@ -59,6 +59,11 @@ struct EnumerationOptions {
   /// bestT (the same argument that makes the parallel search's
   /// mid-enumeration memo fills harmless; DESIGN.md §8).
   ConcurrentDominantPathMemo* shared_memo = nullptr;
+
+  /// \brief Reject structurally unusable options (negative thread counts,
+  /// free-operator budgets outside the 62-bit mask range) up front instead
+  /// of silently misbehaving deep in the search.
+  Status Validate() const;
 };
 
 /// \brief Counters describing one FindBest run (feeds Fig. 13).
@@ -115,6 +120,10 @@ struct FtPlanChoice {
   /// Estimated runtime under failures (dominant-path TPt) — bestT.
   double estimated_cost = 0.0;
   CollapsedPath dominant_path;
+  /// Placement group per CollapsedId of the chosen configuration's
+  /// collapsed plan (empty when placement is inactive: one group and no
+  /// correlated failures).
+  std::vector<int> placement_groups;
 };
 
 /// \brief Implements findBestFTPlan (Listing 1).

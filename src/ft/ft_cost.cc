@@ -2,6 +2,52 @@
 
 namespace xdbft::ft {
 
+PlacementResult ComputePlacement(const CollapsedPlan& cp,
+                                 const PlacementParams& pparams,
+                                 const FailureParams& fparams) {
+  const size_t n = cp.num_ops();
+  PlacementResult out;
+  out.groups.assign(n, 0);
+  out.placed_cost.assign(n, 0.0);
+  out.refetch_cost.assign(n, 0.0);
+  const int num_groups = pparams.num_groups > 0 ? pparams.num_groups : 1;
+  // CollapsedIds are assigned in ascending topological order, so every
+  // input of op(id) has an id < id and is already placed when we get here.
+  for (size_t id = 0; id < n; ++id) {
+    const CollapsedOp& op = cp.op(static_cast<CollapsedId>(id));
+    const double t = op.total_cost();
+    int best_group = 0;
+    double best_total = 0.0;
+    double best_placed = t;
+    double best_refetch = 0.0;
+    for (int g = 0; g < num_groups; ++g) {
+      double remote = 0.0;     // materialized bytes read across groups
+      double co_placed = 0.0;  // materialized bytes sharing fate with us
+      for (CollapsedId input : op.inputs) {
+        const double tm = cp.op(input).materialize_cost;
+        if (out.groups[static_cast<size_t>(input)] == g) {
+          co_placed += tm;
+        } else {
+          remote += tm;
+        }
+      }
+      const double placed_t = t + pparams.remote_read_penalty * remote;
+      const double refetch = pparams.burst_failure_share * co_placed;
+      const double total = OperatorTotalRuntime(placed_t, fparams, refetch);
+      if (g == 0 || total < best_total) {
+        best_group = g;
+        best_total = total;
+        best_placed = placed_t;
+        best_refetch = refetch;
+      }
+    }
+    out.groups[id] = best_group;
+    out.placed_cost[id] = best_placed;
+    out.refetch_cost[id] = best_refetch;
+  }
+  return out;
+}
+
 double FtCostModel::OperatorCost(const CollapsedOp& c) const {
   return OperatorTotalRuntime(c.total_cost(), context_.MakeFailureParams());
 }
@@ -9,24 +55,58 @@ double FtCostModel::OperatorCost(const CollapsedOp& c) const {
 double FtCostModel::PathCost(const CollapsedPlan& cp,
                              const CollapsedPath& path) const {
   const FailureParams params = context_.MakeFailureParams();
+  const PlacementParams pparams = context_.MakePlacementParams();
+  if (!pparams.active()) {
+    double total = 0.0;
+    for (CollapsedId id : path) {
+      total += OperatorTotalRuntime(cp.op(id).total_cost(), params);
+    }
+    return total;
+  }
+  const PlacementResult placement = ComputePlacement(cp, pparams, params);
   double total = 0.0;
   for (CollapsedId id : path) {
-    total += OperatorTotalRuntime(cp.op(id).total_cost(), params);
+    const size_t i = static_cast<size_t>(id);
+    total += OperatorTotalRuntime(placement.placed_cost[i], params,
+                                  placement.refetch_cost[i]);
   }
   return total;
 }
 
 Result<FtPlanEstimate> FtCostModel::Estimate(const CollapsedPlan& cp) const {
   XDBFT_RETURN_NOT_OK(context_.Validate());
+  const FailureParams params = context_.MakeFailureParams();
+  const PlacementParams pparams = context_.MakePlacementParams();
   FtPlanEstimate est;
-  est.paths_evaluated = cp.ForEachPath([&](const CollapsedPath& path) {
-    const double cost = PathCost(cp, path);
-    if (cost > est.dominant_cost) {
-      est.dominant_cost = cost;
-      est.dominant_path = path;
-    }
-    return true;
-  });
+  if (!pparams.active()) {
+    est.paths_evaluated = cp.ForEachPath([&](const CollapsedPath& path) {
+      double cost = 0.0;
+      for (CollapsedId id : path) {
+        cost += OperatorTotalRuntime(cp.op(id).total_cost(), params);
+      }
+      if (cost > est.dominant_cost) {
+        est.dominant_cost = cost;
+        est.dominant_path = path;
+      }
+      return true;
+    });
+  } else {
+    const PlacementResult placement = ComputePlacement(cp, pparams, params);
+    est.placement_groups = placement.groups;
+    est.paths_evaluated = cp.ForEachPath([&](const CollapsedPath& path) {
+      double cost = 0.0;
+      for (CollapsedId id : path) {
+        const size_t i = static_cast<size_t>(id);
+        cost += OperatorTotalRuntime(placement.placed_cost[i], params,
+                                     placement.refetch_cost[i]);
+      }
+      if (cost > est.dominant_cost) {
+        est.dominant_cost = cost;
+        est.dominant_path = path;
+      }
+      return true;
+    });
+  }
   if (est.paths_evaluated == 0) {
     return Status::InvalidArgument("collapsed plan has no execution paths");
   }

@@ -16,6 +16,48 @@
 
 namespace xdbft::ft {
 
+/// \brief Placement dimensions of the cost model (correlated-failure
+/// extension): how many shared-fate groups materialization points can be
+/// placed on, what a cross-group read costs, and which share of failures
+/// are correlated bursts (those also destroy co-placed materialized state).
+struct PlacementParams {
+  int num_groups = 1;
+  /// Placed runtime grows by penalty * materialize_cost per input read
+  /// from a different group.
+  double remote_read_penalty = 0.0;
+  /// rho = burst_hazard / total hazard, in [0, 1): fraction of an
+  /// operator's failures that also wipe its co-placed materialized inputs,
+  /// charging their re-fetch on every recovery attempt.
+  double burst_failure_share = 0.0;
+
+  /// \brief Placement affects costs only when there is more than one group
+  /// or a correlated-failure share to price.
+  bool active() const {
+    return num_groups > 1 || burst_failure_share > 0.0;
+  }
+};
+
+/// \brief Deterministic placement of a collapsed plan's operators onto
+/// shared-fate groups, plus the per-operator placed costs.
+struct PlacementResult {
+  /// Placement group per CollapsedId (empty when placement is inactive).
+  std::vector<int> groups;
+  /// Placed runtime t_p(c) = t(c) + penalty * sum of remote input
+  /// materialize costs, per CollapsedId.
+  std::vector<double> placed_cost;
+  /// Extra recovery charge per attempt: rho * sum of co-placed input
+  /// materialize costs, per CollapsedId.
+  std::vector<double> refetch_cost;
+};
+
+/// \brief Greedily assign each collapsed operator (in ascending = topological
+/// id order) to the group minimizing its T(c) given the already-placed
+/// inputs; ties break toward the lowest group id. A pure function of
+/// (cp, pparams, fparams) — bit-identical at any thread count.
+PlacementResult ComputePlacement(const CollapsedPlan& cp,
+                                 const PlacementParams& pparams,
+                                 const FailureParams& fparams);
+
 /// \brief Everything the cost function needs (paper: getCostStats output).
 struct FtCostContext {
   cost::ClusterStats cluster;
@@ -43,12 +85,31 @@ struct FtCostContext {
           1.0 / static_cast<double>(cluster.num_nodes));
     }
     p.exact_wasted_time = model.exact_wasted_time;
+    if (cluster.has_bursts()) {
+      // Burst events per cost unit: rate per second divided by CONST_cost
+      // (t_cost = t_seconds * CONST_cost).
+      p.burst_rate_cost =
+          1.0 / (cluster.burst_mtbf_seconds * model.cost_constant);
+      p.burst_hit_fraction = cluster.burst_fanout;
+    }
+    return p;
+  }
+
+  /// \brief Placement dimensions derived from the cluster statistics.
+  PlacementParams MakePlacementParams() const {
+    PlacementParams p;
+    p.num_groups = cluster.num_placement_groups;
+    p.remote_read_penalty = cluster.remote_read_penalty;
+    p.burst_failure_share = MakeFailureParams().burst_failure_share();
     return p;
   }
 
   Status Validate() const {
     XDBFT_RETURN_NOT_OK(cluster.Validate());
-    return model.Validate();
+    XDBFT_RETURN_NOT_OK(model.Validate());
+    // The derived cost-unit parameters must survive the conversion too
+    // (e.g. mtbf_seconds * cost_constant overflowing to inf).
+    return MakeFailureParams().Validate();
   }
 };
 
@@ -60,6 +121,9 @@ struct FtPlanEstimate {
   CollapsedPath dominant_path;
   /// Number of source->sink paths evaluated.
   size_t paths_evaluated = 0;
+  /// Placement group per CollapsedId (empty when placement is inactive,
+  /// i.e. one group and no correlated failures).
+  std::vector<int> placement_groups;
 };
 
 /// \brief Cost model over collapsed plans.

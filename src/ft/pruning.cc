@@ -97,7 +97,10 @@ int ApplyPruningRule2(Plan* plan, const FtCostContext& context) {
     if (!SoleConsumerIs(*plan, o_id, p.id)) continue;
     const double t_op =
         (o.runtime_cost + p.runtime_cost) * pipe + p.materialize_cost;
-    const double gamma = SuccessProbability(t_op, params.mtbf_cost);
+    // Effective (burst-adjusted) MTBF: under correlated failures the
+    // collapsed pair succeeds less often, so rule 2 marks fewer operators.
+    // Without bursts this is mtbf_cost exactly.
+    const double gamma = SuccessProbability(t_op, params.effective_mtbf_cost());
     if (gamma >= params.success_target) {
       o.constraint = MatConstraint::kNeverMaterialize;
       ++marked;
@@ -107,22 +110,50 @@ int ApplyPruningRule2(Plan* plan, const FtCostContext& context) {
   return marked;
 }
 
-bool PairwiseDominates(const std::vector<double>& sorted_path,
+namespace {
+
+std::vector<PathOpCost> ToPairs(const std::vector<double>& costs) {
+  std::vector<PathOpCost> out(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) out[i].t = costs[i];
+  return out;
+}
+
+}  // namespace
+
+void SortPathCosts(std::vector<PathOpCost>* costs) {
+  std::sort(costs->begin(), costs->end(),
+            [](const PathOpCost& a, const PathOpCost& b) {
+              if (a.t != b.t) return a.t > b.t;
+              return a.extra > b.extra;
+            });
+}
+
+bool PairwiseDominates(const std::vector<PathOpCost>& sorted_path,
                        const DominantPathEntry& entry, bool strict) {
   // Shorter memos are implicitly padded with zero-cost operators
   // (paper §4.3).
   bool any_strict = false;
   for (size_t i = 0; i < sorted_path.size(); ++i) {
-    const double memo_cost =
-        i < entry.sorted_costs.size() ? entry.sorted_costs[i] : 0.0;
-    if (sorted_path[i] < memo_cost) return false;
-    if (sorted_path[i] > memo_cost) any_strict = true;
+    static constexpr PathOpCost kZero{};
+    const PathOpCost& memo_cost =
+        i < entry.sorted_costs.size() ? entry.sorted_costs[i] : kZero;
+    if (sorted_path[i].t < memo_cost.t) return false;
+    if (sorted_path[i].extra < memo_cost.extra) return false;
+    // Only a strictly greater t certifies a strictly greater TPt: U is
+    // strictly increasing in t but merely non-decreasing in extra (the
+    // refetch charge is multiplied by a(c), which can be 0).
+    if (sorted_path[i].t > memo_cost.t) any_strict = true;
   }
   return !strict || any_strict;
 }
 
-void DominantPathMemo::Record(std::vector<double> costs, double total) {
-  std::sort(costs.begin(), costs.end(), std::greater<double>());
+bool PairwiseDominates(const std::vector<double>& sorted_path,
+                       const DominantPathEntry& entry, bool strict) {
+  return PairwiseDominates(ToPairs(sorted_path), entry, strict);
+}
+
+void DominantPathMemo::Record(std::vector<PathOpCost> costs, double total) {
+  SortPathCosts(&costs);
   const size_t count = costs.size();
   auto it = by_count_.find(count);
   if (it == by_count_.end() || total < it->second.total) {
@@ -130,9 +161,13 @@ void DominantPathMemo::Record(std::vector<double> costs, double total) {
   }
 }
 
-bool DominantPathMemo::Dominates(std::vector<double> path_costs) const {
+void DominantPathMemo::Record(std::vector<double> costs, double total) {
+  Record(ToPairs(costs), total);
+}
+
+bool DominantPathMemo::Dominates(std::vector<PathOpCost> path_costs) const {
   if (by_count_.empty()) return false;
-  std::sort(path_costs.begin(), path_costs.end(), std::greater<double>());
+  SortPathCosts(&path_costs);
   // Compare against every memoized path with at most as many collapsed
   // operators.
   for (const auto& [count, entry] : by_count_) {
@@ -142,9 +177,13 @@ bool DominantPathMemo::Dominates(std::vector<double> path_costs) const {
   return false;
 }
 
-void ConcurrentDominantPathMemo::Record(std::vector<double> costs,
+bool DominantPathMemo::Dominates(std::vector<double> path_costs) const {
+  return Dominates(ToPairs(path_costs));
+}
+
+void ConcurrentDominantPathMemo::Record(std::vector<PathOpCost> costs,
                                         double total) {
-  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  SortPathCosts(&costs);
   const size_t count = costs.size();
   Shard& shard = shards_[count % kNumShards];
   std::unique_lock lock(shard.mu);
@@ -158,10 +197,15 @@ void ConcurrentDominantPathMemo::Record(std::vector<double> costs,
   }
 }
 
+void ConcurrentDominantPathMemo::Record(std::vector<double> costs,
+                                        double total) {
+  Record(ToPairs(costs), total);
+}
+
 bool ConcurrentDominantPathMemo::Dominates(
-    std::vector<double> path_costs) const {
+    std::vector<PathOpCost> path_costs) const {
   if (empty()) return false;
-  std::sort(path_costs.begin(), path_costs.end(), std::greater<double>());
+  SortPathCosts(&path_costs);
   const size_t len = path_costs.size();
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
@@ -171,6 +215,11 @@ bool ConcurrentDominantPathMemo::Dominates(
     }
   }
   return false;
+}
+
+bool ConcurrentDominantPathMemo::Dominates(
+    std::vector<double> path_costs) const {
+  return Dominates(ToPairs(path_costs));
 }
 
 void ConcurrentDominantPathMemo::Clear() {

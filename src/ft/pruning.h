@@ -55,22 +55,43 @@ int ApplyPruningRule1(plan::Plan* plan, double pipe_constant);
 /// number of operators marked.
 int ApplyPruningRule2(plan::Plan* plan, const FtCostContext& context);
 
-/// \brief One memoized dominant path: its t(c) multiset sorted descending
-/// and its total TPt.
+/// \brief Cost of one collapsed operator along a path, in the dimensions
+/// the per-operator runtime U(t, extra) = t + a(t)(w(t) + MTTR + extra) is
+/// monotone in: the placed runtime t and the per-attempt refetch charge
+/// extra. Placement-unaware paths use extra == 0 throughout, which makes
+/// the pairwise comparison degenerate exactly to the scalar Eq. 9.
+struct PathOpCost {
+  double t = 0.0;
+  double extra = 0.0;
+};
+
+/// \brief One memoized dominant path: its (t, extra) multiset sorted
+/// descending lexicographically and its total TPt.
 struct DominantPathEntry {
-  std::vector<double> sorted_costs;  // descending
+  std::vector<PathOpCost> sorted_costs;  // descending lex by (t, extra)
   double total = 0.0;
 };
 
-/// \brief Eq. 9 pairwise comparison: true iff `sorted_path` (descending)
-/// is >= `entry.sorted_costs` position by position, padding the shorter
-/// memo with zero-cost operators. With `strict`, additionally requires one
-/// position to be strictly greater — that guarantees TPt(path) >
-/// entry.total (the per-operator runtime is strictly increasing in t(c)),
-/// so exact cost ties are *not* pruned and survive to deterministic
-/// tie-breaking (see FtPlanEnumerator).
+/// \brief Eq. 9 pairwise comparison, extended to placement: true iff
+/// `sorted_path` (descending lex) is >= `entry.sorted_costs` position by
+/// position in *both* dimensions (t and extra), padding the shorter memo
+/// with zero-cost operators. U is increasing in both arguments, so a
+/// componentwise-dominating matching certifies TPt(path) >= entry.total;
+/// comparing at identical sort ranks is a sound (conservative) way to find
+/// one. With `strict`, additionally requires a strictly greater *t* at some
+/// position — U is strictly increasing in t but only weakly in extra (an
+/// operator with a(c) == 0 never pays the refetch), so only a t-gap
+/// certifies TPt(path) > entry.total. Exact cost ties are therefore *not*
+/// pruned and survive to deterministic tie-breaking (see FtPlanEnumerator).
+bool PairwiseDominates(const std::vector<PathOpCost>& sorted_path,
+                       const DominantPathEntry& entry, bool strict);
+
+/// \brief Scalar convenience for placement-unaware paths (extra == 0).
 bool PairwiseDominates(const std::vector<double>& sorted_path,
                        const DominantPathEntry& entry, bool strict);
+
+/// \brief Canonical memo order: descending lexicographic by (t, extra).
+void SortPathCosts(std::vector<PathOpCost>* costs);
 
 /// \brief Memo store for rule 3's dominant-path comparison (Eq. 9): for
 /// each collapsed-operator count, the t(c) multiset (sorted descending) of
@@ -78,13 +99,15 @@ bool PairwiseDominates(const std::vector<double>& sorted_path,
 class DominantPathMemo {
  public:
   /// \brief Record the dominant path of a newly accepted best plan.
-  /// `costs` are the t(c) values along the path; `total` its TPt.
+  /// `costs` are the (t, extra) values along the path; `total` its TPt.
+  void Record(std::vector<PathOpCost> costs, double total);
   void Record(std::vector<double> costs, double total);
 
-  /// \brief True iff `path_costs` (t(c) values of the path under test)
-  /// pairwise dominates some memoized dominant path with at most as many
-  /// collapsed operators (shorter memos are padded with zero-cost
+  /// \brief True iff `path_costs` ((t, extra) values of the path under
+  /// test) pairwise dominates some memoized dominant path with at most as
+  /// many collapsed operators (shorter memos are padded with zero-cost
   /// operators, as the paper allows).
+  bool Dominates(std::vector<PathOpCost> path_costs) const;
   bool Dominates(std::vector<double> path_costs) const;
 
   bool empty() const { return by_count_.empty(); }
@@ -104,10 +127,12 @@ class DominantPathMemo {
 /// sequential one under exact cost ties.
 class ConcurrentDominantPathMemo {
  public:
+  void Record(std::vector<PathOpCost> costs, double total);
   void Record(std::vector<double> costs, double total);
 
   /// \brief Strict Eq. 9 dominance over any memoized path with at most as
   /// many collapsed operators.
+  bool Dominates(std::vector<PathOpCost> path_costs) const;
   bool Dominates(std::vector<double> path_costs) const;
 
   /// \brief Cheap pre-check (relaxed; may briefly lag Record calls).

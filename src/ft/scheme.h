@@ -45,6 +45,9 @@ struct SchemePlan {
   MaterializationConfig config;
   /// Cost-model estimate of runtime under failures (dominant-path TPt).
   double estimated_cost = 0.0;
+  /// Placement group per collapsed operator (correlated-failure
+  /// extension); empty when placement is inactive.
+  std::vector<int> placement_groups;
 };
 
 /// \brief Instantiate `kind` for `plan` under the given cluster/model

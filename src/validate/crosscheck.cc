@@ -483,6 +483,187 @@ std::optional<std::string> CheckFailureMath(const ReproCase& c) {
 }
 
 // ---------------------------------------------------------------------------
+// Correlated-failure model checks
+// ---------------------------------------------------------------------------
+
+/// Metamorphic identity: with correlation at zero the correlated machinery
+/// reproduces the independent model bit for bit — the closed forms, every
+/// per-operator T(c), Estimate and FindBest. Placement groups without a
+/// remote-read penalty or a burst share must not move a single bit either.
+std::optional<std::string> CheckCorrelationZeroIdentity(const ReproCase& c) {
+  const ft::FtCostContext base = MakeContext(c);
+  const ft::FailureParams params = base.MakeFailureParams();
+  if (params.effective_mtbf_cost() != params.mtbf_cost) {
+    return StrFormat(
+        "effective_mtbf_cost %.17g != mtbf_cost %.17g without bursts",
+        params.effective_mtbf_cost(), params.mtbf_cost);
+  }
+  if (params.burst_failure_share() != 0.0) {
+    return StrFormat("burst_failure_share %.17g without bursts",
+                     params.burst_failure_share());
+  }
+  auto cp = CollapsedPlan::Create(c.plan, c.config, c.sim.pipe_constant);
+  if (!cp.ok()) return "collapse failed: " + cp.status().ToString();
+  for (const auto& op : cp->ops()) {
+    const double t = op.total_cost();
+    const double two_arg = ft::OperatorTotalRuntime(t, params);
+    const double three_arg = ft::OperatorTotalRuntime(t, params, 0.0);
+    if (two_arg != three_arg) {
+      return StrFormat("T(t=%.9g) with extra=0 is %.17g, without %.17g", t,
+                       three_arg, two_arg);
+    }
+    const double independent =
+        ft::QuerySuccessProbability(t, params.mtbf_cost,
+                                    c.cluster.num_nodes);
+    const double correlated = ft::QuerySuccessProbabilityCorrelated(
+        t, params.mtbf_cost, c.cluster.num_nodes, 0.0);
+    if (independent != correlated) {
+      return StrFormat(
+          "QuerySuccessProbabilityCorrelated(rate=0) %.17g != %.17g",
+          correlated, independent);
+    }
+  }
+  // Placement enabled but penalty-free: the placed search runs the
+  // correlated code path, yet every cost it computes must be bit-identical
+  // to the independent fast path.
+  ft::FtCostContext placed = base;
+  placed.cluster.num_placement_groups = 4;
+  placed.cluster.remote_read_penalty = 0.0;
+  auto base_est = ft::FtCostModel(base).Estimate(c.plan, c.config);
+  auto placed_est = ft::FtCostModel(placed).Estimate(c.plan, c.config);
+  if (!base_est.ok() || !placed_est.ok()) return "estimate failed";
+  if (base_est->dominant_cost != placed_est->dominant_cost) {
+    return StrFormat("penalty-free placement moved the estimate: %.17g -> %.17g",
+                     base_est->dominant_cost, placed_est->dominant_cost);
+  }
+  ft::FtPlanEnumerator base_enum(base);
+  ft::FtPlanEnumerator placed_enum(placed);
+  auto base_best = base_enum.FindBest(c.plan);
+  auto placed_best = placed_enum.FindBest(c.plan);
+  if (!base_best.ok() || !placed_best.ok()) return "FindBest failed";
+  if (base_best->estimated_cost != placed_best->estimated_cost) {
+    return StrFormat(
+        "penalty-free placement moved the optimum: %.17g -> %.17g",
+        base_best->estimated_cost, placed_best->estimated_cost);
+  }
+  for (plan::OpId id = 0; id < static_cast<plan::OpId>(c.plan.num_nodes());
+       ++id) {
+    if (base_best->config.materialized(id) !=
+        placed_best->config.materialized(id)) {
+      return StrFormat("penalty-free placement flipped m(%d)", id);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Higher correlation never decreases the predicted T(c) of co-placed
+/// operators: the dominant cost is non-decreasing in the burst rate and in
+/// the burst fan-out (with the paper's t/2 wasted-time approximation, under
+/// which T is monotone in the failure rate).
+std::optional<std::string> CheckCorrelationMonotonic(const ReproCase& c) {
+  ft::FtCostContext context = MakeContext(c);
+  context.model.exact_wasted_time = false;
+  context.cluster.burst_fanout = 1.0;
+  double prev = -1.0;
+  for (double interval :
+       {0.0, c.cluster.mtbf_seconds * 64.0, c.cluster.mtbf_seconds * 16.0,
+        c.cluster.mtbf_seconds * 4.0, c.cluster.mtbf_seconds}) {
+    ft::FtCostContext scaled = context;
+    scaled.cluster.burst_mtbf_seconds = interval;  // 0 = bursts off
+    auto est = ft::FtCostModel(scaled).Estimate(c.plan, c.config);
+    if (!est.ok()) return "estimate failed: " + est.status().ToString();
+    if (est->dominant_cost < prev * (1.0 - kRelTol)) {
+      return StrFormat(
+          "cost decreased with burst rate: %.9g -> %.9g at interval %.9g",
+          prev, est->dominant_cost, interval);
+    }
+    prev = est->dominant_cost;
+  }
+  context.cluster.burst_mtbf_seconds = c.cluster.mtbf_seconds * 4.0;
+  prev = -1.0;
+  for (double fanout : {0.25, 0.5, 1.0}) {
+    ft::FtCostContext scaled = context;
+    scaled.cluster.burst_fanout = fanout;
+    auto est = ft::FtCostModel(scaled).Estimate(c.plan, c.config);
+    if (!est.ok()) return "estimate failed: " + est.status().ToString();
+    if (est->dominant_cost < prev * (1.0 - kRelTol)) {
+      return StrFormat(
+          "cost decreased with burst fanout: %.9g -> %.9g at fanout %.2f",
+          prev, est->dominant_cost, fanout);
+    }
+    prev = est->dominant_cost;
+  }
+  return std::nullopt;
+}
+
+/// Under correlated burst traces the correlated model's predicted T(c)
+/// must track the simulator strictly better than the independent model,
+/// which only sees the (negligible) background process and predicts a
+/// near-failure-free runtime. Summed |predicted - simulated p95| over a
+/// small burst-interval grid; p95 is the simulated quantity T(c) bounds
+/// (time to reach the success target S = 0.95).
+std::optional<std::string> CheckCorrelatedModelVsSim(const ReproCase& c) {
+  plan::PlanBuilder b("burst-chain");
+  const plan::OpId s = b.Scan("s", 1e6, 100, 80.0);
+  const plan::OpId f = b.Unary(plan::OpType::kFilter, "f", s, 70.0, 5.0);
+  b.Unary(plan::OpType::kHashAggregate, "agg", f, 50.0, 5.0);
+  const plan::Plan plan = std::move(b).Build();
+  const MaterializationConfig config = MaterializationConfig::NoMat(plan);
+  constexpr double kBackgroundMtbf = 1.0e8;  // bursts dominate
+  const cost::ClusterStats stats =
+      cost::MakeCluster(/*num_nodes=*/4, kBackgroundMtbf, /*mttr=*/10.0);
+
+  ft::FtCostContext independent;
+  independent.cluster = stats;
+  ClusterSimulator sim(stats, cluster::SimulationOptions{});
+  ft::SchemePlan scheme;
+  scheme.kind = ft::SchemeKind::kCostBased;
+  scheme.recovery = RecoveryMode::kFineGrained;
+  scheme.plan = plan;
+  scheme.config = config;
+
+  double err_independent = 0.0;
+  double err_correlated = 0.0;
+  int grid_point = 0;
+  for (double mean_interval : {150.0, 250.0, 400.0}) {
+    ft::FtCostContext correlated = independent;
+    correlated.cluster.burst_mtbf_seconds = mean_interval;
+    correlated.cluster.burst_fanout = 1.0;  // every burst kills all nodes
+    auto pred_ind = ft::FtCostModel(independent).Estimate(plan, config);
+    auto pred_cor = ft::FtCostModel(correlated).Estimate(plan, config);
+    if (!pred_ind.ok() || !pred_cor.ok()) return "estimate failed";
+
+    cluster::BurstOptions burst;
+    burst.mean_interval = mean_interval;
+    burst.horizon = 1.0e6;
+    burst.width = 1.0;
+    burst.min_nodes = 4;
+    burst.max_nodes = 4;
+    burst.background_mtbf = kBackgroundMtbf;
+    // 96 traces per grid point: the p95 of 24 samples is essentially the
+    // second-largest draw and occasionally lands low enough to flip the
+    // comparison on an unlucky seed (seed 140 of the 192-seed fuzz sweep
+    // did exactly that); at 96 the worst seed in [0, 256) still leaves the
+    // independent model behind by a wide margin.
+    std::vector<ClusterTrace> traces = cluster::GenerateBurstTraceSet(
+        stats, burst, /*count=*/96,
+        c.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(++grid_point));
+    auto agg = sim.RunMany(scheme, traces);
+    if (!agg.ok()) return "RunMany failed: " + agg.status().ToString();
+    if (agg->aborted > 0) continue;  // extreme tail; not comparable
+    err_independent += std::abs(pred_ind->dominant_cost - agg->runtime_p95);
+    err_correlated += std::abs(pred_cor->dominant_cost - agg->runtime_p95);
+  }
+  if (!(err_correlated < err_independent)) {
+    return StrFormat(
+        "correlated model no better than independent under bursts: "
+        "sum|err| %.9g vs %.9g",
+        err_correlated, err_independent);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Executor differential
 // ---------------------------------------------------------------------------
 
@@ -646,6 +827,12 @@ constexpr CheckEntry kChecks[] = {
     {"enum_optimality", CheckEnumOptimality, true, false},
     {"collapse_idempotent", CheckCollapseIdempotent, true, false},
     {"failure_math", CheckFailureMath, true, false},
+    {"correlation_zero_identity", CheckCorrelationZeroIdentity, true, false},
+    {"correlation_monotonic", CheckCorrelationMonotonic, true, false},
+    // Statistical: 3 grid points x 96 burst traces per seed is too heavy
+    // for crosscheck_quick under TSan's ~20x slowdown (the fuzz leg and
+    // full runs still assert it).
+    {"correlated_model_vs_sim", CheckCorrelatedModelVsSim, true, true},
     {"executor_differential", CheckExecutorDifferential, false, false},
 };
 

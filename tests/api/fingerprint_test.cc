@@ -96,6 +96,32 @@ TEST(FingerprintTest, CandidateOrderMatters) {
   EXPECT_NE(a, b);
 }
 
+TEST(FingerprintTest, BurstParametersAreCovered) {
+  // A burst process changes what findBestFTPlan returns, so it must be
+  // part of the cache key.
+  ft::FtCostContext bursty = MakeContext();
+  bursty.cluster.burst_mtbf_seconds = 600.0;
+  const auto a = FingerprintRequest({MakePlan("q", "a")}, MakeContext(), {});
+  const auto b = FingerprintRequest({MakePlan("q", "a")}, bursty, {});
+  EXPECT_NE(a, b);
+  ft::FtCostContext fanout = bursty;
+  fanout.cluster.burst_fanout = 0.5;
+  EXPECT_NE(FingerprintRequest({MakePlan("q", "a")}, bursty, {}),
+            FingerprintRequest({MakePlan("q", "a")}, fanout, {}));
+}
+
+TEST(FingerprintTest, PlacementParametersAreCovered) {
+  ft::FtCostContext placed = MakeContext();
+  placed.cluster.num_placement_groups = 4;
+  const auto a = FingerprintRequest({MakePlan("q", "a")}, MakeContext(), {});
+  const auto b = FingerprintRequest({MakePlan("q", "a")}, placed, {});
+  EXPECT_NE(a, b);
+  ft::FtCostContext penalty = placed;
+  penalty.cluster.remote_read_penalty = 0.75;
+  EXPECT_NE(FingerprintRequest({MakePlan("q", "a")}, placed, {}),
+            FingerprintRequest({MakePlan("q", "a")}, penalty, {}));
+}
+
 TEST(FingerprintTest, HexIs32Digits) {
   const auto fp = FingerprintRequest({MakePlan("q", "a")}, MakeContext(), {});
   EXPECT_EQ(fp.Hex().size(), 32u);

@@ -131,5 +131,124 @@ TEST(PerturbStatisticsTest, DifferentSeedsDiffer) {
   EXPECT_NE(a.node(1).runtime_cost, b.node(1).runtime_cost);
 }
 
+// Factors are drawn from the *structural* identity of each operator, so
+// an isomorphic plan with every label renamed perturbs identically
+// (labels and ids are not part of the draw).
+TEST(PerturbStatisticsTest, RelabeledIsomorphicPlansPerturbIdentically) {
+  auto build = [](const char* scan, const char* map1, const char* map2,
+                  const char* agg) {
+    PlanBuilder b("iso");
+    auto s = b.Scan(scan, 1e6, 64, 20.0);
+    b.Constrain(s, plan::MatConstraint::kNeverMaterialize);
+    auto a = b.Unary(OpType::kMapUdf, map1, s, 50.0, 5.0);
+    auto c = b.Unary(OpType::kMapUdf, map2, a, 50.0, 5.0);
+    b.Unary(OpType::kHashAggregate, agg, c, 10.0, 0.5);
+    return std::move(b).Build();
+  };
+  const Plan p1 = build("R", "a", "b", "agg");
+  const Plan p2 = build("lineitem", "project", "cleanse", "rollup");
+  const Plan q1 = PerturbStatistics(p1, 6.0, 11);
+  const Plan q2 = PerturbStatistics(p2, 6.0, 11);
+  for (const auto& n : p1.nodes()) {
+    EXPECT_DOUBLE_EQ(q1.node(n.id).runtime_cost,
+                     q2.node(n.id).runtime_cost);
+    EXPECT_DOUBLE_EQ(q1.node(n.id).materialize_cost,
+                     q2.node(n.id).materialize_cost);
+  }
+}
+
+// Adding an operator downstream must not shift the draws of the existing
+// operators (the old visit-order-seeded Rng did exactly that).
+TEST(PerturbStatisticsTest, DownstreamOperatorDoesNotShiftDraws) {
+  PlanBuilder b1("short");
+  auto s1 = b1.Scan("R", 1e6, 64, 20.0);
+  auto a1 = b1.Unary(OpType::kMapUdf, "a", s1, 50.0, 5.0);
+  b1.Unary(OpType::kHashAggregate, "agg", a1, 10.0, 0.5);
+  const Plan shorter = std::move(b1).Build();
+  PlanBuilder b2("long");
+  auto s2 = b2.Scan("R", 1e6, 64, 20.0);
+  auto a2 = b2.Unary(OpType::kMapUdf, "a", s2, 50.0, 5.0);
+  auto g2 = b2.Unary(OpType::kHashAggregate, "agg", a2, 10.0, 0.5);
+  b2.Unary(OpType::kMapUdf, "post", g2, 5.0, 1.0);
+  const Plan longer = std::move(b2).Build();
+  const Plan qs = PerturbStatistics(shorter, 6.0, 23);
+  const Plan ql = PerturbStatistics(longer, 6.0, 23);
+  for (const auto& n : shorter.nodes()) {
+    EXPECT_DOUBLE_EQ(qs.node(n.id).runtime_cost,
+                     ql.node(n.id).runtime_cost);
+  }
+}
+
+TEST(ClusterDriftTest, RateSpaceDrift) {
+  const cost::ClusterStats a = cost::MakeCluster(4, 1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(ClusterDrift(a, a), 0.0);
+  // Halved MTBF doubles the failure rate: |2r - r| / 2r = 0.5.
+  cost::ClusterStats faster = a;
+  faster.mtbf_seconds = 500.0;
+  EXPECT_NEAR(ClusterDrift(a, faster), 0.5, 1e-12);
+  EXPECT_NEAR(ClusterDrift(faster, a), 0.5, 1e-12);  // symmetric
+  // A burst process appearing out of nothing is full drift.
+  cost::ClusterStats bursty = a;
+  bursty.burst_mtbf_seconds = 400.0;
+  EXPECT_DOUBLE_EQ(ClusterDrift(a, bursty), 1.0);
+  // Identical burst processes contribute no drift.
+  EXPECT_DOUBLE_EQ(ClusterDrift(bursty, bursty), 0.0);
+}
+
+TEST(ReoptimizeOnDriftTest, BelowThresholdKeepsConfig) {
+  const Plan p = ChainPlan();
+  const FtCostContext ctx = Ctx();
+  FtPlanEnumerator e(ctx);
+  auto best = e.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  const std::vector<bool> completed(p.nodes().size(), false);
+  auto r = ReoptimizeOnDrift(p, best->config, completed, ctx, ctx.cluster,
+                             /*drift_threshold=*/0.5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->reoptimized);
+  EXPECT_EQ(r->decisions_changed, 0);
+  EXPECT_DOUBLE_EQ(r->drift, 0.0);
+  EXPECT_TRUE(r->config == best->config);
+}
+
+TEST(ReoptimizeOnDriftTest, AboveThresholdReoptimizesAndPinsCompleted) {
+  const Plan p = ChainPlan();
+  const FtCostContext ctx = Ctx(1000.0);
+  FtPlanEnumerator e(ctx);
+  auto best = e.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  cost::ClusterStats observed = ctx.cluster;
+  observed.mtbf_seconds = 50.0;  // rate x20: drift 0.95
+  std::vector<bool> completed(p.nodes().size(), false);
+  completed[0] = true;
+  completed[1] = true;
+  auto r = ReoptimizeOnDrift(p, best->config, completed, ctx, observed,
+                             /*drift_threshold=*/0.5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->reoptimized);
+  EXPECT_GT(r->drift, 0.5);
+  EXPECT_TRUE(r->config.Validate(p).ok());
+  // Completed operators keep their decisions (outputs exist or are gone;
+  // only pending operators are renegotiated).
+  EXPECT_EQ(r->config.materialized(0), best->config.materialized(0));
+  EXPECT_EQ(r->config.materialized(1), best->config.materialized(1));
+}
+
+TEST(ReoptimizeOnDriftTest, BurstAppearanceTriggersReoptimization) {
+  const Plan p = ChainPlan();
+  const FtCostContext ctx = Ctx(1000.0);
+  FtPlanEnumerator e(ctx);
+  auto best = e.FindBest(p);
+  ASSERT_TRUE(best.ok());
+  cost::ClusterStats observed = ctx.cluster;
+  observed.burst_mtbf_seconds = 200.0;  // correlated failures surfaced
+  const std::vector<bool> completed(p.nodes().size(), false);
+  auto r = ReoptimizeOnDrift(p, best->config, completed, ctx, observed,
+                             /*drift_threshold=*/0.5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r->drift, 1.0);
+  EXPECT_TRUE(r->reoptimized);
+}
+
 }  // namespace
 }  // namespace xdbft::ft

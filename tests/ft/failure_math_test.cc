@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/math_util.h"
 
@@ -164,6 +165,138 @@ TEST(FailureMathTest, ValidateRejectsBadParams) {
   EXPECT_FALSE(p.Validate().ok());
   p = FailureParams{};
   p.success_target = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+// --- Edge-case regression sweep (bugfix PR) ---
+
+// num_nodes <= 0: no nodes can fail, P = 1 (used to divide by zero).
+TEST(FailureMathTest, QuerySuccessProbabilityDegenerateNodes) {
+  EXPECT_DOUBLE_EQ(QuerySuccessProbability(100.0, 3600.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QuerySuccessProbability(100.0, 3600.0, -3), 1.0);
+}
+
+// Non-positive / non-finite per-node MTBF: failures are certain.
+TEST(FailureMathTest, QuerySuccessProbabilityDegenerateMtbf) {
+  EXPECT_DOUBLE_EQ(QuerySuccessProbability(100.0, 0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(QuerySuccessProbability(100.0, -5.0, 10), 0.0);
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(QuerySuccessProbability(100.0, nan, 10), 0.0);
+}
+
+// success_target == 1.0: ln(1 - S) used to be -inf; the clamp one ulp
+// below 1 keeps a(c) finite for any finite t / mtbf.
+TEST(FailureMathTest, ExpectedAttemptsAtCertainSuccessTarget) {
+  const double a = ExpectedAttempts(30.0, 60.0, 1.0);
+  EXPECT_TRUE(std::isfinite(a)) << a;
+  EXPECT_GE(a, ExpectedAttempts(30.0, 60.0, 0.999999));
+}
+
+// t >> mtbf: e^{t/MTBF} used to overflow to inf and w(c) became NaN
+// (inf - t/inf). Eq. 3 saturates to MTBF in that regime.
+TEST(FailureMathTest, WastedTimeExactSaturatesForLongOperators) {
+  EXPECT_DOUBLE_EQ(WastedTimeExact(1e6, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(WastedTimeExact(1e300, 1e-3), 1e-3);
+  EXPECT_TRUE(std::isfinite(WastedTimeExact(800.0, 1.0)));
+}
+
+// Negative attempts clamp to -1 (zero total attempts -> P = 0);
+// fractional attempts interpolate monotonically.
+TEST(FailureMathTest, SuccessWithinAttemptsNegativeAndFractional) {
+  EXPECT_DOUBLE_EQ(SuccessWithinAttempts(30.0, 60.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SuccessWithinAttempts(30.0, 60.0, -7.5), 0.0);
+  const double p0 = SuccessWithinAttempts(30.0, 60.0, 0.0);
+  const double ph = SuccessWithinAttempts(30.0, 60.0, 0.5);
+  const double p1 = SuccessWithinAttempts(30.0, 60.0, 1.0);
+  EXPECT_GT(p0, 0.0);
+  EXPECT_LT(p0, ph);
+  EXPECT_LT(ph, p1);
+}
+
+// --- Correlated-failure model ---
+
+TEST(FailureMathTest, EffectiveMtbfIsExactWithoutBursts) {
+  FailureParams p;
+  p.mtbf_cost = 12345.678;
+  // Bit-identical, not just close: no 1/(1/x) round-trip.
+  EXPECT_EQ(p.effective_mtbf_cost(), p.mtbf_cost);
+  EXPECT_DOUBLE_EQ(p.burst_failure_share(), 0.0);
+}
+
+TEST(FailureMathTest, EffectiveMtbfCombinesHazards) {
+  FailureParams p;
+  p.mtbf_cost = 100.0;
+  p.burst_rate_cost = 1.0 / 100.0;  // same rate again
+  p.burst_hit_fraction = 1.0;
+  EXPECT_NEAR(p.effective_mtbf_cost(), 50.0, 1e-12);
+  EXPECT_NEAR(p.burst_failure_share(), 0.5, 1e-12);
+  p.burst_hit_fraction = 0.5;  // half the bursts hit this operator
+  EXPECT_NEAR(p.effective_mtbf_cost(), 200.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.burst_failure_share(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FailureMathTest, BurstsRaiseTotalRuntime) {
+  FailureParams independent;
+  independent.mtbf_cost = 60.0;
+  FailureParams bursty = independent;
+  bursty.burst_rate_cost = 1.0 / 120.0;
+  for (double t : {5.0, 20.0, 60.0}) {
+    EXPECT_GE(OperatorTotalRuntime(t, bursty),
+              OperatorTotalRuntime(t, independent))
+        << t;
+  }
+  // Zero rate is the independent model bit-for-bit.
+  bursty.burst_rate_cost = 0.0;
+  EXPECT_EQ(OperatorTotalRuntime(17.0, bursty),
+            OperatorTotalRuntime(17.0, independent));
+}
+
+TEST(FailureMathTest, ExtraPerAttemptChargeZeroIsIdentity) {
+  FailureParams p;
+  p.mtbf_cost = 60.0;
+  // extra == 0 must reproduce the 2-arg overload bit-for-bit.
+  EXPECT_EQ(OperatorTotalRuntime(40.0, p, 0.0),
+            OperatorTotalRuntime(40.0, p));
+  EXPECT_GT(OperatorTotalRuntime(40.0, p, 3.0),
+            OperatorTotalRuntime(40.0, p));
+}
+
+TEST(FailureMathTest, QuerySuccessProbabilityCorrelatedDegrades) {
+  // Zero burst rate: exactly the independent value.
+  EXPECT_EQ(QuerySuccessProbabilityCorrelated(100.0, 3600.0, 10, 0.0),
+            QuerySuccessProbability(100.0, 3600.0, 10));
+  // A positive cluster-wide rate lowers the success probability.
+  EXPECT_LT(QuerySuccessProbabilityCorrelated(100.0, 3600.0, 10, 0.01),
+            QuerySuccessProbability(100.0, 3600.0, 10));
+}
+
+TEST(FailureMathTest, ValidateRejectsBadBurstParams) {
+  FailureParams p;
+  p.burst_rate_cost = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = FailureParams{};
+  p.burst_rate_cost = std::nan("");
+  EXPECT_FALSE(p.Validate().ok());
+  p = FailureParams{};
+  p.burst_rate_cost = 0.01;
+  p.burst_hit_fraction = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.burst_hit_fraction = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+  p.burst_hit_fraction = 0.5;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+// Non-finite mtbf/mttr must be rejected, not priced as "never fails".
+TEST(FailureMathTest, ValidateRejectsNonFinite) {
+  FailureParams p;
+  p.mtbf_cost = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(p.Validate().ok());
+  p = FailureParams{};
+  p.mttr_cost = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(p.Validate().ok());
+  p = FailureParams{};
+  p.mtbf_cost = std::nan("");
   EXPECT_FALSE(p.Validate().ok());
 }
 

@@ -43,6 +43,14 @@ SPECS = {
             "p50_speedup_vs_cold": "lower_bad",
         },
     },
+    "correlated": {
+        "keys": ("mean_interval", "fanout"),
+        "metrics": {
+            # Accuracy, not wall-clock: the correlated model's error as a
+            # fraction of the independent model's at the same grid point.
+            "err_ratio": "higher_bad",
+        },
+    },
     "enum": {
         "keys": ("workload", "threads"),
         "metrics": {
@@ -173,6 +181,13 @@ def self_test():
     eworse = [dict(ebase[0], speedup_vs_1=2.0)]
     found = compare_bench("enum", ebase, eworse, 0.25)
     assert len(found) == 1 and "speedup_vs_1" in found[0], found
+    # correlated spec joins on the burst grid and watches model accuracy.
+    cbase = [{"type": "row", "mean_interval": 250.0, "fanout": 1.0,
+              "err_ratio": 0.2}]
+    cworse = [dict(cbase[0], err_ratio=0.6)]
+    found = compare_bench("correlated", cbase, cworse, 0.25)
+    assert len(found) == 1 and "err_ratio" in found[0], found
+    assert compare_bench("correlated", cbase, [dict(cbase[0])], 0.25) == []
     print("self-test passed")
     return 0
 

@@ -13,6 +13,15 @@
 //                 [--threads N] [--exec-threads N] [--simulate TRACES]
 //                 [--emit-q5 SF] [--metrics-json PATH] [--trace-out PATH]
 //
+// --burst-mtbf S / --burst-fanout F enable the correlated-failure model:
+// S is the mean seconds between correlated bursts, F the fraction of the
+// cluster each burst takes down (0 disables it — the independent model).
+// --placement-groups G / --remote-read-penalty P turn on placement-aware
+// enumeration (see DESIGN.md §13). --drift-threshold D sets the relative
+// observed-vs-assumed cluster drift past which --serve invalidates cached
+// plans (default 0.5). Non-finite or non-positive cluster/model inputs
+// are rejected up front with an InvalidArgument.
+//
 // --threads N runs the FT-plan enumeration on N worker threads (default 0
 // = one per hardware thread; the chosen plan is identical at any value).
 //
@@ -86,6 +95,11 @@ struct Args {
   int nodes = 10;
   double mtbf = cost::kSecondsPerDay;
   double mttr = 1.0;
+  // Correlated failures / placement (0 bursts = independent model).
+  double burst_mtbf = 0.0;
+  double burst_fanout = 1.0;
+  int placement_groups = 1;
+  double remote_read_penalty = 0.25;
   double success_target = 0.95;
   double pipe_constant = 1.0;
   bool scale_success = false;
@@ -105,12 +119,42 @@ struct Args {
   int clients = 2;
   double hot_fraction = 0.9;
   int cache_capacity = 4096;
+  double drift_threshold = 0.5;
 };
+
+// All clusters the advisor reasons about carry the burst/placement
+// parameters, so the one MakeCluster call site that forgets them cannot
+// silently fall back to the independent model.
+cost::ClusterStats MakeStats(const Args& args, double mtbf) {
+  cost::ClusterStats stats = cost::MakeCluster(args.nodes, mtbf, args.mttr);
+  stats.burst_mtbf_seconds = args.burst_mtbf;
+  stats.burst_fanout = args.burst_fanout;
+  stats.num_placement_groups = args.placement_groups;
+  stats.remote_read_penalty = args.remote_read_penalty;
+  return stats;
+}
+
+// Rejects non-finite / non-positive cluster or model parameters up front
+// with an InvalidArgument instead of letting NaNs reach the enumerator.
+bool ValidateParams(const cost::ClusterStats& stats,
+                    const cost::CostModelParams& model) {
+  ft::FtCostContext context;
+  context.cluster = stats;
+  context.model = model;
+  const Status s = context.Validate();
+  if (!s.ok()) {
+    std::fprintf(stderr, "invalid parameters: %s\n", s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --plan FILE [--nodes N] [--mtbf S] [--mttr S]\n"
+      "          [--burst-mtbf S] [--burst-fanout F]\n"
+      "          [--placement-groups G] [--remote-read-penalty P]\n"
       "          [--success-target S] [--pipe-constant C]\n"
       "          [--scale-success-with-cluster] [--greedy]\n"
       "          [--threads N] [--exec-threads N] [--simulate TRACES]\n"
@@ -119,7 +163,8 @@ void Usage(const char* argv0) {
       "       %s --profile [--metrics-json PATH]\n"
       "       %s --emit-q5 SF [--storage-mibps MIB]\n"
       "       %s --serve --requests N [--clients K] [--hot-fraction F]\n"
-      "          [--cache-capacity C] [--plan FILE] [--metrics-json PATH]\n",
+      "          [--cache-capacity C] [--drift-threshold D]\n"
+      "          [--plan FILE] [--metrics-json PATH]\n",
       argv0, argv0, argv0, argv0);
 }
 
@@ -140,6 +185,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->mtbf = v;
     } else if (a == "--mttr" && next(&v)) {
       args->mttr = v;
+    } else if (a == "--burst-mtbf" && next(&v)) {
+      args->burst_mtbf = v;
+    } else if (a == "--burst-fanout" && next(&v)) {
+      args->burst_fanout = v;
+    } else if (a == "--placement-groups" && next(&v)) {
+      args->placement_groups = static_cast<int>(v);
+    } else if (a == "--remote-read-penalty" && next(&v)) {
+      args->remote_read_penalty = v;
+    } else if (a == "--drift-threshold" && next(&v)) {
+      args->drift_threshold = v;
     } else if (a == "--success-target" && next(&v)) {
       args->success_target = v;
     } else if (a == "--pipe-constant" && next(&v)) {
@@ -309,13 +364,14 @@ int RunServe(const Args& args) {
   model.success_target = args.success_target;
   model.pipe_constant = args.pipe_constant;
   model.scale_success_target_with_cluster = args.scale_success;
+  if (!ValidateParams(MakeStats(args, args.mtbf), model)) return 1;
   std::vector<api::AdvisorRequest> population;
   population.reserve(kPopulation);
   for (size_t i = 0; i < kPopulation; ++i) {
     api::AdvisorRequest request;
     request.candidates.push_back(base_plans[i % base_plans.size()]);
-    request.cluster = cost::MakeCluster(
-        args.nodes, args.mtbf + 60.0 * static_cast<double>(i), args.mttr);
+    request.cluster =
+        MakeStats(args, args.mtbf + 60.0 * static_cast<double>(i));
     request.model = model;
     population.push_back(std::move(request));
   }
@@ -325,8 +381,8 @@ int RunServe(const Args& args) {
       static_cast<size_t>(std::max(args.cache_capacity, 1));
   options.enumeration.num_threads =
       args.threads == 0 ? 1 : args.threads;  // clients provide parallelism
-  api::AdvisorService service(
-      cost::MakeCluster(args.nodes, args.mtbf, args.mttr), model, options);
+  options.drift_threshold = args.drift_threshold;
+  api::AdvisorService service(MakeStats(args, args.mtbf), model, options);
 
   const int clients = std::max(args.clients, 1);
   const int total_requests = std::max(args.requests, 1);
@@ -509,11 +565,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto stats = cost::MakeCluster(args.nodes, args.mtbf, args.mttr);
+  const cost::ClusterStats stats = MakeStats(args, args.mtbf);
   cost::CostModelParams model;
   model.success_target = args.success_target;
   model.pipe_constant = args.pipe_constant;
   model.scale_success_target_with_cluster = args.scale_success;
+  if (!ValidateParams(stats, model)) return 1;
 
   obs::TraceRecorder trace;
   obs::TraceRecorder* trace_ptr =

@@ -1,0 +1,127 @@
+// perf_schemes: Fig. 8/9-style overhead sweep of all five fault-tolerance
+// schemes over the pipelined workload shape, varying per-stage runtime.
+//
+// For each runtime scale a small workload of identical pipelined queries
+// (deep filter chains with bulky intermediates) runs under every scheme on
+// the same continuous failure trace; the table reports makespan, mean
+// overhead over the failure-free baseline, and aborts. The long-runtime
+// grid point is the regime write-ahead lineage exists for: the query spans
+// several MTBFs, so restart-from-scratch thrashes while WAL pays a bounded
+// log-write tax and replays.
+//
+// Exit code 1 when write-ahead lineage does not strictly beat
+// no-mat-restart on the long-runtime grid point — the same invariant
+// crosscheck's wal_beats_restart enforces.
+//
+// With XDBFT_BENCH_JSON_DIR set, rows are mirrored into
+// BENCH_schemes.json for tools/check_bench.py regression comparison.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/workload.h"
+#include "cost/cost_params.h"
+#include "ft/scheme.h"
+
+namespace xdbft {
+namespace {
+
+int Run(bool quick) {
+  bench::PrintHeader(
+      "Scheme comparison on pipelined workloads (runtime sweep)",
+      "Fig. 8/9 protocol applied to the write-ahead lineage extension");
+
+  const cost::ClusterStats stats =
+      cost::MakeCluster(/*num_nodes=*/4, /*mtbf=*/1200.0, /*mttr=*/10.0);
+  cost::CostModelParams model;
+  model.wal_write_cost = 0.3;
+  model.wal_replay_factor = 0.25;
+
+  const std::vector<double> scales =
+      quick ? std::vector<double>{0.5, 8.0}
+            : std::vector<double>{0.5, 2.0, 8.0};
+  const double long_runtime_scale = scales.back();
+  const int queries = quick ? 3 : 6;
+
+  bench::BenchJsonWriter json("schemes");
+  bench::Table table({"scale", "scheme", "makespan", "overhead%", "aborted"},
+                     {6, 20, 10, 10, 8});
+  table.PrintHeaderRow();
+
+  double wal_long = -1.0, restart_long = -1.0;
+  int wal_long_aborted = 0, restart_long_aborted = 0;
+  for (double scale : scales) {
+    const auto workload =
+        cluster::MakePipelinedWorkload(queries, /*depth=*/6, scale);
+    auto out = cluster::CompareSchemesOnWorkload(workload, stats, model,
+                                                /*trace_seed=*/42);
+    if (!out.ok()) {
+      std::fprintf(stderr, "workload comparison failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& o : *out) {
+      table.PrintRow({StrFormat("%.1f", scale),
+                      ft::SchemeKindName(o.scheme),
+                      StrFormat("%.1f", o.makespan_seconds),
+                      StrFormat("%.1f", o.mean_overhead_percent),
+                      StrFormat("%d", o.aborted)});
+      bench::JsonLine row;
+      row.Set("scale", scale)
+          .Set("scheme", ft::SchemeKindName(o.scheme))
+          .Set("makespan_seconds", o.makespan_seconds)
+          .Set("mean_overhead_percent", o.mean_overhead_percent)
+          .Set("aborted", static_cast<double>(o.aborted));
+      json.Write(row);
+      if (scale == long_runtime_scale) {
+        if (o.scheme == ft::SchemeKind::kWriteAheadLineage) {
+          wal_long = o.makespan_seconds;
+          wal_long_aborted = o.aborted;
+        } else if (o.scheme == ft::SchemeKind::kNoMatRestart) {
+          restart_long = o.makespan_seconds;
+          restart_long_aborted = o.aborted;
+        }
+      }
+    }
+  }
+
+  if (json.enabled()) {
+    std::printf("json: %s\n", json.path().c_str());
+  }
+  // The headline invariant: past break-even, WAL strictly beats
+  // restart-from-scratch (a restart abort with a completed WAL run is the
+  // degenerate win).
+  if (wal_long_aborted > restart_long_aborted) {
+    std::fprintf(stderr,
+                 "FAIL: WAL aborted more often than no-mat-restart on the "
+                 "long-runtime point (%d vs %d)\n",
+                 wal_long_aborted, restart_long_aborted);
+    return 1;
+  }
+  if (restart_long_aborted == wal_long_aborted &&
+      !(wal_long < restart_long)) {
+    std::fprintf(stderr,
+                 "FAIL: write-ahead lineage makespan %.1f not below "
+                 "no-mat-restart %.1f on the long-runtime point\n",
+                 wal_long, restart_long);
+    return 1;
+  }
+  std::printf(
+      "\nlong-runtime point (scale %.1f): WAL %.1f s vs no-mat-restart "
+      "%.1f s\n",
+      long_runtime_scale, wal_long, restart_long);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdbft
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return xdbft::Run(quick);
+}

@@ -25,7 +25,13 @@ int main(int argc, char** argv) {
   ft::FtCostContext context;
   context.cluster = stats;
 
-  cluster::ClusterSimulator simulator(stats);
+  // Non-zero WAL costs so the write-ahead lineage row is priced (and
+  // simulated) under its own discipline rather than degenerating to
+  // fine-grained recovery.
+  cluster::SimulationOptions sim_opts;
+  sim_opts.wal_write_cost = context.model.wal_write_cost;
+  sim_opts.wal_replay_factor = context.model.wal_replay_factor;
+  cluster::ClusterSimulator simulator(stats, sim_opts);
   const double baseline = *simulator.BaselineRuntime(*plan);
   std::printf("Q5 @ SF=100 on %s\n", stats.ToString().c_str());
   std::printf("Failure-free baseline: %.1fs; trace seed %llu\n\n", baseline,
@@ -48,7 +54,8 @@ int main(int argc, char** argv) {
 
   static constexpr ft::SchemeKind kAll[] = {
       ft::SchemeKind::kAllMat, ft::SchemeKind::kNoMatLineage,
-      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased};
+      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased,
+      ft::SchemeKind::kWriteAheadLineage};
   std::printf("%-18s %12s %10s %10s %10s\n", "scheme", "runtime(s)",
               "overhead%", "restarts", "m-ops");
   for (ft::SchemeKind kind : kAll) {

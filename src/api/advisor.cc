@@ -32,7 +32,8 @@ Result<SchemeComparison> FaultToleranceAdvisor::CompareSchemes(
   SchemeComparison out;
   static constexpr ft::SchemeKind kAll[] = {
       ft::SchemeKind::kAllMat, ft::SchemeKind::kNoMatLineage,
-      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased};
+      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased,
+      ft::SchemeKind::kWriteAheadLineage};
   double best = std::numeric_limits<double>::infinity();
   for (ft::SchemeKind kind : kAll) {
     XDBFT_ASSIGN_OR_RETURN(ft::SchemePlan sp,
@@ -71,7 +72,9 @@ std::string FaultToleranceAdvisor::Explain(
   os << "  recovery: "
      << (chosen.recovery == ft::RecoveryMode::kFineGrained
              ? "fine-grained (restart failed sub-plans)"
-             : "full query restart")
+             : chosen.recovery == ft::RecoveryMode::kWalReplay
+                   ? "write-ahead lineage (replay logged frontier)"
+                   : "full query restart")
      << "\n";
   os << "  materialized operators: " << chosen.config.ToString() << " ("
      << chosen.config.NumMaterialized() << " of "

@@ -42,7 +42,8 @@ class FaultToleranceAdvisor {
   Result<ft::SchemePlan> ChooseBestPlan(
       const std::vector<plan::Plan>& candidates) const;
 
-  /// \brief Estimate all four schemes of §5.2 for `plan`.
+  /// \brief Estimate all five schemes (§5.2's four plus write-ahead
+  /// lineage) for `plan`.
   Result<SchemeComparison> CompareSchemes(const plan::Plan& plan) const;
 
   /// \brief Human-readable report of a chosen plan: configuration,

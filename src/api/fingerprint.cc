@@ -53,7 +53,7 @@ RequestFingerprint FingerprintRequest(
 
   // Format version: bump when the encoding changes so persisted keys (if
   // any ever exist) cannot alias across releases.
-  w.Add(uint64_t{0x7864626674763032ULL});  // "xdbftv02"
+  w.Add(uint64_t{0x7864626674763033ULL});  // "xdbftv03"
 
   // Cluster statistics, including the correlated-failure and placement
   // dimensions (two requests differing only in burst rate or group count
@@ -72,6 +72,12 @@ RequestFingerprint FingerprintRequest(
   w.Add(context.model.success_target);
   w.Add(context.model.exact_wasted_time);
   w.Add(context.model.scale_success_target_with_cluster);
+  // Write-ahead lineage knobs (v03): toggling WAL or retuning the log
+  // write / replay costs changes the chosen plan, so it must change the
+  // cache key too.
+  w.Add(context.model.wal_enabled);
+  w.Add(context.model.wal_write_cost);
+  w.Add(context.model.wal_replay_factor);
 
   // Enumeration knobs that shape the search space. num_threads, trace and
   // shared_memo are excluded: the chosen plan is identical at any value.

@@ -24,6 +24,8 @@ Result<ExperimentResult> RunSchemeComparison(
 
   SimulationOptions sim = sim_options;
   sim.pipe_constant = model.pipe_constant;
+  sim.wal_write_cost = model.wal_write_cost;
+  sim.wal_replay_factor = model.wal_replay_factor;
   ClusterSimulator simulator(stats, sim);
   XDBFT_ASSIGN_OR_RETURN(const double baseline,
                          simulator.BaselineRuntime(plan));
@@ -33,7 +35,8 @@ Result<ExperimentResult> RunSchemeComparison(
 
   static constexpr ft::SchemeKind kAllSchemes[] = {
       ft::SchemeKind::kAllMat, ft::SchemeKind::kNoMatLineage,
-      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased};
+      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased,
+      ft::SchemeKind::kWriteAheadLineage};
 
   for (ft::SchemeKind kind : kAllSchemes) {
     XDBFT_ASSIGN_OR_RETURN(ft::SchemePlan sp,

@@ -124,6 +124,16 @@ ClusterTrace ClusterTrace::GenerateWithBursts(const cost::ClusterStats& stats,
   return ct;
 }
 
+ClusterTrace ClusterTrace::FromScheduled(
+    std::vector<std::vector<double>> scheduled) {
+  ClusterTrace ct;
+  ct.nodes_.reserve(scheduled.size());
+  for (auto& times : scheduled) {
+    ct.nodes_.emplace_back(kNeverFails, 0, std::move(times));
+  }
+  return ct;
+}
+
 double ClusterTrace::NextFailureAfter(double t, int* which_node) {
   double best = kNeverFails;
   int best_node = -1;

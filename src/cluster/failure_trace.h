@@ -94,6 +94,13 @@ class ClusterTrace {
                                          uint64_t seed,
                                          const BurstOptions& burst);
 
+  /// \brief A fully deterministic trace: node i fails exactly at
+  /// `scheduled[i]` (sorted internally, non-positive entries ignored) and
+  /// never otherwise. For crafted regression tests of detection / MTTR
+  /// timing.
+  static ClusterTrace FromScheduled(
+      std::vector<std::vector<double>> scheduled);
+
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   FailureTrace& node(int i) { return nodes_[static_cast<size_t>(i)]; }
 

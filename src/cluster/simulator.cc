@@ -128,6 +128,114 @@ double ClusterSimulator::RunPartition(double ready, double duration,
   }
 }
 
+double ClusterSimulator::RunWalPartition(double ready, double duration,
+                                         FailureTrace& node, int* restarts,
+                                         bool* aborted,
+                                         const std::string& label,
+                                         int node_idx) const {
+  if (duration <= 0.0) return ready;
+  const double replay_factor = options_.wal_replay_factor;
+  double logged = 0.0;  // durable logged progress, in work units
+  double start = ready;
+  int unit_restarts = 0;
+  while (true) {
+    // One attempt: replay the logged frontier, then run the fresh rest.
+    // The span is written as duration - (1 - f)*logged rather than
+    // f*logged + (duration - logged): algebraically identical, but at
+    // f == 1 the subtrahend is exactly 0.0, keeping the unity-replay
+    // span bit-identical to the fine-grained attempt span.
+    const double replay = replay_factor * logged;
+    const double span = duration - (1.0 - replay_factor) * logged;
+    const double fail = node.NextFailureAfter(start);
+    if (fail >= start + span) {
+      TraceSpan(label, "subplan", start, span, node_idx);
+      XDBFT_COUNTER_INC("simulator.subplan_runs");
+      LogAttempt(options_.attempt_log, label, node_idx, unit_restarts,
+                 start, start + span, /*killed=*/false);
+      return start + span;
+    }
+    // The node fails mid-attempt. Work done past the replay phase was
+    // logged *before* its results flowed on, so it survives the failure;
+    // work lost inside the replay phase costs nothing extra (the log is
+    // still there).
+    const double elapsed = fail - start;
+    if (elapsed > replay) logged += elapsed - replay;
+    ++(*restarts);
+    ++unit_restarts;
+    XDBFT_COUNTER_INC("simulator.failures");
+    XDBFT_FLIGHT("simulator", "failure (wal)", node_idx, unit_restarts);
+    TraceSpan(label + " (killed)", "killed", start, elapsed, node_idx);
+    TraceInstant("failure", "failure", fail, node_idx);
+    LogAttempt(options_.attempt_log, label, node_idx, unit_restarts - 1,
+               start, fail, /*killed=*/true);
+    double detected = fail;
+    if (options_.monitoring_interval > 0.0) {
+      const double ticks = std::ceil(fail / options_.monitoring_interval);
+      detected = ticks * options_.monitoring_interval;
+      TraceSpan("detect", "wait", fail, detected - fail, node_idx);
+    }
+    XDBFT_GAUGE_ADD("simulator.mttr_wait_seconds",
+                    (detected - fail) + stats_.mttr_seconds);
+    if (unit_restarts >= options_.max_restarts) {
+      XDBFT_COUNTER_INC("simulator.aborts");
+      XDBFT_FLIGHT("simulator", "abort: max restarts exhausted", node_idx,
+                   unit_restarts);
+      *aborted = true;
+      return detected + stats_.mttr_seconds;
+    }
+    TraceSpan("mttr", "wait", detected, stats_.mttr_seconds, node_idx);
+    start = detected + stats_.mttr_seconds;
+  }
+}
+
+Result<SimulationResult> ClusterSimulator::RunWalReplay(
+    const CollapsedPlan& cp, const std::vector<std::string>& op_labels,
+    ClusterTrace& trace, double start_time) const {
+  SimulationResult result;
+  bool aborted = false;
+  std::vector<double> finish(cp.num_ops(), start_time);
+  for (const auto& c : cp.ops()) {  // ascending id = topological
+    const std::string& label =
+        static_cast<size_t>(c.id) < op_labels.size()
+            ? op_labels[static_cast<size_t>(c.id)]
+            : StrFormat("c%d", c.id);
+    double ready = start_time;
+    for (ft::CollapsedId in : c.inputs) {
+      ready = std::max(ready, finish[static_cast<size_t>(in)]);
+    }
+    // The lineage log is written ahead of the pipelined intermediates:
+    // the durable duration pays the log-write overhead up front.
+    const double durable =
+        c.total_cost() + options_.wal_write_cost * c.lineage_volume;
+    double done = ready;
+    for (int k = 0; k < trace.num_nodes(); ++k) {
+      const double duration =
+          durable * (1.0 + options_.partition_skew * NodeSkew(k));
+      const double completion =
+          RunWalPartition(ready, duration, trace.node(k), &result.restarts,
+                          &aborted, label, k);
+      if (aborted) {
+        result.runtime = completion - start_time;
+        result.completed = false;
+        result.aborted = 1;
+        result.aborted_seconds = result.runtime;
+        result.failures_hit = result.restarts;
+        return result;
+      }
+      done = std::max(done, completion);
+    }
+    finish[static_cast<size_t>(c.id)] = done;
+  }
+  for (ft::CollapsedId sink : cp.sinks()) {
+    result.runtime =
+        std::max(result.runtime, finish[static_cast<size_t>(sink)]);
+  }
+  result.runtime -= start_time;
+  result.failures_hit = result.restarts;
+  result.completed = true;
+  return result;
+}
+
 Result<SimulationResult> ClusterSimulator::RunFineGrained(
     const CollapsedPlan& cp, const std::vector<std::string>& op_labels,
     ClusterTrace& trace, double start_time) const {
@@ -266,7 +374,9 @@ Result<SimulationResult> ClusterSimulator::Run(
   Result<SimulationResult> result =
       recovery == RecoveryMode::kFineGrained
           ? RunFineGrained(cp, op_labels, trace, start_time)
-          : RunFullRestart(cp, trace, start_time);
+          : recovery == RecoveryMode::kWalReplay
+                ? RunWalReplay(cp, op_labels, trace, start_time)
+                : RunFullRestart(cp, trace, start_time);
   if (result.ok()) {
     result->runtime_p50 = result->runtime;
     result->runtime_p95 = result->runtime;

@@ -15,6 +15,11 @@
 //   kFullRestart  - any failure during execution restarts the entire query
 //                   (the parallel-database strategy); aborts after
 //                   max_restarts attempts, as the paper aborts after 100.
+//   kWalReplay    - write-ahead lineage: sub-plans log lineage ahead of
+//                   their results (paying wal_write_cost up front); a
+//                   failed partition replays the logged frontier at
+//                   wal_replay_factor speed instead of recomputing, and
+//                   logged progress survives the failure.
 #pragma once
 
 #include <string>
@@ -58,6 +63,14 @@ struct SimulationOptions {
   /// the current segment. 0 disables (paper behavior).
   double checkpoint_interval = 0.0;
   double checkpoint_cost = 1.0;
+  /// Write-ahead lineage (used when recovery == kWalReplay): every
+  /// sub-plan logs lineage ahead of its results, inflating its duration by
+  /// wal_write_cost * lineage_volume; a failed partition replays the
+  /// logged frontier at `wal_replay_factor` of the original speed instead
+  /// of recomputing from the materialized inputs. Progress already logged
+  /// survives failures. Mirrors CostModelParams::wal_*.
+  double wal_write_cost = 0.0;
+  double wal_replay_factor = 1.0;
   /// When set, the discrete-event timeline is exported into this recorder
   /// as Chrome trace spans on *virtual* time (1 simulated second = 1 ms in
   /// the viewer; lane = node): sub-plan runs, killed attempts, failure
@@ -161,6 +174,15 @@ class ClusterSimulator {
                       int* restarts, bool* aborted, const std::string& label,
                       int node_idx) const;
 
+  /// Completion time of one collapsed op on one node under write-ahead
+  /// lineage: `duration` must already include the log-write overhead.
+  /// Progress is durable the moment it is logged; each attempt first
+  /// replays the logged frontier at wal_replay_factor speed, then runs the
+  /// remaining fresh work. Same abort semantics as RunPartition.
+  double RunWalPartition(double ready, double duration, FailureTrace& node,
+                         int* restarts, bool* aborted,
+                         const std::string& label, int node_idx) const;
+
   /// Virtual-time trace emission helpers (no-ops when options_.trace is
   /// null). Durations/timestamps are simulated seconds.
   void TraceSpan(const std::string& name, const std::string& category,
@@ -175,6 +197,10 @@ class ClusterSimulator {
   Result<SimulationResult> RunFullRestart(const ft::CollapsedPlan& cp,
                                           ClusterTrace& trace,
                                           double start_time) const;
+  Result<SimulationResult> RunWalReplay(
+      const ft::CollapsedPlan& cp,
+      const std::vector<std::string>& op_labels, ClusterTrace& trace,
+      double start_time) const;
 
   cost::ClusterStats stats_;
   SimulationOptions options_;

@@ -19,6 +19,8 @@ Result<WorkloadOutcome> SimulateWorkload(
   context.model = model;
   SimulationOptions sim_options = options;
   sim_options.pipe_constant = model.pipe_constant;
+  sim_options.wal_write_cost = model.wal_write_cost;
+  sim_options.wal_replay_factor = model.wal_replay_factor;
   ClusterSimulator simulator(stats, sim_options);
   ClusterTrace trace = ClusterTrace::Generate(stats, trace_seed);
 
@@ -70,7 +72,8 @@ Result<std::vector<WorkloadOutcome>> CompareSchemesOnWorkload(
     uint64_t trace_seed, const SimulationOptions& options) {
   static constexpr ft::SchemeKind kAll[] = {
       ft::SchemeKind::kAllMat, ft::SchemeKind::kNoMatLineage,
-      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased};
+      ft::SchemeKind::kNoMatRestart, ft::SchemeKind::kCostBased,
+      ft::SchemeKind::kWriteAheadLineage};
   std::vector<WorkloadOutcome> out;
   for (ft::SchemeKind scheme : kAll) {
     XDBFT_ASSIGN_OR_RETURN(
@@ -78,6 +81,36 @@ Result<std::vector<WorkloadOutcome>> CompareSchemesOnWorkload(
         SimulateWorkload(workload, scheme, stats, model, trace_seed,
                          options));
     out.push_back(std::move(o));
+  }
+  return out;
+}
+
+plan::Plan MakePipelinedQuery(int depth, double runtime_scale,
+                              const std::string& name) {
+  plan::PlanBuilder b(name);
+  plan::OpId prev = b.Scan("stream", 1e7, 64, 30.0 * runtime_scale);
+  for (int i = 0; i < depth; ++i) {
+    // Streaming stages: cheap per-stage compute, bulky intermediates —
+    // tm > tr, so blocking materialization costs more than the work it
+    // protects.
+    prev = b.Unary(plan::OpType::kFilter, "stage" + std::to_string(i), prev,
+                   10.0 * runtime_scale, 25.0 * runtime_scale);
+  }
+  b.Unary(plan::OpType::kHashAggregate, "sink", prev, 5.0 * runtime_scale,
+          0.5);
+  return std::move(b).Build();
+}
+
+std::vector<WorkloadQuery> MakePipelinedWorkload(int count, int depth,
+                                                 double runtime_scale) {
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    WorkloadQuery q;
+    q.label = "pipelined" + std::to_string(i);
+    q.plan = MakePipelinedQuery(depth, runtime_scale, q.label);
+    q.arrival_seconds = 0.0;
+    out.push_back(std::move(q));
   }
   return out;
 }

@@ -59,10 +59,25 @@ Result<WorkloadOutcome> SimulateWorkload(
     const cost::ClusterStats& stats, const cost::CostModelParams& model = {},
     uint64_t trace_seed = 42, const SimulationOptions& options = {});
 
-/// \brief Run all four schemes over the same workload and traces.
+/// \brief Run all five schemes (§5.2's four plus write-ahead lineage) over
+/// the same workload and traces.
 Result<std::vector<WorkloadOutcome>> CompareSchemesOnWorkload(
     const std::vector<WorkloadQuery>& workload,
     const cost::ClusterStats& stats, const cost::CostModelParams& model = {},
     uint64_t trace_seed = 42, const SimulationOptions& options = {});
+
+/// \brief The pipelined / streaming query shape write-ahead lineage exists
+/// for: one scan feeding a deep chain of `depth` streaming stages whose
+/// intermediate volumes (tm) are large relative to their compute (tr).
+/// Blocking materialization pays the full volume at every stage here,
+/// while the lineage log is a fraction of it. `runtime_scale` multiplies
+/// every per-stage cost — larger values push the query deeper into the
+/// long-runtime regime where WAL beats restart-from-scratch.
+plan::Plan MakePipelinedQuery(int depth, double runtime_scale,
+                              const std::string& name = "pipelined");
+
+/// \brief `count` pipelined queries arriving back-to-back (arrival 0).
+std::vector<WorkloadQuery> MakePipelinedWorkload(int count, int depth,
+                                                 double runtime_scale);
 
 }  // namespace xdbft::cluster

@@ -58,6 +58,13 @@ Status CostModelParams::Validate() const {
   if (!(success_target > 0.0) || !(success_target < 1.0)) {
     return Status::InvalidArgument("success_target must be in (0, 1)");
   }
+  if (wal_write_cost < 0.0 || !std::isfinite(wal_write_cost)) {
+    return Status::InvalidArgument(
+        "wal_write_cost must be non-negative and finite");
+  }
+  if (wal_replay_factor < 0.0 || wal_replay_factor > 1.0) {
+    return Status::InvalidArgument("wal_replay_factor must be in [0, 1]");
+  }
   return Status::OK();
 }
 

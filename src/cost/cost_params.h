@@ -74,6 +74,23 @@ struct CostModelParams {
   /// materialization. See bench/ablation_cluster_scaling.
   bool scale_success_target_with_cluster = false;
 
+  /// Write-ahead-lineage extension (arXiv:2403.08062). When enabled, every
+  /// collapsed operator logs the lineage of its internal intermediates
+  /// *before* results flow downstream: its runtime grows by
+  /// wal_write_cost * lineage_volume up front, and recovery replays from
+  /// the last logged frontier instead of recomputing, paying only
+  /// wal_replay_factor of the wasted time per attempt. Off by default —
+  /// with wal_enabled == false all estimates are bit-identical to the
+  /// paper's model.
+  bool wal_enabled = false;
+  /// Log-write overhead per unit of intermediate materialization volume
+  /// (relative to tm); must be >= 0 and finite.
+  double wal_write_cost = 0.15;
+  /// Fraction of lost work re-paid when replaying the lineage log instead
+  /// of recomputing; must be in [0, 1]. 1.0 = replay is as expensive as
+  /// recomputation (degenerates to no-mat lineage behavior).
+  double wal_replay_factor = 0.25;
+
   Status Validate() const;
 };
 

@@ -13,6 +13,13 @@
 //    that node holds; the coordinator then recovers by recomputing p's
 //    lost chain from the last materialized ancestors — exactly the
 //    fine-grained scheme.
+//  - Under write-ahead lineage (set_wal(true)), every completed
+//    non-materialized output is additionally appended to a durable
+//    lineage log (charged to rows_logged/bytes_logged up front). A node
+//    failure then no longer forces recomputation: the dead node's
+//    outputs are replayed from the log at the wave barrier
+//    (replay_executions / rows_replayed), and only the killed attempt
+//    itself re-runs.
 //  - Global stages run on the coordinator and are treated as materialized.
 //
 // Execution model (see DESIGN.md "Execution concurrency"): an iterative,
@@ -137,6 +144,16 @@ struct FtExecutionResult {
   size_t rows_lost = 0;
   uint64_t bytes_lost = 0;
   double seconds_lost = 0.0;
+  /// Write-ahead lineage accounting (all zero unless set_wal(true)).
+  /// Rows/bytes appended to the durable lineage log — the up-front write
+  /// cost every completed non-materialized output pays, failures or not.
+  size_t rows_logged = 0;
+  uint64_t bytes_logged = 0;
+  /// Outputs restored from the log after a node failure instead of being
+  /// recomputed (one replay per restored (stage, partition) output).
+  int replay_executions = 0;
+  size_t rows_replayed = 0;
+  uint64_t bytes_replayed = 0;
   /// Wall-clock seconds spent in each stage's successful task attempts
   /// (indexed by stage). Killed attempts contribute nothing here; work
   /// later destroyed by a failure stays charged (it really ran) and is
@@ -177,6 +194,13 @@ class FaultTolerantExecutor {
   /// concurrency, never less than 1).
   static int ResolveThreads(int num_threads);
 
+  /// \brief Enable write-ahead lineage: completed non-materialized
+  /// outputs are logged durably and replayed (not recomputed) after a
+  /// node failure. The final table is bit-identical to a run without WAL
+  /// at any thread count; only the recovery path and its accounting
+  /// change.
+  void set_wal(bool wal) { wal_ = wal; }
+
   /// \brief Directory for abort post-mortems. When a task exceeds
   /// max_attempts, Execute writes a bundle (flight-recorder tail, metrics
   /// snapshot, attempt timeline) there and appends the bundle path to the
@@ -198,6 +222,7 @@ class FaultTolerantExecutor {
   obs::TraceRecorder* trace_ = nullptr;
   TaskPool* external_pool_ = nullptr;
   int num_threads_ = 1;
+  bool wal_ = false;
   std::string postmortem_dir_;
 };
 

@@ -216,6 +216,69 @@ StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db,
   return plan;
 }
 
+StagePlan MakeFilterChainStagePlan(const PartitionedDatabase& db, int depth,
+                                   ExecOptions opts) {
+  StagePlan plan("filter-chain");
+  const auto* lineitem = &db.table(TpchTable::kLineitem);
+
+  // Stage 0: scan + project the two columns the chain consumes.
+  Stage scan;
+  scan.label = "ScanProject(L)";
+  scan.type = plan::OpType::kTableScan;
+  scan.run = [lineitem, opts](int partition,
+                              const std::vector<const Table*>&)
+      -> Result<Table> {
+    const Table& part =
+        lineitem->partitions[static_cast<size_t>(partition)];
+    XDBFT_ASSIGN_OR_RETURN(auto qty, Expr::Col(part.schema, "l_quantity"));
+    XDBFT_ASSIGN_OR_RETURN(auto price,
+                           Expr::Col(part.schema, "l_extendedprice"));
+    auto proj = VProject(VScan(&part), {qty, price},
+                         {"l_quantity", "l_extendedprice"});
+    return RunStageNode(opts, proj);
+  };
+  int prev = plan.AddStage(std::move(scan));
+
+  // Chain stages: each trims the quantity range a little further, so
+  // every intermediate stays bulky (the WAL-relevant shape).
+  for (int i = 0; i < depth; ++i) {
+    Stage f;
+    f.label = "Filter" + StrFormat("%d", i);
+    f.type = plan::OpType::kFilter;
+    f.inputs = {prev};
+    const double cutoff = 50.0 - 1.0 * i;
+    f.run = [cutoff, opts](int, const std::vector<const Table*>& inputs)
+        -> Result<Table> {
+      const Table& in = *inputs[0];
+      XDBFT_ASSIGN_OR_RETURN(auto qty, Expr::Col(in.schema, "l_quantity"));
+      auto node =
+          VFilter(VScan(&in), exec::Le(qty, Expr::Lit(Value(cutoff))));
+      return RunStageNode(opts, node);
+    };
+    prev = plan.AddStage(std::move(f));
+  }
+
+  // Final global stage: revenue per surviving quantity value, sorted.
+  Stage agg;
+  agg.label = "Agg(quantity)";
+  agg.type = plan::OpType::kHashAggregate;
+  agg.global = true;
+  agg.inputs = {prev};
+  agg.run = [opts](int, const std::vector<const Table*>& inputs)
+      -> Result<Table> {
+    const Table& merged = *inputs[0];
+    XDBFT_ASSIGN_OR_RETURN(auto price,
+                           Expr::Col(merged.schema, "l_extendedprice"));
+    auto node = VHashAggregate(VScan(&merged), {0},
+                               {{AggFunc::kSum, price, "revenue"},
+                                {AggFunc::kCount, nullptr, "cnt"}});
+    node = VSort(std::move(node), {0}, {true});
+    return RunStageNode(opts, node);
+  };
+  plan.AddStage(std::move(agg));
+  return plan;
+}
+
 StagePlan MakeQ5StagePlan(const PartitionedDatabase& db, ExecOptions opts) {
   StagePlan plan("Q5-stages");
   const int n = db.num_nodes;

@@ -117,4 +117,13 @@ StagePlan MakeQ5StagePlan(const PartitionedDatabase& db,
 StagePlan MakeCustomerRevenueStagePlan(const PartitionedDatabase& db,
                                        ExecOptions opts = {});
 
+/// \brief Pipelined query shape: a LINEITEM scan feeding a chain of
+/// `depth` same-partition filter stages, closed by a global aggregate.
+/// Every chain stage's output is bulky relative to its compute — the
+/// regime write-ahead lineage targets (a failure without WAL recomputes
+/// the whole chain below the last materialization point; with WAL the
+/// chain is replayed from the lineage log).
+StagePlan MakeFilterChainStagePlan(const PartitionedDatabase& db, int depth,
+                                   ExecOptions opts = {});
+
 }  // namespace xdbft::engine

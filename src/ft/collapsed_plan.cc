@@ -78,6 +78,10 @@ Result<CollapsedPlan> CollapsedPlan::Create(
         c.dominant_members.size() > 1 ? pipe_constant : 1.0;
     c.runtime_cost = longest.at(node.id) * factor;
     c.materialize_cost = plan.node(node.id).materialize_cost;
+    for (OpId m : c.members) {
+      if (m == node.id) continue;
+      c.lineage_volume += plan.node(m).materialize_cost;
+    }
 
     anchor_to_id[node.id] = c.id;
     cp.ops_.push_back(std::move(c));

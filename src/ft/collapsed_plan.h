@@ -35,6 +35,10 @@ struct CollapsedOp {
   double runtime_cost = 0.0;
   /// tm(c): materialization cost of the anchor.
   double materialize_cost = 0.0;
+  /// Sum of tm over coll(c) \ {anchor}: the volume of intermediate results
+  /// flowing *inside* this collapsed op. Under write-ahead lineage this is
+  /// the volume whose lineage must be logged before results flow on.
+  double lineage_volume = 0.0;
   /// Collapsed operators whose (materialized) output this one reads.
   std::vector<CollapsedId> inputs;
 

@@ -115,6 +115,9 @@ struct FtPlanEnumerator::SearchState {
   /// the search takes the historical scalar path — bit-identical to the
   /// pre-placement enumerator.
   const PlacementParams pparams;
+  /// Write-ahead-lineage dimensions; disabled keeps every per-operator
+  /// cost bit-identical to the recompute-from-inputs model.
+  const WalParams wal;
   const bool placed;
   const bool use_memo;
 
@@ -128,8 +131,13 @@ struct FtPlanEnumerator::SearchState {
   uint64_t error_mask = 0;
   Status error;
 
-  SearchState(FailureParams fp, PlacementParams pp, bool memoize)
-      : fparams(fp), pparams(pp), placed(pp.active()), use_memo(memoize) {}
+  SearchState(FailureParams fp, PlacementParams pp, WalParams wp,
+              bool memoize)
+      : fparams(fp),
+        pparams(pp),
+        wal(wp),
+        placed(pp.active()),
+        use_memo(memoize) {}
 
   /// Keep the error with the smallest (plan, mask) key so the reported
   /// failure does not depend on task interleaving.
@@ -168,11 +176,17 @@ FtPlanEnumerator::PreparedPlan FtPlanEnumerator::Prepare(
     // quantifier, so this order marks a superset of (never fewer ops
     // than) the reverse order. Both rules only add kNeverMaterialize
     // constraints that are provably cost-safe, so more is better.
-    if (options_.pruning.rule2) {
+    // Rules 1-2 are proven cost-safe for recompute-from-inputs recovery
+    // only: under write-ahead lineage a skipped materialization also
+    // changes the log-write volume, which their proofs do not account for.
+    // WAL-enabled searches keep rule 3 (exact branch-and-bound) and skip
+    // the static marks.
+    const bool static_rules_safe = !model_.context().model.wal_enabled;
+    if (options_.pruning.rule2 && static_rules_safe) {
       out.rule2_marked = static_cast<uint64_t>(
           ApplyPruningRule2(&out.plan, model_.context()));
     }
-    if (options_.pruning.rule1) {
+    if (options_.pruning.rule1 && static_rules_safe) {
       out.rule1_marked = static_cast<uint64_t>(ApplyPruningRule1(
           &out.plan, model_.context().model.pipe_constant));
     }
@@ -212,7 +226,8 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
     // keeps the historical scalar arithmetic bit-for-bit.
     PlacementResult placement;
     if (state->placed) {
-      placement = ComputePlacement(cp, state->pparams, state->fparams);
+      placement = ComputePlacement(cp, state->pparams, state->fparams,
+                                   state->wal);
     }
     const auto placed_t = [&](CollapsedId id) {
       return state->placed ? placement.placed_cost[static_cast<size_t>(id)]
@@ -221,6 +236,17 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
     const auto refetch = [&](CollapsedId id) {
       return state->placed ? placement.refetch_cost[static_cast<size_t>(id)]
                            : 0.0;
+    };
+    // Durable runtime: placed runtime plus the WAL log-write overhead.
+    // This is the t the rule-3 bounds and the memo must see — per-op TPt
+    // is monotone in it, which placed_t alone does not guarantee once
+    // lineage volume varies per configuration.
+    const auto durable_t = [&](CollapsedId id) {
+      double t = placed_t(id);
+      if (state->wal.enabled) {
+        t += state->wal.write_cost * cp.op(id).lineage_volume;
+      }
+      return t;
     };
 
     // Path enumeration with rule-3 early stopping (Listing 1 lines 9-13
@@ -238,8 +264,8 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
         // Test 1: RPt > bestT — no cost-model call needed. Placed runtime
         // (remote reads included) is still a lower bound on TPt.
         double rpt = 0.0;
-        if (state->placed) {
-          for (CollapsedId id : path) rpt += placed_t(id);
+        if (state->placed || state->wal.enabled) {
+          for (CollapsedId id : path) rpt += durable_t(id);
         } else {
           rpt = cp.PathRuntimeNoFailure(path);
         }
@@ -254,7 +280,7 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
           std::vector<PathOpCost> costs;
           costs.reserve(path.size());
           for (CollapsedId id : path) {
-            costs.push_back(PathOpCost{placed_t(id), refetch(id)});
+            costs.push_back(PathOpCost{durable_t(id), refetch(id)});
           }
           if (state->memo->Dominates(std::move(costs))) {
             ++local->rule3_memo_hits;
@@ -267,8 +293,10 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
       ++local->paths_evaluated;
       double tpt = 0.0;
       for (CollapsedId id : path) {
-        tpt += OperatorTotalRuntime(placed_t(id), state->fparams,
-                                    refetch(id));
+        tpt += CollapsedOpTotalRuntime(placed_t(id),
+                                       cp.op(id).lineage_volume,
+                                       state->fparams, state->wal,
+                                       refetch(id));
       }
       if (rule3 && tpt > bound) {
         // Test 2: TPt > bestT.
@@ -321,7 +349,7 @@ void FtPlanEnumerator::EvaluateMaskRange(const PreparedPlan& prepared,
         std::vector<PathOpCost> costs;
         costs.reserve(dom_path.size());
         for (CollapsedId id : dom_path) {
-          costs.push_back(PathOpCost{placed_t(id), refetch(id)});
+          costs.push_back(PathOpCost{durable_t(id), refetch(id)});
         }
         state->memo->Record(std::move(costs), dom_cost);
       }
@@ -402,6 +430,7 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
   // merge that keeps the totals exact under concurrency.
   SearchState state(model_.context().MakeFailureParams(),
                     model_.context().MakePlacementParams(),
+                    model_.context().MakeWalParams(),
                     options_.pruning.memoize_dominant_paths);
   state.memo = options_.shared_memo != nullptr ? options_.shared_memo
                                                : &state.owned_memo;
@@ -474,7 +503,8 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
                             model_.context().model.pipe_constant));
   PlacementResult placement;
   if (state.placed) {
-    placement = ComputePlacement(cp, state.pparams, state.fparams);
+    placement = ComputePlacement(cp, state.pparams, state.fparams,
+                                 state.wal);
     best.placement_groups = placement.groups;
   }
   double dom_cost = 0.0;
@@ -483,11 +513,13 @@ Result<FtPlanChoice> FtPlanEnumerator::FindBest(
     for (CollapsedId id : path) {
       const size_t i = static_cast<size_t>(id);
       tpt += state.placed
-                 ? OperatorTotalRuntime(placement.placed_cost[i],
-                                        state.fparams,
-                                        placement.refetch_cost[i])
-                 : OperatorTotalRuntime(cp.op(id).total_cost(),
-                                        state.fparams);
+                 ? CollapsedOpTotalRuntime(placement.placed_cost[i],
+                                           cp.op(id).lineage_volume,
+                                           state.fparams, state.wal,
+                                           placement.refetch_cost[i])
+                 : CollapsedOpTotalRuntime(cp.op(id).total_cost(),
+                                           cp.op(id).lineage_volume,
+                                           state.fparams, state.wal);
     }
     if (tpt > dom_cost) {
       dom_cost = tpt;

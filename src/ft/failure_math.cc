@@ -117,6 +117,20 @@ double OperatorTotalRuntime(double t, const FailureParams& params,
   return base + a * extra_cost_per_attempt;
 }
 
+double OperatorTotalRuntimeWalReplay(double t, const FailureParams& params,
+                                     double replay_factor,
+                                     double extra_cost_per_attempt) {
+  if (t <= 0.0) return 0.0;
+  const double a = ExpectedAttempts(t, params.effective_mtbf_cost(),
+                                    params.success_target);
+  const double w = WastedTime(t, params);
+  // Same summation order as OperatorTotalRuntime; replay_factor == 1.0
+  // multiplies w exactly and reproduces it bit-for-bit.
+  const double base = t + a * (replay_factor * w) + a * params.mttr_cost;
+  if (!(extra_cost_per_attempt > 0.0)) return base;
+  return base + a * extra_cost_per_attempt;
+}
+
 double QuerySuccessProbability(double t, double mtbf_per_node,
                                int num_nodes) {
   if (t <= 0.0) return 1.0;

@@ -99,6 +99,19 @@ double OperatorTotalRuntime(double t, const FailureParams& params);
 double OperatorTotalRuntime(double t, const FailureParams& params,
                             double extra_cost_per_attempt);
 
+/// \brief T(c) under write-ahead-lineage recovery (arXiv:2403.08062): the
+/// operator logs lineage before results flow downstream, so a failed
+/// attempt replays from the last logged frontier instead of re-running the
+/// lost work from scratch. Only `replay_factor` of the wasted time w(c) is
+/// paid per attempt (replay reads the log sequentially — no recomputation):
+///   T = t + a * (replay_factor * w + MTTR + extra).
+/// `t` must already include the log-write overhead (the durable runtime).
+/// replay_factor must be in [0, 1]; 1.0 reproduces OperatorTotalRuntime
+/// bit-for-bit.
+double OperatorTotalRuntimeWalReplay(double t, const FailureParams& params,
+                                     double replay_factor,
+                                     double extra_cost_per_attempt = 0.0);
+
 /// \brief Probability that a query of duration t finishes without any
 /// failure on a cluster of n nodes with per-node MTBF (Fig. 1):
 ///   P = e^{-t n / MTBF}.

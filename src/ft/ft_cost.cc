@@ -2,9 +2,25 @@
 
 namespace xdbft::ft {
 
+double CollapsedOpTotalRuntime(double t, double lineage_volume,
+                               const FailureParams& fparams,
+                               const WalParams& wal,
+                               double extra_cost_per_attempt) {
+  // The disabled path must not touch t at all (adding 0.0 could flip
+  // -0.0 and, more importantly, signals intent): bit-identical to the
+  // pre-WAL model.
+  if (!wal.enabled) {
+    return OperatorTotalRuntime(t, fparams, extra_cost_per_attempt);
+  }
+  const double durable = t + wal.write_cost * lineage_volume;
+  return OperatorTotalRuntimeWalReplay(durable, fparams, wal.replay_factor,
+                                       extra_cost_per_attempt);
+}
+
 PlacementResult ComputePlacement(const CollapsedPlan& cp,
                                  const PlacementParams& pparams,
-                                 const FailureParams& fparams) {
+                                 const FailureParams& fparams,
+                                 const WalParams& wal) {
   const size_t n = cp.num_ops();
   PlacementResult out;
   out.groups.assign(n, 0);
@@ -33,7 +49,8 @@ PlacementResult ComputePlacement(const CollapsedPlan& cp,
       }
       const double placed_t = t + pparams.remote_read_penalty * remote;
       const double refetch = pparams.burst_failure_share * co_placed;
-      const double total = OperatorTotalRuntime(placed_t, fparams, refetch);
+      const double total = CollapsedOpTotalRuntime(
+          placed_t, op.lineage_volume, fparams, wal, refetch);
       if (g == 0 || total < best_total) {
         best_group = g;
         best_total = total;
@@ -49,26 +66,32 @@ PlacementResult ComputePlacement(const CollapsedPlan& cp,
 }
 
 double FtCostModel::OperatorCost(const CollapsedOp& c) const {
-  return OperatorTotalRuntime(c.total_cost(), context_.MakeFailureParams());
+  return CollapsedOpTotalRuntime(c.total_cost(), c.lineage_volume,
+                                 context_.MakeFailureParams(),
+                                 context_.MakeWalParams());
 }
 
 double FtCostModel::PathCost(const CollapsedPlan& cp,
                              const CollapsedPath& path) const {
   const FailureParams params = context_.MakeFailureParams();
   const PlacementParams pparams = context_.MakePlacementParams();
+  const WalParams wal = context_.MakeWalParams();
   if (!pparams.active()) {
     double total = 0.0;
     for (CollapsedId id : path) {
-      total += OperatorTotalRuntime(cp.op(id).total_cost(), params);
+      total += CollapsedOpTotalRuntime(cp.op(id).total_cost(),
+                                       cp.op(id).lineage_volume, params, wal);
     }
     return total;
   }
-  const PlacementResult placement = ComputePlacement(cp, pparams, params);
+  const PlacementResult placement =
+      ComputePlacement(cp, pparams, params, wal);
   double total = 0.0;
   for (CollapsedId id : path) {
     const size_t i = static_cast<size_t>(id);
-    total += OperatorTotalRuntime(placement.placed_cost[i], params,
-                                  placement.refetch_cost[i]);
+    total += CollapsedOpTotalRuntime(placement.placed_cost[i],
+                                     cp.op(id).lineage_volume, params, wal,
+                                     placement.refetch_cost[i]);
   }
   return total;
 }
@@ -77,12 +100,15 @@ Result<FtPlanEstimate> FtCostModel::Estimate(const CollapsedPlan& cp) const {
   XDBFT_RETURN_NOT_OK(context_.Validate());
   const FailureParams params = context_.MakeFailureParams();
   const PlacementParams pparams = context_.MakePlacementParams();
+  const WalParams wal = context_.MakeWalParams();
   FtPlanEstimate est;
   if (!pparams.active()) {
     est.paths_evaluated = cp.ForEachPath([&](const CollapsedPath& path) {
       double cost = 0.0;
       for (CollapsedId id : path) {
-        cost += OperatorTotalRuntime(cp.op(id).total_cost(), params);
+        cost += CollapsedOpTotalRuntime(cp.op(id).total_cost(),
+                                        cp.op(id).lineage_volume, params,
+                                        wal);
       }
       if (cost > est.dominant_cost) {
         est.dominant_cost = cost;
@@ -91,14 +117,16 @@ Result<FtPlanEstimate> FtCostModel::Estimate(const CollapsedPlan& cp) const {
       return true;
     });
   } else {
-    const PlacementResult placement = ComputePlacement(cp, pparams, params);
+    const PlacementResult placement =
+        ComputePlacement(cp, pparams, params, wal);
     est.placement_groups = placement.groups;
     est.paths_evaluated = cp.ForEachPath([&](const CollapsedPath& path) {
       double cost = 0.0;
       for (CollapsedId id : path) {
         const size_t i = static_cast<size_t>(id);
-        cost += OperatorTotalRuntime(placement.placed_cost[i], params,
-                                     placement.refetch_cost[i]);
+        cost += CollapsedOpTotalRuntime(placement.placed_cost[i],
+                                        cp.op(id).lineage_volume, params,
+                                        wal, placement.refetch_cost[i]);
       }
       if (cost > est.dominant_cost) {
         est.dominant_cost = cost;

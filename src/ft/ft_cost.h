@@ -50,13 +50,36 @@ struct PlacementResult {
   std::vector<double> refetch_cost;
 };
 
+/// \brief Write-ahead-lineage dimensions of the cost model
+/// (arXiv:2403.08062): when enabled, every collapsed operator logs the
+/// lineage of its internal intermediates before results flow downstream
+/// (runtime grows by write_cost * lineage_volume) and recovery replays from
+/// the last logged frontier (only replay_factor of the wasted time is
+/// re-paid per attempt). Disabled (the default) is bit-identical to the
+/// paper's recompute-from-inputs model.
+struct WalParams {
+  bool enabled = false;
+  double write_cost = 0.0;
+  double replay_factor = 1.0;
+};
+
+/// \brief T(c) of one collapsed operator under the active recovery
+/// discipline: plain Eq. 8 (`OperatorTotalRuntime`) when WAL is disabled,
+/// the lineage-log variant (durable runtime + replay-discounted wasted
+/// time) when enabled.
+double CollapsedOpTotalRuntime(double t, double lineage_volume,
+                               const FailureParams& fparams,
+                               const WalParams& wal,
+                               double extra_cost_per_attempt = 0.0);
+
 /// \brief Greedily assign each collapsed operator (in ascending = topological
 /// id order) to the group minimizing its T(c) given the already-placed
 /// inputs; ties break toward the lowest group id. A pure function of
-/// (cp, pparams, fparams) — bit-identical at any thread count.
+/// (cp, pparams, fparams, wal) — bit-identical at any thread count.
 PlacementResult ComputePlacement(const CollapsedPlan& cp,
                                  const PlacementParams& pparams,
-                                 const FailureParams& fparams);
+                                 const FailureParams& fparams,
+                                 const WalParams& wal = {});
 
 /// \brief Everything the cost function needs (paper: getCostStats output).
 struct FtCostContext {
@@ -102,6 +125,15 @@ struct FtCostContext {
     p.remote_read_penalty = cluster.remote_read_penalty;
     p.burst_failure_share = MakeFailureParams().burst_failure_share();
     return p;
+  }
+
+  /// \brief Write-ahead-lineage dimensions from the model knobs.
+  WalParams MakeWalParams() const {
+    WalParams w;
+    w.enabled = model.wal_enabled;
+    w.write_cost = model.wal_write_cost;
+    w.replay_factor = model.wal_replay_factor;
+    return w;
   }
 
   Status Validate() const {

@@ -20,6 +20,11 @@ enum class SchemeKind : int {
   kNoMatRestart,
   /// This paper: cost-based subset materialization; fine-grained restart.
   kCostBased,
+  /// Write-ahead lineage (arXiv:2403.08062): materialize nothing, log
+  /// lineage before results flow downstream, replay the log on failure.
+  /// Built for pipelined workloads where blocking materialization is the
+  /// wrong primitive.
+  kWriteAheadLineage,
 };
 
 const char* SchemeKindName(SchemeKind kind);
@@ -31,6 +36,10 @@ enum class RecoveryMode : int {
   kFineGrained,
   /// Restart the entire query from the beginning.
   kFullRestart,
+  /// Replay the failed sub-plan from its last *logged* lineage frontier
+  /// (write-ahead lineage): durable progress survives the failure and is
+  /// re-applied at a replay discount instead of recomputed.
+  kWalReplay,
 };
 
 /// \brief A scheme instantiated for one query: the plan with its

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/simulator.h"
+#include "cluster/workload.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "engine/ft_executor.h"
@@ -664,6 +665,171 @@ std::optional<std::string> CheckCorrelatedModelVsSim(const ReproCase& c) {
 }
 
 // ---------------------------------------------------------------------------
+// Write-ahead lineage checks
+// ---------------------------------------------------------------------------
+
+/// Metamorphic identity: with a free log (write cost 0) and full-length
+/// replay (factor 1) every WAL attempt spans exactly the operator's
+/// duration, so the WAL simulator must reproduce the fine-grained
+/// simulator bit for bit on the case's own plan, config and traces.
+/// Intra-operator checkpointing is pinned off on both sides: WAL logs
+/// lineage instead of writing state checkpoints, so its reference point
+/// is the unsegmented fine-grained run (a fuzzed checkpoint_interval
+/// would make fine-grained pay checkpoint costs and lose less work per
+/// failure — a real semantic difference, not a bug).
+std::optional<std::string> CheckWalReplayUnityIdentity(const ReproCase& c) {
+  cluster::SimulationOptions fine_opts = c.sim;
+  fine_opts.checkpoint_interval = 0.0;
+  cluster::SimulationOptions wal_opts = fine_opts;
+  wal_opts.wal_write_cost = 0.0;
+  wal_opts.wal_replay_factor = 1.0;
+  ClusterSimulator fine_sim(c.cluster, fine_opts);
+  ClusterSimulator wal_sim(c.cluster, wal_opts);
+  std::vector<ClusterTrace> fine_traces = c.trace.Materialize(c.cluster);
+  std::vector<ClusterTrace> wal_traces = c.trace.Materialize(c.cluster);
+  for (size_t i = 0; i < fine_traces.size(); ++i) {
+    auto fine = fine_sim.Run(c.plan, c.config, RecoveryMode::kFineGrained,
+                             fine_traces[i]);
+    auto wal = wal_sim.Run(c.plan, c.config, RecoveryMode::kWalReplay,
+                           wal_traces[i]);
+    if (!fine.ok()) return "fine sim failed: " + fine.status().ToString();
+    if (!wal.ok()) return "wal sim failed: " + wal.status().ToString();
+    if (fine->runtime != wal->runtime ||
+        fine->completed != wal->completed ||
+        fine->restarts != wal->restarts ||
+        fine->failures_hit != wal->failures_hit ||
+        fine->aborted != wal->aborted) {
+      return StrFormat(
+          "trace %zu: unity-replay WAL diverges from fine-grained: "
+          "runtime %.17g vs %.17g, restarts %d vs %d",
+          i, wal->runtime, fine->runtime, wal->restarts, fine->restarts);
+    }
+  }
+  return std::nullopt;
+}
+
+/// The WAL-aware analytic model (durable runtime = t + write_cost *
+/// lineage volume; wasted time scaled by the replay factor) must track
+/// the WAL simulator strictly better than the WAL-blind independent
+/// model, which neither charges the log writes nor credits the cheap
+/// replay. Summed |predicted - simulated p95| over a runtime-scale grid
+/// of the pipelined chain shape, plus the analytic_vs_sim ratio band per
+/// grid point — the same tolerance tier as correlated_model_vs_sim.
+std::optional<std::string> CheckWalModelVsSim(const ReproCase& c) {
+  const cost::ClusterStats stats =
+      cost::MakeCluster(/*num_nodes=*/4, /*mtbf=*/1500.0, /*mttr=*/10.0);
+  constexpr double kWriteCost = 0.3;
+  constexpr double kReplayFactor = 0.25;
+  double err_wal = 0.0;
+  double err_blind = 0.0;
+  int grid_point = 0;
+  for (double scale : {1.0, 2.0, 4.0}) {
+    ++grid_point;
+    const plan::Plan plan = cluster::MakePipelinedQuery(/*depth=*/6, scale);
+    const MaterializationConfig config = MaterializationConfig::NoMat(plan);
+    ft::FtCostContext wal_ctx;
+    wal_ctx.cluster = stats;
+    wal_ctx.model.wal_enabled = true;
+    wal_ctx.model.wal_write_cost = kWriteCost;
+    wal_ctx.model.wal_replay_factor = kReplayFactor;
+    ft::FtCostContext blind_ctx;
+    blind_ctx.cluster = stats;
+    auto pred_wal = ft::FtCostModel(wal_ctx).Estimate(plan, config);
+    auto pred_blind = ft::FtCostModel(blind_ctx).Estimate(plan, config);
+    if (!pred_wal.ok() || !pred_blind.ok()) return "estimate failed";
+
+    cluster::SimulationOptions opts;
+    opts.wal_write_cost = kWriteCost;
+    opts.wal_replay_factor = kReplayFactor;
+    ClusterSimulator sim(stats, opts);
+    ft::SchemePlan scheme;
+    scheme.kind = ft::SchemeKind::kWriteAheadLineage;
+    scheme.recovery = RecoveryMode::kWalReplay;
+    scheme.plan = plan;
+    scheme.config = config;
+    std::vector<ClusterTrace> traces;
+    traces.reserve(96);
+    for (uint64_t i = 0; i < 96; ++i) {
+      traces.push_back(ClusterTrace::Generate(
+          stats, c.seed * 0x9e3779b97f4a7c15ULL +
+                     static_cast<uint64_t>(grid_point) * 1024ULL + i));
+    }
+    auto agg = sim.RunMany(scheme, traces);
+    if (!agg.ok()) return "RunMany failed: " + agg.status().ToString();
+    if (agg->aborted > 0) continue;  // extreme tail; not comparable
+    const double ratio =
+        agg->runtime_p95 / std::max(pred_wal->dominant_cost, 1e-12);
+    if (ratio < 0.3 || ratio > 4.0) {
+      return StrFormat(
+          "scale %.0f: WAL analytic %.9g vs sim p95 %.9g (ratio %.3f)",
+          scale, pred_wal->dominant_cost, agg->runtime_p95, ratio);
+    }
+    err_wal += std::abs(pred_wal->dominant_cost - agg->runtime_p95);
+    err_blind += std::abs(pred_blind->dominant_cost - agg->runtime_p95);
+  }
+  if (!(err_wal < err_blind)) {
+    return StrFormat(
+        "WAL model no better than WAL-blind model: sum|err| %.9g vs %.9g",
+        err_wal, err_blind);
+  }
+  return std::nullopt;
+}
+
+/// Past the break-even runtime, write-ahead lineage must strictly beat
+/// restart-from-scratch on the pipelined long-runtime shape: the log
+/// write is a bounded tax while the restart scheme's expected cost grows
+/// without bound in the query runtime (paper §3.3 logic applied to the
+/// new scheme). Compared on identical trace sets; a restart abort with a
+/// completed WAL run counts as a win.
+std::optional<std::string> CheckWalBeatsRestart(const ReproCase& c) {
+  const cost::ClusterStats stats =
+      cost::MakeCluster(/*num_nodes=*/4, /*mtbf=*/1200.0, /*mttr=*/10.0);
+  // Deep in the long-runtime regime: makespan is several MTBFs, so a
+  // full restart almost never finishes a clean pass.
+  const plan::Plan plan =
+      cluster::MakePipelinedQuery(/*depth=*/6, /*runtime_scale=*/8.0);
+  const MaterializationConfig config = MaterializationConfig::NoMat(plan);
+  cluster::SimulationOptions opts;
+  opts.wal_write_cost = 0.3;
+  opts.wal_replay_factor = 0.25;
+  ClusterSimulator sim(stats, opts);
+  ft::SchemePlan wal = MakeScheme(c, RecoveryMode::kWalReplay);
+  wal.plan = plan;
+  wal.config = config;
+  ft::SchemePlan restart = MakeScheme(c, RecoveryMode::kFullRestart);
+  restart.plan = plan;
+  restart.config = config;
+  auto make_traces = [&] {
+    std::vector<ClusterTrace> traces;
+    traces.reserve(64);
+    for (uint64_t i = 0; i < 64; ++i) {
+      traces.push_back(ClusterTrace::Generate(
+          stats, c.seed * 0x9e3779b97f4a7c15ULL + 7919ULL + i));
+    }
+    return traces;
+  };
+  auto wal_traces = make_traces();
+  auto restart_traces = make_traces();
+  auto wal_agg = sim.RunMany(wal, wal_traces);
+  if (!wal_agg.ok()) return "WAL RunMany failed: " + wal_agg.status().ToString();
+  auto restart_agg = sim.RunMany(restart, restart_traces);
+  if (!restart_agg.ok()) {
+    return "restart RunMany failed: " + restart_agg.status().ToString();
+  }
+  if (wal_agg->aborted > restart_agg->aborted) {
+    return StrFormat("WAL aborted more often than restart: %d vs %d",
+                     wal_agg->aborted, restart_agg->aborted);
+  }
+  if (restart_agg->aborted > wal_agg->aborted) return std::nullopt;  // win
+  if (!(wal_agg->runtime < restart_agg->runtime)) {
+    return StrFormat(
+        "WAL mean %.9g not below restart mean %.9g past break-even",
+        wal_agg->runtime, restart_agg->runtime);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Executor differential
 // ---------------------------------------------------------------------------
 
@@ -833,6 +999,12 @@ constexpr CheckEntry kChecks[] = {
     // for crosscheck_quick under TSan's ~20x slowdown (the fuzz leg and
     // full runs still assert it).
     {"correlated_model_vs_sim", CheckCorrelatedModelVsSim, true, true},
+    {"wal_replay_unity_identity", CheckWalReplayUnityIdentity, true, false},
+    // Statistical for the same reason as correlated_model_vs_sim: a grid
+    // of 96-trace simulations per seed is too heavy for the sanitizer
+    // quick legs.
+    {"wal_model_vs_sim", CheckWalModelVsSim, true, true},
+    {"wal_beats_restart", CheckWalBeatsRestart, true, true},
     {"executor_differential", CheckExecutorDifferential, false, false},
 };
 

@@ -38,11 +38,11 @@ TEST(AdvisorTest, ChooseBestOverCandidates) {
   EXPECT_EQ(chosen->plan.name(), "cheap");
 }
 
-TEST(AdvisorTest, CompareSchemesListsAllFourSorted) {
+TEST(AdvisorTest, CompareSchemesListsAllFiveSorted) {
   FaultToleranceAdvisor advisor(cost::MakeCluster(10, 600.0, 1.0));
   auto cmp = advisor.CompareSchemes(SamplePlan());
   ASSERT_TRUE(cmp.ok()) << cmp.status();
-  ASSERT_EQ(cmp->estimates.size(), 4u);
+  ASSERT_EQ(cmp->estimates.size(), 5u);
   for (size_t i = 1; i < cmp->estimates.size(); ++i) {
     EXPECT_LE(cmp->estimates[i - 1].estimated_runtime,
               cmp->estimates[i].estimated_runtime);

@@ -122,6 +122,25 @@ TEST(FingerprintTest, PlacementParametersAreCovered) {
             FingerprintRequest({MakePlan("q", "a")}, penalty, {}));
 }
 
+TEST(FingerprintTest, WalParametersAreCovered) {
+  // Toggling write-ahead lineage (or retuning its log-write / replay
+  // costs) changes what the enumerator returns, so each knob must be part
+  // of the cache key.
+  ft::FtCostContext wal = MakeContext();
+  wal.model.wal_enabled = true;
+  const auto a = FingerprintRequest({MakePlan("q", "a")}, MakeContext(), {});
+  const auto b = FingerprintRequest({MakePlan("q", "a")}, wal, {});
+  EXPECT_NE(a, b);
+  ft::FtCostContext pricier = wal;
+  pricier.model.wal_write_cost = wal.model.wal_write_cost + 0.1;
+  EXPECT_NE(FingerprintRequest({MakePlan("q", "a")}, wal, {}),
+            FingerprintRequest({MakePlan("q", "a")}, pricier, {}));
+  ft::FtCostContext slower_replay = wal;
+  slower_replay.model.wal_replay_factor = wal.model.wal_replay_factor + 0.25;
+  EXPECT_NE(FingerprintRequest({MakePlan("q", "a")}, wal, {}),
+            FingerprintRequest({MakePlan("q", "a")}, slower_replay, {}));
+}
+
 TEST(FingerprintTest, HexIs32Digits) {
   const auto fp = FingerprintRequest({MakePlan("q", "a")}, MakeContext(), {});
   EXPECT_EQ(fp.Hex().size(), 32u);

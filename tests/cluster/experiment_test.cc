@@ -16,11 +16,11 @@ plan::Plan SmallQ5() {
   return *p;
 }
 
-TEST(ExperimentTest, RunsAllFourSchemes) {
+TEST(ExperimentTest, RunsAllFiveSchemes) {
   auto result = RunSchemeComparison(SmallQ5(), cost::MakeCluster(10, 3600.0),
                                     {}, /*num_traces=*/3);
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->schemes.size(), 4u);
+  ASSERT_EQ(result->schemes.size(), 5u);
   EXPECT_GT(result->baseline_runtime, 0.0);
   for (const auto& s : result->schemes) {
     if (s.completed) {

@@ -233,6 +233,51 @@ TEST(SimulatorRegressionTest, FullRestartPaysDetectionDelay) {
   EXPECT_GT(delayed_runs, 0);  // the delay actually changed outcomes
 }
 
+TEST(SimulatorRegressionTest, BackToBackFailuresChargeOneDetectionWindow) {
+  // Crafted trace: two failures land inside a single detection + repair
+  // window (t=1 and t=3 with interval 2 and MTTR 10). They are ONE
+  // outage: detection at the t=2 tick, repair until t=12, restart, done
+  // at t=33. The stale t=3 failure — already in the past when the retry
+  // starts — must not charge a second detection tick or MTTR.
+  Plan p = ChainPlan(10.0, 1.0, 2);  // 21s no-mat query
+  cost::ClusterStats stats = cost::MakeCluster(1, 15.0, 10.0);
+  SimulationOptions opts;
+  opts.monitoring_interval = 2.0;
+  ClusterSimulator sim(stats, opts);
+
+  ClusterTrace full_trace = ClusterTrace::FromScheduled({{1.0, 3.0}});
+  auto full = sim.Run(p, MaterializationConfig::NoMat(p),
+                      RecoveryMode::kFullRestart, full_trace);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_TRUE(full->completed);
+  EXPECT_EQ(full->restarts, 1);
+  EXPECT_DOUBLE_EQ(full->runtime, 33.0);  // 2 detect + 10 repair + 21 run
+
+  // Fine-grained on one node with one collapsed op recovers the identical
+  // unit, so it must agree to the bit.
+  ClusterTrace fine_trace = ClusterTrace::FromScheduled({{1.0, 3.0}});
+  auto fine = sim.Run(p, MaterializationConfig::NoMat(p),
+                      RecoveryMode::kFineGrained, fine_trace);
+  ASSERT_TRUE(fine.ok()) << fine.status();
+  EXPECT_TRUE(fine->completed);
+  EXPECT_EQ(fine->restarts, 1);
+  EXPECT_DOUBLE_EQ(fine->runtime, 33.0);
+
+  // WAL replay with free log writes and a unity replay factor is the
+  // fine-grained discipline by construction — same single outage, same
+  // clock, on the same crafted trace.
+  SimulationOptions wal_opts = opts;
+  wal_opts.wal_write_cost = 0.0;
+  wal_opts.wal_replay_factor = 1.0;
+  ClusterSimulator wal_sim(stats, wal_opts);
+  ClusterTrace wal_trace = ClusterTrace::FromScheduled({{1.0, 3.0}});
+  auto wal = wal_sim.Run(p, MaterializationConfig::NoMat(p),
+                         RecoveryMode::kWalReplay, wal_trace);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_TRUE(wal->completed);
+  EXPECT_DOUBLE_EQ(wal->runtime, 33.0);
+}
+
 TEST(SimulatorRegressionTest, DetectionDelayParityWithFineGrained) {
   // On a single-node, single-collapsed-op chain, fine-grained and full
   // restart recover the identical unit, so their runtimes must agree —

@@ -88,19 +88,23 @@ TEST(WorkloadTest, SharedTraceMakesLaterQueriesSeeLaterFailures) {
   EXPECT_TRUE(out->queries[1].completed);
 }
 
-TEST(WorkloadTest, CompareSchemesRunsAllFour) {
+TEST(WorkloadTest, CompareSchemesRunsAllFive) {
   auto out = CompareSchemesOnWorkload(MixedWorkload(),
                                       cost::MakeCluster(10, 3600.0, 1.0));
   ASSERT_TRUE(out.ok()) << out.status();
-  ASSERT_EQ(out->size(), 4u);
+  ASSERT_EQ(out->size(), 5u);
   EXPECT_EQ((*out)[0].scheme, SchemeKind::kAllMat);
   EXPECT_EQ((*out)[3].scheme, SchemeKind::kCostBased);
+  EXPECT_EQ((*out)[4].scheme, SchemeKind::kWriteAheadLineage);
 }
 
 TEST(WorkloadTest, CostBasedCompetitiveOnMixedWorkload) {
   // The paper's headline claim at workload level: across a mixed
   // workload, the cost-based scheme's makespan is at most ~10% above the
-  // best fixed scheme (and typically the best).
+  // best fixed scheme of §5.2 (and typically the best). Write-ahead
+  // lineage is excluded from the baseline: it is a different recovery
+  // discipline the paper's search space does not contain (cost-based
+  // only mixes WAL points in when the model enables it).
   for (double mtbf : {1800.0, 3600.0 * 24}) {
     auto out = CompareSchemesOnWorkload(
         MixedWorkload(), cost::MakeCluster(10, mtbf, 1.0), {}, 11);
@@ -108,6 +112,7 @@ TEST(WorkloadTest, CostBasedCompetitiveOnMixedWorkload) {
     double best_fixed = 1e300, cost_based = 0.0;
     for (const auto& o : *out) {
       if (o.aborted > 0) continue;
+      if (o.scheme == SchemeKind::kWriteAheadLineage) continue;
       if (o.scheme == SchemeKind::kCostBased) {
         cost_based = o.makespan_seconds;
       } else {

@@ -196,6 +196,82 @@ TEST(FtExecutorTest, GlobalStageFailureRetriesWithoutDataLoss) {
   EXPECT_TRUE(TablesEqual(r->result, clean->result));
 }
 
+TEST(FtExecutorTest, WalReplayAvoidsChainRecomputation) {
+  // A failure deep in an unmaterialized pipeline chain: without WAL the
+  // whole chain below the last materialization point is recomputed; with
+  // WAL the chain is replayed from the lineage log and only the killed
+  // attempt re-runs.
+  const Fixture& f = GetFixture();
+  const StagePlan plan = MakeFilterChainStagePlan(f.pd, /*depth=*/4);
+  const plan::Plan skeleton = plan.ToPlanSkeleton();
+  FaultTolerantExecutor executor(&plan, &f.pd);
+
+  ScriptedInjector inj_recompute({{4, 0}});
+  auto recompute = executor.Execute(
+      ft::MaterializationConfig::NoMat(skeleton), &inj_recompute);
+  ASSERT_TRUE(recompute.ok()) << recompute.status();
+
+  executor.set_wal(true);
+  ScriptedInjector inj_wal({{4, 0}});
+  auto wal = executor.Execute(ft::MaterializationConfig::NoMat(skeleton),
+                              &inj_wal);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  EXPECT_TRUE(TablesEqual(wal->result, recompute->result));
+  EXPECT_EQ(wal->failures_injected, 1);
+  EXPECT_GT(wal->rows_logged, 0u);
+  EXPECT_GT(wal->replay_executions, 0);
+  EXPECT_GT(wal->rows_replayed, 0u);
+  // Replay spares the ancestor chain: strictly fewer re-executions.
+  EXPECT_LT(wal->recovery_executions, recompute->recovery_executions);
+  EXPECT_EQ(wal->recovery_executions, 1);  // only the killed attempt
+  EXPECT_EQ(wal->rows_lost, 0u);  // everything lost was in the log
+}
+
+TEST(FtExecutorTest, WalBitIdenticalAcrossThreadCounts) {
+  const Fixture& f = GetFixture();
+  const StagePlan plan = MakeFilterChainStagePlan(f.pd, /*depth=*/4);
+  const plan::Plan skeleton = plan.ToPlanSkeleton();
+  std::optional<FtExecutionResult> reference;
+  for (int threads : {1, 2, 4}) {
+    FaultTolerantExecutor executor(&plan, &f.pd);
+    executor.set_wal(true);
+    executor.set_num_threads(threads);
+    RandomInjector injector(0.2, /*seed=*/17);
+    auto r = executor.Execute(ft::MaterializationConfig::NoMat(skeleton),
+                              &injector);
+    ASSERT_TRUE(r.ok()) << threads << ": " << r.status();
+    if (!reference.has_value()) {
+      reference = std::move(*r);
+      continue;
+    }
+    EXPECT_TRUE(TablesEqual(r->result, reference->result)) << threads;
+    EXPECT_EQ(r->failures_injected, reference->failures_injected);
+    EXPECT_EQ(r->task_executions, reference->task_executions) << threads;
+    EXPECT_EQ(r->replay_executions, reference->replay_executions)
+        << threads;
+    EXPECT_EQ(r->rows_logged, reference->rows_logged) << threads;
+    EXPECT_EQ(r->rows_replayed, reference->rows_replayed) << threads;
+  }
+}
+
+TEST(FtExecutorTest, WalWithoutFailuresOnlyPaysLogWrites) {
+  const Fixture& f = GetFixture();
+  const StagePlan plan = MakeFilterChainStagePlan(f.pd, /*depth=*/3);
+  const plan::Plan skeleton = plan.ToPlanSkeleton();
+  FaultTolerantExecutor executor(&plan, &f.pd);
+  auto clean = executor.Execute(ft::MaterializationConfig::NoMat(skeleton));
+  ASSERT_TRUE(clean.ok());
+  executor.set_wal(true);
+  auto wal = executor.Execute(ft::MaterializationConfig::NoMat(skeleton));
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(TablesEqual(wal->result, clean->result));
+  EXPECT_GT(wal->rows_logged, 0u);  // the up-front write cost
+  EXPECT_EQ(wal->replay_executions, 0);
+  EXPECT_EQ(wal->recovery_executions, 0);
+  EXPECT_EQ(wal->task_executions, clean->task_executions);
+}
+
 TEST(FtExecutorTest, RejectsNulls) {
   FaultTolerantExecutor executor(nullptr, nullptr);
   EXPECT_FALSE(executor.Execute(ft::MaterializationConfig{}).ok());

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "ft/collapsed_plan.h"
+#include "ft/failure_math.h"
+
 namespace xdbft::ft {
 namespace {
 
@@ -34,6 +39,8 @@ TEST(SchemeTest, KindNames) {
   EXPECT_STREQ(SchemeKindName(SchemeKind::kNoMatRestart),
                "no-mat (restart)");
   EXPECT_STREQ(SchemeKindName(SchemeKind::kCostBased), "cost-based");
+  EXPECT_STREQ(SchemeKindName(SchemeKind::kWriteAheadLineage),
+               "write-ahead lineage");
 }
 
 TEST(SchemeTest, AllMatMaterializesEverything) {
@@ -79,6 +86,83 @@ TEST(SchemeTest, CostBasedNeverWorseThanFixedSchemes) {
     EXPECT_LE(cost_based->estimated_cost, no_mat->estimated_cost + 1e-9)
         << "mtbf=" << mtbf;
   }
+}
+
+TEST(SchemeTest, FullRestartEstimateIsQueryLevelRetryUnit) {
+  // Regression: no-mat (restart) used to be priced with the fine-grained
+  // dominant-path model — a single-machine failure process — while the
+  // simulator restarts the whole query on ANY node's failure. The
+  // estimate must be Eq. 8 applied to one query-level retry unit of
+  // duration makespan with failure rate n/MTBF.
+  const Plan p = StarJoinPlan();
+  // MTBF low enough that the attempts percentile exceeds one attempt —
+  // at a day-scale MTBF every scheme's estimate degenerates to the
+  // failure-free makespan and the divergence is invisible.
+  const FtCostContext ctx = MakeContext(300.0);
+  auto sp = ApplyScheme(SchemeKind::kNoMatRestart, p, ctx);
+  ASSERT_TRUE(sp.ok()) << sp.status();
+  auto cp =
+      CollapsedPlan::Create(p, sp->config, ctx.model.pipe_constant);
+  ASSERT_TRUE(cp.ok());
+  FailureParams q = ctx.MakeFailureParams();
+  q.mtbf_cost = ctx.cluster.mtbf_seconds * ctx.model.cost_constant /
+                static_cast<double>(ctx.cluster.num_nodes);
+  q.success_target = ctx.model.success_target;
+  EXPECT_DOUBLE_EQ(sp->estimated_cost,
+                   OperatorTotalRuntime(cp->MakespanNoFailure(), q));
+  // The query-level rate is n times the per-node rate, so on this
+  // 10-node cluster the restart estimate must exceed the fine-grained
+  // lineage estimate for the identical no-mat configuration — the
+  // divergence the old shared estimate hid.
+  auto lineage = ApplyScheme(SchemeKind::kNoMatLineage, p, ctx);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_GT(sp->estimated_cost, lineage->estimated_cost);
+}
+
+TEST(SchemeTest, FullRestartEstimateGrowsWithClusterSize) {
+  // Under the old fine-grained pricing the estimate was flat in n (one
+  // machine's MTBF); the query-level retry unit sees rate n/MTBF, so a
+  // bigger cluster must strictly raise it.
+  const Plan p = StarJoinPlan();
+  double prev = 0.0;
+  for (int nodes : {1, 10, 100}) {
+    FtCostContext ctx;
+    ctx.cluster = cost::MakeCluster(nodes, 600.0, 1.0);
+    auto sp = ApplyScheme(SchemeKind::kNoMatRestart, p, ctx);
+    ASSERT_TRUE(sp.ok()) << sp.status();
+    EXPECT_GT(sp->estimated_cost, prev) << nodes;
+    prev = sp->estimated_cost;
+  }
+}
+
+TEST(SchemeTest, PlanIndexConsistentWithReturnedPlan) {
+  // plan_index, plan, config and estimated_cost must all describe the
+  // same winning candidate: re-running the search on just
+  // candidates[plan_index] reproduces the config and the cost.
+  PlanBuilder cheap("cheap");
+  OpId s = cheap.Scan("R", 1e5, 64, 1.0);
+  cheap.Unary(OpType::kHashAggregate, "agg", s, 1.0, 0.1);
+  PlanBuilder mid("mid");
+  s = mid.Scan("R", 1e5, 64, 3.0);
+  mid.Unary(OpType::kHashAggregate, "agg", s, 3.0, 0.1);
+  PlanBuilder costly("costly");
+  s = costly.Scan("R", 1e5, 64, 5.0);
+  costly.Unary(OpType::kHashAggregate, "agg", s, 5.0, 0.1);
+  const std::vector<Plan> candidates = {std::move(costly).Build(),
+                                        std::move(cheap).Build(),
+                                        std::move(mid).Build()};
+  const FtCostContext ctx = MakeContext(3600.0);
+  auto sp = ApplyCostBasedScheme(candidates, ctx);
+  ASSERT_TRUE(sp.ok()) << sp.status();
+  ASSERT_LT(sp->plan_index, candidates.size());
+  EXPECT_EQ(sp->plan_index, 1u);  // "cheap" wins
+  EXPECT_EQ(sp->plan.name(), candidates[sp->plan_index].name());
+  auto solo =
+      ApplyScheme(SchemeKind::kCostBased, candidates[sp->plan_index], ctx);
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(solo->plan_index, 0u);  // single-candidate entry point
+  EXPECT_TRUE(solo->config == sp->config);
+  EXPECT_DOUBLE_EQ(solo->estimated_cost, sp->estimated_cost);
 }
 
 TEST(SchemeTest, CostBasedAdaptsToMtbf) {

@@ -51,6 +51,15 @@ SPECS = {
             "err_ratio": "higher_bad",
         },
     },
+    "schemes": {
+        "keys": ("scale", "scheme"),
+        "metrics": {
+            # Simulated-seconds makespan (deterministic for a fixed trace
+            # seed, so the tolerance only absorbs intentional model
+            # changes, not runner noise).
+            "makespan_seconds": "higher_bad",
+        },
+    },
     "enum": {
         "keys": ("workload", "threads"),
         "metrics": {

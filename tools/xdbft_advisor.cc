@@ -10,8 +10,16 @@
 //   xdbft_advisor --plan plan.txt [--nodes N] [--mtbf SECONDS]
 //                 [--mttr SECONDS] [--success-target S]
 //                 [--pipe-constant C] [--scale-success-with-cluster]
+//                 [--scheme NAME] [--wal-write-cost C]
 //                 [--threads N] [--exec-threads N] [--simulate TRACES]
 //                 [--emit-q5 SF] [--metrics-json PATH] [--trace-out PATH]
+//
+// --scheme NAME forces one fixed fault-tolerance scheme instead of the
+// cost-based search: all-mat, no-mat-lineage, no-mat-restart, cost-based
+// or wal (write-ahead lineage). Forcing wal enables the WAL cost terms;
+// --wal-write-cost C sets the per-unit lineage log-write cost (and
+// likewise enables WAL in the model, so the cost-based search may pick a
+// WAL-shaped plan when the log tax beats materialization).
 //
 // --burst-mtbf S / --burst-fanout F enable the correlated-failure model:
 // S is the mean seconds between correlated bursts, F the fraction of the
@@ -104,6 +112,11 @@ struct Args {
   double pipe_constant = 1.0;
   bool scale_success = false;
   bool greedy = false;
+  // --scheme: force one fixed scheme ("" = cost-based search).
+  std::string scheme;
+  // --wal-write-cost: per-unit lineage log-write cost (0 = model default;
+  // any positive value also enables the WAL cost terms).
+  double wal_write_cost = 0.0;
   int threads = 0;       // 0 = hardware concurrency
   int exec_threads = 0;  // 0 = hardware concurrency
   int simulate_traces = 0;
@@ -125,6 +138,37 @@ struct Args {
 // All clusters the advisor reasons about carry the burst/placement
 // parameters, so the one MakeCluster call site that forgets them cannot
 // silently fall back to the independent model.
+// Maps the --scheme spelling onto SchemeKind. Accepts the hyphenated
+// names printed by SchemeKindName plus the short "wal" alias.
+bool ParseSchemeKind(const std::string& name, ft::SchemeKind* out) {
+  if (name == "all-mat") {
+    *out = ft::SchemeKind::kAllMat;
+  } else if (name == "no-mat-lineage") {
+    *out = ft::SchemeKind::kNoMatLineage;
+  } else if (name == "no-mat-restart") {
+    *out = ft::SchemeKind::kNoMatRestart;
+  } else if (name == "cost-based") {
+    *out = ft::SchemeKind::kCostBased;
+  } else if (name == "wal" || name == "write-ahead-lineage") {
+    *out = ft::SchemeKind::kWriteAheadLineage;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Folds the WAL CLI knobs into the cost model: a positive
+// --wal-write-cost or a forced wal scheme switches the WAL terms on.
+void ApplyWalArgs(const Args& args, cost::CostModelParams* model) {
+  if (args.wal_write_cost > 0.0) {
+    model->wal_enabled = true;
+    model->wal_write_cost = args.wal_write_cost;
+  }
+  if (args.scheme == "wal" || args.scheme == "write-ahead-lineage") {
+    model->wal_enabled = true;
+  }
+}
+
 cost::ClusterStats MakeStats(const Args& args, double mtbf) {
   cost::ClusterStats stats = cost::MakeCluster(args.nodes, mtbf, args.mttr);
   stats.burst_mtbf_seconds = args.burst_mtbf;
@@ -156,6 +200,9 @@ void Usage(const char* argv0) {
       "          [--burst-mtbf S] [--burst-fanout F]\n"
       "          [--placement-groups G] [--remote-read-penalty P]\n"
       "          [--success-target S] [--pipe-constant C]\n"
+      "          [--scheme all-mat|no-mat-lineage|no-mat-restart|"
+      "cost-based|wal]\n"
+      "          [--wal-write-cost C]\n"
       "          [--scale-success-with-cluster] [--greedy]\n"
       "          [--threads N] [--exec-threads N] [--simulate TRACES]\n"
       "          [--metrics-json PATH] [--trace-out PATH]\n"
@@ -199,6 +246,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->success_target = v;
     } else if (a == "--pipe-constant" && next(&v)) {
       args->pipe_constant = v;
+    } else if (a == "--scheme" && i + 1 < argc) {
+      args->scheme = argv[++i];
+    } else if (a == "--wal-write-cost" && next(&v)) {
+      args->wal_write_cost = v;
     } else if (a == "--scale-success-with-cluster") {
       args->scale_success = true;
     } else if (a == "--greedy") {
@@ -364,6 +415,7 @@ int RunServe(const Args& args) {
   model.success_target = args.success_target;
   model.pipe_constant = args.pipe_constant;
   model.scale_success_target_with_cluster = args.scale_success;
+  ApplyWalArgs(args, &model);
   if (!ValidateParams(MakeStats(args, args.mtbf), model)) return 1;
   std::vector<api::AdvisorRequest> population;
   population.reserve(kPopulation);
@@ -570,7 +622,18 @@ int main(int argc, char** argv) {
   model.success_target = args.success_target;
   model.pipe_constant = args.pipe_constant;
   model.scale_success_target_with_cluster = args.scale_success;
+  ApplyWalArgs(args, &model);
   if (!ValidateParams(stats, model)) return 1;
+
+  ft::SchemeKind forced_kind = ft::SchemeKind::kCostBased;
+  const bool forced_scheme = !args.scheme.empty();
+  if (forced_scheme && !ParseSchemeKind(args.scheme, &forced_kind)) {
+    std::fprintf(stderr,
+                 "unknown --scheme '%s' (expected all-mat, no-mat-lineage, "
+                 "no-mat-restart, cost-based or wal)\n",
+                 args.scheme.c_str());
+    return 2;
+  }
 
   obs::TraceRecorder trace;
   obs::TraceRecorder* trace_ptr =
@@ -585,6 +648,9 @@ int main(int argc, char** argv) {
   }
   api::FaultToleranceAdvisor advisor(stats, model, eopts);
   Result<ft::SchemePlan> chosen = [&]() -> Result<ft::SchemePlan> {
+    if (forced_scheme) {
+      return ft::ApplyScheme(forced_kind, *plan, advisor.context(), eopts);
+    }
     if (!args.greedy) return advisor.ChooseBestPlan(*plan);
     // Greedy hill climbing for plans too wide to enumerate.
     XDBFT_ASSIGN_OR_RETURN(ft::GreedyResult g,
@@ -688,6 +754,10 @@ int main(int argc, char** argv) {
     report.params["pipe_constant"] = std::to_string(args.pipe_constant);
     report.params["simulate_traces"] = std::to_string(args.simulate_traces);
     report.params["greedy"] = args.greedy ? "true" : "false";
+    if (forced_scheme) report.params["scheme"] = args.scheme;
+    if (model.wal_enabled) {
+      report.params["wal_write_cost"] = std::to_string(model.wal_write_cost);
+    }
     report.params["threads"] =
         std::to_string(ft::FtPlanEnumerator::ResolveThreads(args.threads));
     report.params["exec_threads"] = std::to_string(
